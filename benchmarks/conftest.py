@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper.
+Besides the pytest-benchmark wall-clock numbers, every experiment
+records the *reproduced series* (the rows/curves the paper plots) into
+a session-wide report that is printed after the run — so
+``pytest benchmarks/ --benchmark-only`` outputs both the timing table
+and the paper-shaped data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class ExperimentReport:
+    """Collects text blocks to print in the terminal summary."""
+
+    def __init__(self) -> None:
+        self.sections: list[tuple[str, str]] = []
+
+    def add(self, title: str, body: str) -> None:
+        """Record one experiment's reproduced series."""
+        self.sections.append((title, body))
+
+
+_REPORT = ExperimentReport()
+
+
+@pytest.fixture(scope="session")
+def report() -> ExperimentReport:
+    """Session-wide report the benchmarks write their series into."""
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT.sections:
+        return
+    terminalreporter.section("reproduced paper tables & figures")
+    for title, body in _REPORT.sections:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {title}")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

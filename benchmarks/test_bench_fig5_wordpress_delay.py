@@ -1,0 +1,114 @@
+"""Figure 5: CDFs of WordPress response times under injected delay.
+
+Paper: "CDFs of response times from WordPress, based on injected delay
+between WordPress and Elasticsearch.  Quickest response times were
+dictated by the delay, indicating absence of a timeout pattern."
+
+Reproduced shape: for the published (naive) plugin, the response-time
+CDF for injected delay D starts at >= D — every curve is the delay
+plus a small constant.  The hardened contrast client's curve is pinned
+at its 1 s timeout instead, independent of D.
+
+The pytest-benchmark number is the wall-clock cost of the whole
+100-request experiment (the paper ran it against live containers; we
+replay it in virtual time in milliseconds).
+"""
+
+import pytest
+
+from repro.analysis import Cdf
+from repro.apps import ELASTICSEARCH, WORDPRESS, build_wordpress_app
+from repro.core import DelayCalls, Gremlin
+from repro.loadgen import ClosedLoopLoad
+
+DELAYS = [1.0, 2.0, 3.0, 4.0]
+REQUESTS = 100
+
+
+def run_experiment(injected_delay: float, hardened: bool) -> Cdf:
+    deployment = build_wordpress_app(hardened=hardened).deploy(seed=5)
+    source = deployment.add_traffic_source(WORDPRESS)
+    gremlin = Gremlin(deployment)
+    gremlin.inject(DelayCalls(WORDPRESS, ELASTICSEARCH, interval=injected_delay))
+    load = ClosedLoopLoad(num_requests=REQUESTS)
+    load.run(source)
+    return Cdf(load.result.latencies)
+
+
+@pytest.mark.parametrize("injected", DELAYS)
+def test_fig5_naive_plugin_offset_by_delay(benchmark, report, injected):
+    cdf = benchmark.pedantic(
+        run_experiment, args=(injected, False), rounds=3, iterations=1
+    )
+    # Paper shape: quickest responses dictated by the injected delay.
+    assert cdf.min >= injected
+    assert cdf.median == pytest.approx(injected, rel=0.05)
+    report.add(
+        f"Fig 5 — naive ElasticPress, injected delay {injected:.0f}s",
+        f"  min={cdf.min:.3f}s p25={cdf.value_at(0.25):.3f}s median={cdf.median:.3f}s"
+        f" p75={cdf.value_at(0.75):.3f}s max={cdf.max:.3f}s (n={len(cdf)})\n"
+        f"  paper: CDF knee at the injected delay -> reproduced: knee at {cdf.min:.2f}s",
+    )
+
+
+def run_noisy_experiment(injected_delay: float) -> Cdf:
+    """Fig 5 with heavy-tailed link latency, closer to the paper's
+    real-testbed curves: the CDF spreads but its knee stays pinned at
+    the injected delay."""
+    from repro.network.latency import LognormalLatency
+
+    deployment = build_wordpress_app(hardened=False).deploy(seed=5)
+    source = deployment.add_traffic_source(WORDPRESS)
+    # Lognormal one-way latency, median ~1 ms with a heavy tail.
+    for host_a in deployment.network.hosts:
+        for host_b in deployment.network.hosts:
+            if host_a.name < host_b.name:
+                deployment.network.set_latency(
+                    host_a.name,
+                    host_b.name,
+                    LognormalLatency(mu=-6.9, sigma=0.8, floor=0.0002),
+                )
+    gremlin = Gremlin(deployment)
+    gremlin.inject(DelayCalls(WORDPRESS, ELASTICSEARCH, interval=injected_delay))
+    load = ClosedLoopLoad(num_requests=REQUESTS)
+    load.run(source)
+    return Cdf(load.result.latencies)
+
+
+@pytest.mark.parametrize("injected", [2.0])
+def test_fig5_with_latency_noise(benchmark, report, injected):
+    cdf = benchmark.pedantic(run_noisy_experiment, args=(injected,), rounds=3, iterations=1)
+    # The knee stays at the injected delay even under noisy links; only
+    # the spread above it changes.
+    assert cdf.min >= injected
+    assert cdf.max > cdf.min  # the noise is visible
+    assert cdf.median < injected + 0.1
+    report.add(
+        f"Fig 5 robustness — injected delay {injected:.0f}s with lognormal link noise",
+        f"  min={cdf.min:.3f}s median={cdf.median:.3f}s p99={cdf.value_at(0.99):.3f}s"
+        f" max={cdf.max:.3f}s\n"
+        "  knee pinned at the injected delay; spread comes from the links"
+        " (the paper's real-testbed curve shape)",
+    )
+
+
+@pytest.mark.parametrize("injected", [3.0])
+def test_fig5_contrast_hardened_plugin_bounded_by_timeout(benchmark, report, injected):
+    cdf = benchmark.pedantic(
+        run_experiment, args=(injected, True), rounds=3, iterations=1
+    )
+    # Contrast shape: bounded by the 1s timeout + fallback, never the delay.
+    assert cdf.max < 1.5
+    # Statistical confirmation: the naive and hardened distributions are
+    # distinguishable at any sane significance level.
+    from repro.analysis import compare_cdfs
+
+    naive = run_experiment(injected, hardened=False)
+    comparison = compare_cdfs(naive.samples, cdf.samples)
+    assert not comparison.same_distribution(alpha=1e-6)
+    report.add(
+        f"Fig 5 contrast — hardened plugin, injected delay {injected:.0f}s",
+        f"  min={cdf.min:.3f}s median={cdf.median:.3f}s max={cdf.max:.3f}s"
+        f" — bounded by the 1s client timeout, not the {injected:.0f}s delay\n"
+        f"  vs naive plugin: {comparison} (two-sample KS)",
+    )

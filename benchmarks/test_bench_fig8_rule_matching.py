@@ -1,0 +1,89 @@
+"""Figure 8: worst-case rule-matching overhead in the proxy data path.
+
+Paper: "We measured the time to complete a series of HTTP requests to
+a server through the service proxy with different number of rules
+installed.  Figure 8 shows the CDF for completing 10000 requests in
+the worst case scenario: request IDs were compared against all rules
+without a match, prior to being forwarded."
+
+Reproduced shape: per-request matching cost grows with the number of
+installed rules for the linear matcher (more rules => CDF shifted
+right).  The prefix-indexed matcher — the optimization the paper
+suggests ("structured (e.g., prefix-based ...) request IDs") — is
+ablated alongside: its worst-case cost is near-flat in rule count.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.agent import abort, make_matcher
+from repro.analysis import Cdf
+
+RULE_COUNTS = [1, 5, 10]
+PROBES = 10_000
+
+
+def build_matcher(strategy: str, rules: int):
+    matcher = make_matcher(strategy, rng=random.Random(0))
+    for index in range(rules):
+        matcher.install(abort("A", "B", pattern=f"test-{index}-*"))
+    return matcher
+
+
+def measure_no_match(strategy: str, rules: int) -> Cdf:
+    """Per-request worst-case matching time over PROBES requests."""
+    matcher = build_matcher(strategy, rules)
+    samples = []
+    # Worst case: the ID is compared against every rule, matches none.
+    request_id = "zz-no-match-12345"
+    for _ in range(PROBES):
+        start = time.perf_counter_ns()
+        hit = matcher.match("B", "request", request_id)
+        samples.append((time.perf_counter_ns() - start) / 1e9)
+        assert hit is None
+    return Cdf(samples)
+
+
+_series: dict[tuple[str, int], Cdf] = {}
+
+
+@pytest.mark.parametrize("rules", RULE_COUNTS)
+@pytest.mark.parametrize("strategy", ["linear", "prefix"])
+def test_fig8_worst_case_matching(benchmark, report, strategy, rules):
+    matcher = build_matcher(strategy, rules)
+    request_id = "zz-no-match-12345"
+
+    def probe_many():
+        for _ in range(1000):
+            matcher.match("B", "request", request_id)
+
+    benchmark(probe_many)
+    cdf = measure_no_match(strategy, rules)
+    _series[(strategy, rules)] = cdf
+
+    if len(_series) == len(RULE_COUNTS) * 2:
+        lines = []
+        for strat in ("linear", "prefix"):
+            for count in RULE_COUNTS:
+                curve = _series[(strat, count)]
+                lines.append(
+                    f"  {strat:>6} matcher, {count:>2} rules: per-request median"
+                    f" {curve.median * 1e6:7.2f} us, p99 {curve.value_at(0.99) * 1e6:7.2f} us"
+                )
+        # Paper shape: linear matcher cost grows with rule count.
+        linear = [_series[("linear", count)].median for count in RULE_COUNTS]
+        assert linear[0] < linear[-1], "more rules must cost more (linear scan)"
+        # Ablation: the prefix index stays ~flat in rule count.
+        prefix = [_series[("prefix", count)].median for count in RULE_COUNTS]
+        lines.append(
+            f"  linear 10-rule/1-rule median ratio: {linear[-1] / linear[0]:.1f}x;"
+            f" prefix: {prefix[-1] / max(prefix[0], 1e-12):.1f}x"
+        )
+        report.add(
+            "Fig 8 — worst-case rule matching (10000 no-match requests)",
+            "\n".join(lines)
+            + "\n  paper: CDF shifts right as rules increase -> reproduced (linear);"
+            "\n  prefix-index ablation: near-flat, the optimization the paper suggests",
+        )

@@ -1,0 +1,105 @@
+"""Table 2: the data-plane fault primitives and their proxy-path cost.
+
+Paper Table 2 defines the agent interface: Abort, Delay, Modify.  This
+benchmark measures the wall-clock cost each primitive adds to the
+proxy data path (virtual-time delays are free — the simulator jumps
+the clock — so what remains is real matching + synthesis + rewrite
+work), alongside the no-rule passthrough baseline.
+
+Shape expectation: all primitives are within the same order of
+magnitude as passthrough; the proxy is cheap enough to leave in place
+in production, the paper's low-overhead claim.
+"""
+
+import pytest
+
+from repro.agent import TCP_RESET, abort, delay, modify
+from repro.apps import build_twotier
+from repro.http import HttpRequest
+from repro.microservice import PolicySpec
+
+REQUESTS_PER_ROUND = 200
+
+
+def build(policy=None, sidecars=True):
+    deployment = build_twotier(policy=policy or PolicySpec(timeout=30.0)).deploy(
+        seed=91, sidecars=sidecars
+    )
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source
+
+
+def drive(deployment, source, n=REQUESTS_PER_ROUND):
+    sim = deployment.sim
+
+    def worker(sim):
+        for index in range(n):
+            request = HttpRequest("GET", "/api")
+            request.request_id = f"test-{index}"
+            try:
+                yield from source.client.call(request)
+            except Exception:  # noqa: BLE001 - resets expected under Abort(-1)
+                pass
+
+    sim.process(worker(sim))
+    sim.run()
+
+
+RULES = {
+    "passthrough": None,
+    "abort_503": lambda: abort("ServiceA", "ServiceB", error=503),
+    "abort_reset": lambda: abort("ServiceA", "ServiceB", error=TCP_RESET),
+    "delay_100ms": lambda: delay("ServiceA", "ServiceB", interval="100ms"),
+    "modify_body": lambda: modify(
+        "ServiceA", "ServiceB", pattern="ok", replace_bytes="rewritten"
+    ),
+}
+
+_costs: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("primitive", list(RULES))
+def test_table2_primitive_proxy_cost(benchmark, report, primitive):
+    def round():
+        deployment, source = build()
+        rule_factory = RULES[primitive]
+        if rule_factory is not None:
+            for agent in deployment.agents_of("ServiceA"):
+                agent.install_rule(rule_factory())
+        drive(deployment, source)
+        return deployment
+
+    deployment = benchmark.pedantic(round, rounds=3, iterations=1)
+    # Every request crossed the proxy exactly once.
+    assert deployment.agents_of("ServiceA")[0].proxied == REQUESTS_PER_ROUND
+    _costs[primitive] = benchmark.stats.stats.mean / REQUESTS_PER_ROUND
+
+
+def test_table2_no_sidecar_ablation(benchmark, report):
+    """Ablation baseline: the same workload with no proxy at all."""
+
+    def round():
+        deployment, source = build(sidecars=False)
+        drive(deployment, source)
+        return deployment
+
+    deployment = benchmark.pedantic(round, rounds=3, iterations=1)
+    assert deployment.agents == []
+    _costs["no_sidecar"] = benchmark.stats.stats.mean / REQUESTS_PER_ROUND
+
+    if len(_costs) == len(RULES) + 1:
+        baseline = _costs["passthrough"]
+        lines = [
+            f"  {name:<12} {cost * 1e6:8.2f} us/request"
+            f"  ({cost / baseline:4.1f}x passthrough)"
+            for name, cost in _costs.items()
+        ]
+        # Low-overhead claim: no primitive is an order of magnitude
+        # above passthrough on the wall-clock data path.
+        assert all(cost < baseline * 10 for cost in _costs.values())
+        report.add(
+            "Table 2 — per-primitive proxy cost (wall time per proxied request)",
+            "\n".join(lines)
+            + "\n  paper: agents add low overhead -> reproduced (same order of"
+            " magnitude\n  as both passthrough and the no-sidecar ablation)",
+        )

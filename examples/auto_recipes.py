@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Automatic recipe generation (paper Section 9, future work).
+
+Walks the enterprise application's logical graph and generates, for
+every caller/callee edge, the recipes that validate the four resiliency
+patterns — then executes the overload suite and reports which services
+would survive and which need work.  Third-party endpoints are annotated
+``skip`` (we do not fault github.com's edge on their behalf).
+
+Run:  python examples/auto_recipes.py
+"""
+
+from repro import ClosedLoopLoad, Gremlin, build_enterprise_app, generate_recipes
+from repro.apps.enterprise import GITHUB, STACKOVERFLOW, WEBAPP
+from repro.core import Recipe
+from repro.core.autogen import EdgeAnnotation
+
+
+def main() -> None:
+    deployment = build_enterprise_app().deploy(seed=71)
+    source = deployment.add_traffic_source(WEBAPP)
+    gremlin = Gremlin(deployment)
+
+    annotations = {
+        GITHUB: EdgeAnnotation(skip=True),
+        STACKOVERFLOW: EdgeAnnotation(skip=True),
+        "servicedb": EdgeAnnotation(criticality="high"),
+    }
+    recipes = generate_recipes(deployment.graph, annotations=annotations)
+
+    print(f"Generated {len(recipes)} recipes from the application graph:")
+    for recipe in recipes:
+        scenario_text = ", ".join(scenario.describe() for scenario in recipe.scenarios)
+        print(f"  {recipe.name:<28} [{scenario_text}] ({len(recipe.checks)} checks)")
+
+    print("\nExecuting the generated overload recipes:")
+    for recipe in recipes:
+        if not recipe.name.startswith("auto/overload"):
+            continue
+        load = ClosedLoopLoad(num_requests=30, think_time=0.02)
+        runnable = Recipe(
+            name=recipe.name,
+            scenarios=recipe.scenarios,
+            checks=recipe.checks,
+            load=lambda deployment: load.driver(source),
+        )
+        result = gremlin.run_recipe(runnable)
+        if all(check.inconclusive for check in result.checks):
+            verdict = "NOT EXERCISED (fault never hit this edge; raise the load)"
+        elif result.passed:
+            verdict = "PASS"
+        else:
+            verdict = "ISSUES FOUND"
+        print(f"\n  {recipe.name}: {verdict}")
+        for check in result.checks:
+            print(f"    {check}")
+
+
+if __name__ == "__main__":
+    main()

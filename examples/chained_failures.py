@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Chained failures (paper Section 4.2): conditional multi-step testing.
+
+The operator escalates based on what the previous step showed::
+
+    Overload(ServiceB)
+    if not HasBoundedRetries(ServiceA, ServiceB, 5):
+        raise 'No bounded retries'
+    else:
+        Crash(ServiceB)
+        HasCircuitBreaker(ServiceA, ServiceB, ...)
+
+Quick feedback (each step completes in well under a second of wall
+time) is what makes this interactive style practical.
+
+Run:  python examples/chained_failures.py
+"""
+
+import time
+
+from repro import (
+    ClosedLoopLoad,
+    Crash,
+    Gremlin,
+    HasBoundedRetries,
+    HasCircuitBreaker,
+    Overload,
+    PolicySpec,
+    build_twotier,
+)
+from repro.http import HttpResponse
+
+
+def main() -> None:
+    policy = PolicySpec(
+        timeout=0.5,
+        max_retries=5,
+        retry_backoff_base=0.02,
+        breaker_failure_threshold=5,
+        breaker_recovery_timeout=5.0,
+        fallback=lambda request: HttpResponse(200, body=b"cached"),
+    )
+    deployment = build_twotier(policy=policy).deploy(seed=13)
+    source = deployment.add_traffic_source("ServiceA")
+    gremlin = Gremlin(deployment)
+    sim = deployment.sim
+
+    wall_start = time.perf_counter()
+
+    # --- Step 1: overload ServiceB, check for bounded retries -----------
+    gremlin.inject(Overload("ServiceB", abort_fraction=1.0))
+    ClosedLoopLoad(num_requests=1).run(source)
+    step1 = gremlin.check(HasBoundedRetries("ServiceA", "ServiceB", 5, window="30s"))
+    gremlin.clear()
+    print(f"step 1 (Overload): {step1}")
+    if not step1.passed:
+        raise SystemExit("No bounded retries — fix ServiceA before testing further.")
+
+    # Give the tripped breaker healthy traffic so it closes again
+    # before the next experiment (state persists, as in production).
+    sim.run(until=sim.now + 6.0)
+    ClosedLoopLoad(num_requests=3, think_time=0.1, uri="/warmup").run(source)
+
+    # --- Step 2: escalate to a crash, check the circuit breaker ---------
+    window_start = sim.now
+    gremlin.inject(Crash("ServiceB"))
+    ClosedLoopLoad(num_requests=60, think_time=0.2).run(source)
+    step2 = gremlin.check(
+        HasCircuitBreaker("ServiceA", "ServiceB", threshold=5, tdelta="4s"),
+        since=window_start,
+    )
+    gremlin.clear()
+    print(f"step 2 (Crash):    {step2}")
+
+    wall = time.perf_counter() - wall_start
+    print(f"\nBoth steps (covering {sim.now:.0f}s of virtual time) ran in {wall:.2f}s wall time.")
+
+
+if __name__ == "__main__":
+    main()

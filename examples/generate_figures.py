@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Dump plottable data series for every reproduced figure.
+
+Writes tab-separated files under ``figures/`` (next to this script, or
+a directory given as argv[1]):
+
+* ``fig5_delay_<D>s.tsv``  — response-time CDF per injected delay
+  (naive and hardened series side by side);
+* ``fig6_breaker.tsv``     — aborted/delayed-phase CDFs, naive and
+  hardened;
+* ``fig7_orchestration.tsv`` — orchestration/assertion time vs services;
+* ``fig8_matching.tsv``    — per-request matching-time CDF per rule
+  count and matcher strategy.
+
+Each file is ready for gnuplot / matplotlib / a spreadsheet, so the
+paper's plots can be redrawn from this reproduction's data.
+
+Run:  python examples/generate_figures.py [output_dir]
+"""
+
+import pathlib
+import random
+import sys
+import time
+
+from repro.agent import abort, make_matcher
+from repro.analysis import Cdf
+from repro.apps import (
+    ELASTICSEARCH,
+    TREE_ROOT,
+    WORDPRESS,
+    build_tree_app,
+    build_wordpress_app,
+    tree_service_names,
+)
+from repro.core import AbortCalls, DelayCalls, Gremlin, HasTimeouts
+from repro.core.translator import RecipeTranslator
+from repro.loadgen import ClosedLoopLoad
+
+STEPS = 50  # points per CDF series
+
+
+def cdf_column(latencies):
+    cdf = Cdf(latencies)
+    return [cdf.value_at(index / STEPS) for index in range(STEPS + 1)]
+
+
+def write_tsv(path, headers, columns):
+    rows = zip(*columns)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\t".join(headers) + "\n")
+        for row in rows:
+            handle.write("\t".join(f"{value:.6g}" for value in row) + "\n")
+    print(f"  wrote {path}")
+
+
+def fig5(out_dir):
+    for injected in (1.0, 2.0, 3.0, 4.0):
+        columns = [[index / STEPS for index in range(STEPS + 1)]]
+        headers = ["cumfrac"]
+        for hardened, label in ((False, "naive"), (True, "hardened")):
+            deployment = build_wordpress_app(hardened=hardened).deploy(seed=5)
+            source = deployment.add_traffic_source(WORDPRESS)
+            Gremlin(deployment).inject(
+                DelayCalls(WORDPRESS, ELASTICSEARCH, interval=injected)
+            )
+            load = ClosedLoopLoad(num_requests=100)
+            load.run(source)
+            columns.append(cdf_column(load.result.latencies))
+            headers.append(f"{label}_s")
+        write_tsv(out_dir / f"fig5_delay_{injected:.0f}s.tsv", headers, columns)
+
+
+def fig6(out_dir):
+    columns = [[index / STEPS for index in range(STEPS + 1)]]
+    headers = ["cumfrac"]
+    for hardened, label in ((False, "naive"), (True, "hardened")):
+        deployment = build_wordpress_app(hardened=hardened).deploy(seed=6)
+        source = deployment.add_traffic_source(WORDPRESS)
+        Gremlin(deployment).inject(
+            AbortCalls(WORDPRESS, ELASTICSEARCH, error=503, max_matches=100),
+            DelayCalls(WORDPRESS, ELASTICSEARCH, interval=3.0, max_matches=100),
+        )
+        load = ClosedLoopLoad(num_requests=200)
+        load.run(source)
+        columns.append(cdf_column(load.result.latencies[:100]))
+        columns.append(cdf_column(load.result.latencies[100:]))
+        headers.extend([f"{label}_aborted_s", f"{label}_delayed_s"])
+    write_tsv(out_dir / "fig6_breaker.tsv", headers, columns)
+
+
+def fig7(out_dir):
+    headers = ["services", "orchestration_ms", "assertion_ms"]
+    services_column, orch_column, assert_column = [], [], []
+    for depth in range(5):
+        deployment = build_tree_app(depth).deploy(seed=7)
+        source = deployment.add_traffic_source(TREE_ROOT)
+        gremlin = Gremlin(deployment)
+        names = tree_service_names(depth)
+        scenarios = [
+            DelayCalls(caller, callee, interval="5ms")
+            for caller, callee in deployment.graph.edges()
+            if caller in names and callee in names
+        ]
+        orchestration = 0.0
+        if scenarios:
+            start = time.perf_counter()
+            rules = RecipeTranslator(deployment.graph).translate(scenarios)
+            gremlin.orchestrator.apply(rules)
+            orchestration = time.perf_counter() - start
+        ClosedLoopLoad(num_requests=100).run(source)
+        start = time.perf_counter()
+        for name in names:
+            HasTimeouts(name, "10s").run(deployment.store)
+        assertion = time.perf_counter() - start
+        services_column.append(float(len(names)))
+        orch_column.append(orchestration * 1e3)
+        assert_column.append(assertion * 1e3)
+    write_tsv(out_dir / "fig7_orchestration.tsv", headers,
+              [services_column, orch_column, assert_column])
+
+
+def fig8(out_dir):
+    columns = [[index / STEPS for index in range(STEPS + 1)]]
+    headers = ["cumfrac"]
+    for strategy in ("linear", "prefix"):
+        for rules in (1, 5, 10):
+            matcher = make_matcher(strategy, rng=random.Random(0))
+            for index in range(rules):
+                matcher.install(abort("A", "B", pattern=f"test-{index}-*"))
+            samples = []
+            for _ in range(10_000):
+                start = time.perf_counter_ns()
+                matcher.match("B", "request", "zz-no-match")
+                samples.append((time.perf_counter_ns() - start) / 1e3)  # µs
+            columns.append(cdf_column(samples))
+            headers.append(f"{strategy}_{rules}rules_us")
+    write_tsv(out_dir / "fig8_matching.tsv", headers, columns)
+
+
+def main() -> None:
+    out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent / "figures"
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    print(f"writing figure data to {out_dir}/")
+    fig5(out_dir)
+    fig6(out_dir)
+    fig7(out_dir)
+    fig8(out_dir)
+    print("done — plot with your tool of choice (x = value, y = cumfrac for CDFs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Recreating the Table 1 outages (paper Section 1 + Section 5).
+
+For each published postmortem, the corresponding topology is deployed
+twice — once as the fragile system that actually failed, once with the
+missing resilience pattern added — and the same Gremlin recipe runs
+against both.  The recipe *fails* on the fragile build (it would have
+caught the outage before production did) and *passes* on the hardened
+one.
+
+Run:  python examples/outage_recreations.py
+"""
+
+from repro.apps import (
+    billing_recipe,
+    build_billing_app,
+    build_coreservice_app,
+    build_database_app,
+    build_messagebus_app,
+    coreservice_recipe,
+    database_overload_recipe,
+    messagebus_recipe,
+)
+from repro.core import Gremlin
+from repro.loadgen import ClosedLoopLoad, OpenLoopLoad
+
+
+def print_outcome(hardened, checks, extra=""):
+    passed = all(check.passed for check in checks if not check.inconclusive)
+    conclusive = [check for check in checks if not check.inconclusive]
+    verdict = "PASS (pattern present)" if passed and conclusive else "FAIL (outage reproduced)"
+    build_label = "hardened" if hardened else "as-deployed"
+    print(f"  [{build_label:>12}] {verdict}{extra}")
+    for check in checks:
+        print(f"      {check}")
+
+
+def run_messagebus():
+    print("\n=== Parse.ly 2015 / Stackdriver 2013 — cascading failure via message bus ===")
+    for hardened in (False, True):
+        deployment = build_messagebus_app(hardened=hardened).deploy(seed=61)
+        source = deployment.add_traffic_source("publisher")
+        gremlin = Gremlin(deployment)
+        window = deployment.sim.now
+        gremlin.inject(*messagebus_recipe().scenarios)
+        load = OpenLoopLoad(rate=10.0, duration=8.0)
+        load.run(source)
+        checks = [gremlin.check(check, since=window) for check in messagebus_recipe().checks]
+        gremlin.clear()
+        blocked = 1.0 - load.result.success_rate
+        print_outcome(hardened, checks, extra=f"  (publishers blocked/failed: {blocked:.0%})")
+
+
+def run_database():
+    print("\n=== CircleCI 2015 / BBC 2014 — database overload ===")
+    for hardened in (False, True):
+        deployment = build_database_app(hardened=hardened).deploy(seed=62)
+        sources = [
+            deployment.add_traffic_source(f"frontend-{index}", name=f"user{index}")
+            for index in range(2)
+        ]
+        gremlin = Gremlin(deployment)
+        window = deployment.sim.now
+        gremlin.inject(*database_overload_recipe().scenarios)
+        loads = [ClosedLoopLoad(num_requests=20, think_time=0.1) for _ in sources]
+        sim = deployment.sim
+        for load, source in zip(loads, sources):
+            sim.process(load.driver(source))
+        sim.run()
+        checks = [
+            gremlin.check(check, since=window) for check in database_overload_recipe().checks
+        ]
+        gremlin.clear()
+        print_outcome(hardened, checks)
+
+
+def run_coreservice():
+    print("\n=== Spotify 2013 — degradation of a core internal service ===")
+    for hardened in (False, True):
+        deployment = build_coreservice_app(hardened=hardened).deploy(seed=63)
+        sources = [
+            deployment.add_traffic_source(edge, name=f"user-{edge}")
+            for edge in ("playlists", "radio")
+        ]
+        gremlin = Gremlin(deployment)
+        window = deployment.sim.now
+        gremlin.inject(*coreservice_recipe().scenarios)
+        sim = deployment.sim
+        for source in sources:
+            sim.process(ClosedLoopLoad(num_requests=5).driver(source))
+        sim.run()
+        checks = [gremlin.check(check, since=window) for check in coreservice_recipe().checks]
+        gremlin.clear()
+        print_outcome(hardened, checks)
+
+
+def run_billing():
+    print("\n=== Twilio 2013 — repeated billing after datastore failure ===")
+    print("  (one charge request; the fault hits the response path, so the")
+    print("   charge applies but the confirmation is lost and the client retries)")
+    for hardened in (False, True):
+        deployment = build_billing_app(hardened=hardened).deploy(seed=64)
+        source = deployment.add_traffic_source("billinggateway")
+        gremlin = Gremlin(deployment)
+        window = deployment.sim.now
+        gremlin.inject(*billing_recipe().scenarios)
+        ClosedLoopLoad(num_requests=1).run(source)
+        checks = [gremlin.check(check, since=window) for check in billing_recipe().checks]
+        gremlin.clear()
+        charges = deployment.instances_of("billingdb")[0].ctx.state.get("charges", {})
+        doubles = sum(1 for count in charges.values() if count > 1)
+        build_label = "hardened" if hardened else "as-deployed"
+        verdict = "FAIL (customer double-billed)" if doubles else "PASS (idempotent charges)"
+        print(f"  [{build_label:>12}] {verdict}  (charge applied"
+              f" {max(charges.values())}x for {len(charges)} request)")
+        for check in checks:
+            print(f"      {check}")
+
+
+def main() -> None:
+    print("Table 1 outage recreations: the same recipe against fragile and fixed builds")
+    run_messagebus()
+    run_database()
+    run_coreservice()
+    run_billing()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The Parse.ly "Kafkapocalypse" on a real publish-subscribe substrate.
+
+The Table 1 entry for Parse.ly 2015 describes a cascading failure
+through a message bus.  This example rebuilds it with the
+:mod:`repro.bus` broker — actual topics, bounded queues, at-least-once
+delivery — and stages the datastore failure with Gremlin:
+
+1. analytics events flow publisher -> broker -> datastore consumer;
+2. ``Crash('datastore')`` kills the consumer edge;
+3. the broker's per-subscriber queue fills; with backpressure
+   configured, publishers start receiving 503s — the outage;
+4. the hardened configuration (drop-on-overflow + dead-lettering)
+   keeps publishers healthy through the same fault.
+
+Run:  python examples/pubsub_kafkapocalypse.py
+"""
+
+from repro import Crash, Gremlin
+from repro.bus import BrokerConfig, broker_definition, publish
+from repro.http import HttpResponse
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import Application, PolicySpec, ServiceDefinition
+
+
+def publisher_handler(ctx, request):
+    yield from ctx.work()
+    response = yield from publish(ctx, "bus", "pageviews", b"view-event", parent=request)
+    return HttpResponse(response.status, body=response.body)
+
+
+def consumer_handler(ctx, request):
+    yield from ctx.work()
+    ctx.state["consumed"] = ctx.state.get("consumed", 0) + 1
+    return HttpResponse(200, body=b"stored")
+
+
+def build(drop_on_overflow: bool):
+    app = Application("kafkapocalypse")
+    app.add_service(
+        ServiceDefinition(
+            "publisher",
+            handler=publisher_handler,
+            dependencies={"bus": PolicySpec(timeout=2.0)},
+        )
+    )
+    app.add_service(
+        broker_definition(
+            "bus",
+            topics={"pageviews": ["datastore"]},
+            subscriber_policy=PolicySpec(timeout=0.5),
+            config=BrokerConfig(
+                queue_limit=10,
+                redelivery_delay=0.5,
+                drop_on_overflow=drop_on_overflow,
+                max_redeliveries=5,
+            ),
+        )
+    )
+    app.add_service(ServiceDefinition("datastore", handler=consumer_handler))
+    return app.deploy(seed=77)
+
+
+def run(drop_on_overflow: bool) -> None:
+    label = "hardened (shed load)" if drop_on_overflow else "as-deployed (backpressure)"
+    print(f"\n=== Broker configured: {label} ===")
+    deployment = build(drop_on_overflow)
+    source = deployment.add_traffic_source("publisher")
+    gremlin = Gremlin(deployment)
+
+    healthy = ClosedLoopLoad(num_requests=5)
+    healthy.run(source)
+    print(f"  healthy phase: publish statuses {sorted(set(healthy.result.statuses))}")
+
+    gremlin.inject(Crash("datastore"))
+    outage = ClosedLoopLoad(num_requests=20)
+    outage.run(source)
+    blocked = sum(1 for status in outage.result.statuses if status != 202)
+    print(f"  datastore crashed: {blocked}/20 publishes rejected (503)")
+
+    broker_state = deployment.instances_of("bus")[0].ctx.state["broker"]
+    print(
+        f"  broker: delivered={broker_state['delivered']}"
+        f" dropped={broker_state['dropped']}"
+        f" dead-lettered={len(broker_state['dead_letter'])}"
+    )
+    gremlin.clear()
+
+
+def main() -> None:
+    print("Parse.ly 2015 'Kafkapocalypse' on the pub-sub substrate")
+    run(drop_on_overflow=False)
+    run(drop_on_overflow=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Example 1 (Section 3.2), verbatim workflow.
+
+Two HTTP microservices: ServiceA makes API calls to ServiceB.  The
+operator wants to test ServiceA's resilience to ServiceB degrading,
+expecting ServiceA to retry failed API calls no more than five times::
+
+    Overload(ServiceB)
+    HasBoundedRetries(ServiceA, ServiceB, 5)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClosedLoopLoad,
+    Gremlin,
+    HasBoundedRetries,
+    Overload,
+    PolicySpec,
+    build_twotier,
+)
+
+
+def run_example(max_retries: int, label: str) -> None:
+    print(f"\n=== ServiceA with max_retries={max_retries} ({label}) ===")
+
+    # Deploy ServiceA -> ServiceB on a fresh simulated network, with a
+    # Gremlin agent sidecar on every instance that makes outbound calls.
+    policy = PolicySpec(timeout=1.0, max_retries=max_retries, retry_backoff_base=0.02)
+    deployment = build_twotier(policy=policy).deploy(seed=42)
+    source = deployment.add_traffic_source("ServiceA")
+    gremlin = Gremlin(deployment)
+
+    # Line 1 of the recipe: emulate the overloaded state of ServiceB.
+    # (abort_fraction=1.0 = the fully-throttled variant, so a single
+    # test request exercises the whole retry budget.)
+    gremlin.inject(Overload("ServiceB", abort_fraction=1.0))
+
+    # Inject one test request through the Gremlin-fronted entry point.
+    ClosedLoopLoad(num_requests=1).run(source)
+
+    # Line 2 of the recipe: the assertion.
+    result = gremlin.check(HasBoundedRetries("ServiceA", "ServiceB", 5, window="30s"))
+    print(result)
+    requests = gremlin.get_requests("ServiceA", "ServiceB")
+    print(f"    requests ServiceA -> ServiceB on the wire: {len(requests)}")
+    gremlin.clear()
+
+
+def main() -> None:
+    # A well-behaved ServiceA: five bounded retries -> check passes.
+    run_example(max_retries=5, label="bounded, as expected")
+    # A buggy ServiceA: effectively unbounded retries -> check fails,
+    # and the operator knows *before* ServiceB really melts down.
+    run_example(max_retries=50, label="retry storm bug")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` (or `python setup.py develop`)
+installs the package; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""repro: a reproduction of *Gremlin: Systematic Resilience Testing of
+Microservices* (Heorhiadi et al., ICDCS 2016).
+
+The package re-implements the full Gremlin system — SDN-style control
+plane (Recipe Translator, Failure Orchestrator, Assertion Checker) and
+data plane (sidecar proxy agents with Abort/Delay/Modify fault
+primitives) — together with every substrate it needs to run at laptop
+scale: a deterministic discrete-event simulator, a network transport
+and HTTP layer, a microservice runtime with the four resilience
+patterns, a service registry, request tracing, a centralized event-log
+store, and load generators.
+
+Quick start::
+
+    from repro import (
+        Gremlin, Overload, HasBoundedRetries, ClosedLoopLoad, build_twotier,
+    )
+
+    deployment = build_twotier().deploy(seed=42)
+    source = deployment.add_traffic_source("ServiceA")
+    gremlin = Gremlin(deployment)
+
+    gremlin.inject(Overload("ServiceB"))
+    ClosedLoopLoad(num_requests=100).run(source)
+    print(gremlin.check(HasBoundedRetries("ServiceA", "ServiceB", 5)))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.agent import (
+    FaultRule,
+    FaultType,
+    GremlinAgent,
+    MessageDirection,
+    TCP_RESET,
+    abort,
+    delay,
+    modify,
+)
+from repro.apps import (
+    build_billing_app,
+    build_coreservice_app,
+    build_database_app,
+    build_enterprise_app,
+    build_messagebus_app,
+    build_tree_app,
+    build_twotier,
+    build_wordpress_app,
+)
+from repro.bus import BrokerConfig, broker_definition, publish
+from repro.core import (
+    AbortCalls,
+    ChaosMonkey,
+    CheckResult,
+    CheckStatus,
+    Combine,
+    Crash,
+    Degrade,
+    DelayCalls,
+    Disconnect,
+    FakeSuccess,
+    Gremlin,
+    Hang,
+    HasBoundedRetries,
+    HasBulkhead,
+    HasCircuitBreaker,
+    HasTimeouts,
+    ModifyReplies,
+    NetworkPartition,
+    Overload,
+    Recipe,
+    RecipeResult,
+    generate_recipes,
+    get_replies,
+    get_requests,
+)
+from repro.loadgen import ApacheBench, ClosedLoopLoad, OpenLoopLoad
+from repro.microservice import (
+    Application,
+    ApplicationGraph,
+    Deployment,
+    PolicySpec,
+    ServiceDefinition,
+)
+from repro.simulation import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbortCalls",
+    "ApacheBench",
+    "Application",
+    "ApplicationGraph",
+    "BrokerConfig",
+    "ChaosMonkey",
+    "CheckResult",
+    "CheckStatus",
+    "ClosedLoopLoad",
+    "Combine",
+    "Crash",
+    "Degrade",
+    "DelayCalls",
+    "Deployment",
+    "Disconnect",
+    "FakeSuccess",
+    "FaultRule",
+    "FaultType",
+    "Gremlin",
+    "GremlinAgent",
+    "Hang",
+    "HasBoundedRetries",
+    "HasBulkhead",
+    "HasCircuitBreaker",
+    "HasTimeouts",
+    "MessageDirection",
+    "ModifyReplies",
+    "NetworkPartition",
+    "OpenLoopLoad",
+    "Overload",
+    "PolicySpec",
+    "Recipe",
+    "RecipeResult",
+    "ServiceDefinition",
+    "Simulator",
+    "TCP_RESET",
+    "abort",
+    "broker_definition",
+    "build_billing_app",
+    "build_coreservice_app",
+    "build_database_app",
+    "build_enterprise_app",
+    "build_messagebus_app",
+    "build_tree_app",
+    "build_twotier",
+    "build_wordpress_app",
+    "delay",
+    "generate_recipes",
+    "get_replies",
+    "get_requests",
+    "modify",
+    "publish",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""The Gremlin data plane: fault rules, matchers, the sidecar proxy.
+
+This package is half of the paper's contribution (Section 4.1): network
+proxies that intercept, log, and manipulate messages exchanged between
+microservices, exposing the Abort/Delay/Modify interface of Table 2 to
+the control plane.
+"""
+
+from repro.agent.control_api import AgentControlChannel, rule_from_wire, rule_to_wire
+from repro.agent.faults import modify_request, modify_response, synthesize_abort_response
+from repro.agent.matcher import (
+    InstalledRule,
+    LinearMatcher,
+    PrefixIndexMatcher,
+    RuleMatcher,
+    make_matcher,
+)
+from repro.agent.proxy import GremlinAgent
+from repro.agent.rules import (
+    TCP_RESET,
+    FaultRule,
+    FaultType,
+    MessageDirection,
+    abort,
+    delay,
+    modify,
+)
+
+__all__ = [
+    "AgentControlChannel",
+    "FaultRule",
+    "FaultType",
+    "GremlinAgent",
+    "InstalledRule",
+    "LinearMatcher",
+    "MessageDirection",
+    "PrefixIndexMatcher",
+    "RuleMatcher",
+    "TCP_RESET",
+    "abort",
+    "delay",
+    "make_matcher",
+    "modify",
+    "modify_request",
+    "modify_response",
+    "rule_from_wire",
+    "rule_to_wire",
+    "synthesize_abort_response",
+]

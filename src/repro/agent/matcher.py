@@ -1,0 +1,296 @@
+"""Rule-matching engines for the Gremlin agent.
+
+The agent compares every proxied message against its installed rules;
+this sits in-line with the data path, so matching cost is the proxy's
+overhead (paper Figure 8 measures the worst case: a request compared
+against all rules without matching any).
+
+Two interchangeable strategies are provided:
+
+* :class:`LinearMatcher` — the paper's baseline: compiled-regex scan
+  over all rules in installation order, first match wins.
+* :class:`PrefixIndexMatcher` — the optimization the paper suggests
+  ("structured (e.g., prefix-based ...) request IDs"): rules are
+  bucketed by ``(dst, direction)`` and by the literal prefix of their
+  ID glob, so non-matching traffic usually touches zero regexes.
+
+Both share runtime state handling: a per-rule match *budget*
+(``max_matches``) and probabilistic application, drawn from the
+simulator's seeded RNG when one is attached (falling back to a local
+PRNG for standalone wall-clock benchmarks).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random as _random
+import re
+import typing as _t
+
+from repro.agent.rules import FaultRule, FaultType
+from repro.errors import RuleValidationError
+
+__all__ = ["InstalledRule", "RuleMatcher", "LinearMatcher", "PrefixIndexMatcher"]
+
+
+class InstalledRule:
+    """A rule plus its per-agent runtime state (budget, regex, stats)."""
+
+    def __init__(self, rule: FaultRule) -> None:
+        self.rule = rule
+        self.regex = _compile_glob(rule.flow_pattern)
+        self.remaining: int | None = rule.max_matches
+        #: Installation order within the owning matcher (first-match-wins).
+        self.order = 0
+        #: Messages this rule structurally matched (before probability).
+        self.matched = 0
+        #: Messages the fault action was actually applied to.
+        self.applied = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the match budget is consumed (rule inert)."""
+        return self.remaining is not None and self.remaining <= 0
+
+    def matches_id(self, request_id: str | None) -> bool:
+        """Structural flow match against the request ID."""
+        if self.regex is None:
+            return True
+        if request_id is None:
+            return False
+        return self.regex.match(request_id) is not None
+
+    def consume(self) -> None:
+        """Burn one unit of budget after the action is applied."""
+        self.applied += 1
+        if self.remaining is not None:
+            self.remaining -= 1
+
+    def __repr__(self) -> str:
+        return f"<InstalledRule {self.rule} applied={self.applied}>"
+
+
+def _compile_glob(pattern: str) -> re.Pattern | None:
+    if pattern == "*":
+        return None  # match-all needs no regex work
+    return re.compile(fnmatch.translate(pattern))
+
+
+class RuleMatcher:
+    """Interface shared by the matching strategies."""
+
+    def __init__(self, rng: _t.Optional[_random.Random] = None) -> None:
+        self._rng = rng if rng is not None else _random.Random(0)
+        self._installed: list[InstalledRule] = []
+
+    # -- rule management ----------------------------------------------------
+
+    def install(self, rule: FaultRule) -> InstalledRule:
+        """Install a rule; returns its runtime handle."""
+        installed = InstalledRule(rule)
+        installed.order = len(self._installed)
+        self._installed.append(installed)
+        self._index(installed)
+        return installed
+
+    def remove(self, rule_id: int) -> bool:
+        """Remove by rule ID; True if something was removed."""
+        before = len(self._installed)
+        self._installed = [ir for ir in self._installed if ir.rule.rule_id != rule_id]
+        self._reindex()
+        return len(self._installed) != before
+
+    def clear(self) -> None:
+        """Remove every rule."""
+        self._installed.clear()
+        self._reindex()
+
+    @property
+    def rules(self) -> list[InstalledRule]:
+        """All installed rules in installation order."""
+        return list(self._installed)
+
+    def __len__(self) -> int:
+        return len(self._installed)
+
+    # -- matching ------------------------------------------------------------
+
+    def match(
+        self,
+        dst: str,
+        direction: str,
+        request_id: str | None,
+        body: bytes | None = None,
+    ) -> InstalledRule | None:
+        """First applicable rule for a message, or None.
+
+        Applies, in order: structural match (dst, direction, flow
+        pattern, and for Modify the body byte pattern), budget check,
+        then the probability draw.  A structural match that loses its
+        probability draw still counts toward ``matched`` statistics but
+        does not consume budget — mirroring the paper's Overload recipe
+        where 25%/75% splits act on disjoint subsets of one stream.
+        """
+        for installed in self._structural_candidates(dst, direction):
+            if installed.exhausted:
+                continue
+            if not installed.matches_id(request_id):
+                continue
+            if installed.rule.fault_type == FaultType.MODIFY:
+                if body is None or installed.rule.search_bytes not in body:
+                    continue
+            installed.matched += 1
+            probability = installed.rule.probability
+            if probability < 1.0 and self._rng.random() >= probability:
+                continue
+            return installed
+        return None
+
+    # -- strategy hooks ----------------------------------------------------------
+
+    def _structural_candidates(self, dst: str, direction: str) -> _t.Iterable[InstalledRule]:
+        raise NotImplementedError
+
+    def _index(self, installed: InstalledRule) -> None:
+        raise NotImplementedError
+
+    def _reindex(self) -> None:
+        raise NotImplementedError
+
+
+class LinearMatcher(RuleMatcher):
+    """The paper's baseline: scan every rule per message.
+
+    Worst-case cost is O(rules) regex evaluations per message — the
+    curve Figure 8 plots for 1/5/10 installed rules.
+    """
+
+    def _structural_candidates(self, dst: str, direction: str) -> _t.Iterable[InstalledRule]:
+        return (
+            installed
+            for installed in self._installed
+            if installed.rule.dst == dst and installed.rule.on == direction
+        )
+
+    def _index(self, installed: InstalledRule) -> None:  # no index to maintain
+        pass
+
+    def _reindex(self) -> None:  # no index to maintain
+        pass
+
+
+class _PrefixBucket:
+    """Per-(dst, direction) index of rules by literal ID prefix."""
+
+    def __init__(self) -> None:
+        self.by_prefix: dict[str, list[InstalledRule]] = {}
+        self.prefix_lengths: set[int] = set()
+        #: Rules whose glob starts with a wildcard (no usable prefix).
+        self.unprefixed: list[InstalledRule] = []
+
+    def add(self, installed: InstalledRule) -> None:
+        prefix = _literal_prefix(installed.rule.flow_pattern)
+        if prefix:
+            self.by_prefix.setdefault(prefix, []).append(installed)
+            self.prefix_lengths.add(len(prefix))
+        else:
+            self.unprefixed.append(installed)
+
+    def candidates(self, request_id: str | None) -> list[InstalledRule]:
+        """Rules that could match ``request_id``, in install order."""
+        if request_id is None:
+            return self.unprefixed
+        found: list[InstalledRule] = []
+        for length in self.prefix_lengths:
+            bucket = self.by_prefix.get(request_id[:length])
+            if bucket:
+                found.extend(bucket)
+        if self.unprefixed:
+            found.extend(self.unprefixed)
+            found.sort(key=lambda installed: installed.order)
+        elif len(self.prefix_lengths) > 1:
+            found.sort(key=lambda installed: installed.order)
+        return found
+
+
+class PrefixIndexMatcher(RuleMatcher):
+    """Bucketed matcher exploiting structured request IDs.
+
+    Rules are grouped by ``(dst, direction)`` and, within a group,
+    hashed by the literal prefix of their ID glob (the text before the
+    first wildcard).  A non-matching request ID is dismissed with one
+    dict lookup per distinct prefix *length* — flat in the number of
+    installed rules — which is the optimization the paper's Section 7.2
+    suggests ("structured (e.g., prefix-based ...) request IDs") for
+    reducing proxy overhead.  First-match-wins ordering is preserved by
+    sorting the (usually tiny) candidate list by installation order.
+    """
+
+    def __init__(self, rng: _t.Optional[_random.Random] = None) -> None:
+        self._buckets: dict[tuple[str, str], _PrefixBucket] = {}
+        super().__init__(rng)
+
+    def _structural_candidates(self, dst: str, direction: str) -> _t.Iterable[InstalledRule]:
+        bucket = self._buckets.get((dst, direction))
+        if bucket is None:
+            return ()
+        # Used only by the generic path; match() overrides below.
+        return sorted(
+            bucket.unprefixed
+            + [ir for group in bucket.by_prefix.values() for ir in group],
+            key=lambda installed: installed.order,
+        )
+
+    def match(
+        self,
+        dst: str,
+        direction: str,
+        request_id: str | None,
+        body: bytes | None = None,
+    ) -> InstalledRule | None:
+        bucket = self._buckets.get((dst, direction))
+        if bucket is None:
+            return None
+        for installed in bucket.candidates(request_id):
+            if installed.exhausted:
+                continue
+            if not installed.matches_id(request_id):
+                continue
+            if installed.rule.fault_type == FaultType.MODIFY:
+                if body is None or installed.rule.search_bytes not in body:
+                    continue
+            installed.matched += 1
+            probability = installed.rule.probability
+            if probability < 1.0 and self._rng.random() >= probability:
+                continue
+            return installed
+        return None
+
+    def _index(self, installed: InstalledRule) -> None:
+        key = (installed.rule.dst, installed.rule.on)
+        self._buckets.setdefault(key, _PrefixBucket()).add(installed)
+
+    def _reindex(self) -> None:
+        self._buckets.clear()
+        for installed in self._installed:
+            self._index(installed)
+
+
+def _literal_prefix(pattern: str) -> str:
+    """Longest wildcard-free prefix of a glob (``"test-*"`` -> ``"test-"``)."""
+    for index, char in enumerate(pattern):
+        if char in "*?[":
+            return pattern[:index]
+    return pattern
+
+
+def make_matcher(strategy: str, rng: _t.Optional[_random.Random] = None) -> RuleMatcher:
+    """Factory: ``"linear"`` or ``"prefix"``."""
+    if strategy == "linear":
+        return LinearMatcher(rng)
+    if strategy == "prefix":
+        return PrefixIndexMatcher(rng)
+    raise RuleValidationError(f"unknown matcher strategy {strategy!r}")
+
+
+__all__.append("make_matcher")

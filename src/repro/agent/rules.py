@@ -1,0 +1,261 @@
+"""Fault-injection rules: the data-plane interface of Table 2.
+
+A :class:`FaultRule` is the unit the control plane sends to Gremlin
+agents.  The three fault types and their mandatory parameters follow
+the paper exactly:
+
+=========  =================================  =========================================
+Interface  Mandatory parameters               Effect
+=========  =================================  =========================================
+Abort      Src, Dst, Error, Pattern           Return application error ``Error`` to Src
+                                              (``Error=-1``: TCP-level reset, no
+                                              application error code — abrupt crash)
+Delay      Src, Dst, Interval, Pattern        Hold matching messages for ``Interval``
+Modify     Src, Dst, ReplaceBytes, Pattern    Rewrite matched bytes with ReplaceBytes
+=========  =================================  =========================================
+
+Non-mandatory parameters (with defaults): ``on`` (which message
+direction the rule applies to, default ``request``), ``probability``
+(fraction of matching messages acted on, default 1.0), and
+``max_matches`` — a budget after which the rule goes inert, which is
+how the paper's Fig 6 experiment "aborted 100 consecutive requests ...
+then immediately delayed the next 100" is expressed.
+
+For Abort and Delay, ``pattern`` is a glob over the request ID (the
+paper's ``Pattern='test-*'``).  For Modify, following Table 2's
+wording, ``pattern`` is the byte pattern to match *inside the message
+body*; the optional ``id_pattern`` scopes which flows are eligible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+from repro.errors import RuleValidationError
+from repro.util import parse_duration
+
+__all__ = ["FaultType", "MessageDirection", "FaultRule", "abort", "delay", "modify"]
+
+_rule_ids = itertools.count(1)
+
+
+class FaultType:
+    """The three data-plane fault primitives."""
+
+    ABORT = "abort"
+    DELAY = "delay"
+    MODIFY = "modify"
+
+    ALL = (ABORT, DELAY, MODIFY)
+
+
+class MessageDirection:
+    """Which direction of the exchange a rule applies to."""
+
+    REQUEST = "request"
+    RESPONSE = "response"
+
+    ALL = (REQUEST, RESPONSE)
+
+
+#: Error code meaning "terminate the connection at the TCP level and
+#: return no application error code" (paper Section 5, Crash recipe).
+TCP_RESET = -1
+__all__.append("TCP_RESET")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One validated fault-injection rule.
+
+    Instances are immutable; runtime state (probability draws, budget
+    consumption) lives in the agent's matcher, so the same rule object
+    can be installed on many agents (one per source-service instance,
+    per paper Figure 3).
+    """
+
+    src: str
+    dst: str
+    fault_type: str
+    pattern: str = "test-*"
+    on: str = MessageDirection.REQUEST
+    probability: float = 1.0
+    error: _t.Optional[int] = None
+    interval: _t.Optional[float] = None
+    replace_bytes: _t.Optional[bytes] = None
+    id_pattern: _t.Optional[str] = None
+    max_matches: _t.Optional[int] = None
+    rule_id: int = dataclasses.field(default_factory=lambda: next(_rule_ids))
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise RuleValidationError("rule requires non-empty src and dst service names")
+        if self.fault_type not in FaultType.ALL:
+            raise RuleValidationError(
+                f"unknown fault type {self.fault_type!r}; expected one of {FaultType.ALL}"
+            )
+        if self.on not in MessageDirection.ALL:
+            raise RuleValidationError(
+                f"rule 'on' must be one of {MessageDirection.ALL}, got {self.on!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise RuleValidationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_matches is not None and self.max_matches < 1:
+            raise RuleValidationError(f"max_matches must be >= 1, got {self.max_matches}")
+        if self.fault_type == FaultType.ABORT:
+            if self.error is None:
+                raise RuleValidationError("Abort rule requires the Error parameter")
+            if self.error != TCP_RESET and not 400 <= self.error <= 599:
+                raise RuleValidationError(
+                    f"Abort error must be -1 (TCP reset) or an HTTP 4xx/5xx code,"
+                    f" got {self.error}"
+                )
+        elif self.fault_type == FaultType.DELAY:
+            if self.interval is None:
+                raise RuleValidationError("Delay rule requires the Interval parameter")
+            if self.interval < 0:
+                raise RuleValidationError(f"Delay interval must be >= 0, got {self.interval}")
+        elif self.fault_type == FaultType.MODIFY:
+            if self.replace_bytes is None:
+                raise RuleValidationError("Modify rule requires the ReplaceBytes parameter")
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def flow_pattern(self) -> str:
+        """The request-ID glob selecting which flows this rule touches.
+
+        For Abort/Delay that is ``pattern``; for Modify, ``pattern``
+        matches body bytes instead and flow scoping comes from
+        ``id_pattern`` (defaulting to match-all).
+        """
+        if self.fault_type == FaultType.MODIFY:
+            return self.id_pattern if self.id_pattern is not None else "*"
+        return self.pattern
+
+    @property
+    def search_bytes(self) -> bytes:
+        """For Modify rules: the byte pattern matched inside the body.
+
+        ``pattern`` is stored latin-1-decoded so the dataclass field
+        stays a string across all three fault types; this property
+        recovers the original bytes losslessly.
+        """
+        if self.fault_type != FaultType.MODIFY:
+            raise RuleValidationError("search_bytes is only defined for Modify rules")
+        return self.pattern.encode("latin-1")
+
+    @property
+    def is_reset(self) -> bool:
+        """True for an Abort with ``Error=-1`` (TCP-level reset)."""
+        return self.fault_type == FaultType.ABORT and self.error == TCP_RESET
+
+    def describe(self) -> str:
+        """Compact form used in observation records' ``fault_applied``."""
+        if self.fault_type == FaultType.ABORT:
+            detail = "reset" if self.is_reset else str(self.error)
+            return f"abort({detail})"
+        if self.fault_type == FaultType.DELAY:
+            return f"delay({self.interval:g})"
+        return "modify"
+
+    def __str__(self) -> str:
+        return (
+            f"Rule#{self.rule_id}[{self.describe()} {self.src}->{self.dst}"
+            f" on={self.on} pattern={self.flow_pattern!r} p={self.probability:g}"
+            + (f" budget={self.max_matches}" if self.max_matches is not None else "")
+            + "]"
+        )
+
+
+# -- convenience constructors matching the paper's primitive names -----------
+
+
+def abort(
+    src: str,
+    dst: str,
+    error: int = 503,
+    pattern: str = "test-*",
+    on: str = MessageDirection.REQUEST,
+    probability: float = 1.0,
+    max_matches: _t.Optional[int] = None,
+) -> FaultRule:
+    """``Abort(Src, Dst, Error, Pattern)`` — Table 2's first primitive.
+
+    ``error=-1`` terminates the connection at the TCP level.
+    """
+    return FaultRule(
+        src=src,
+        dst=dst,
+        fault_type=FaultType.ABORT,
+        error=error,
+        pattern=pattern,
+        on=on,
+        probability=probability,
+        max_matches=max_matches,
+    )
+
+
+def delay(
+    src: str,
+    dst: str,
+    interval: _t.Union[str, float],
+    pattern: str = "test-*",
+    on: str = MessageDirection.REQUEST,
+    probability: float = 1.0,
+    max_matches: _t.Optional[int] = None,
+) -> FaultRule:
+    """``Delay(Src, Dst, Interval, Pattern)`` — Table 2's second primitive.
+
+    ``interval`` accepts the paper's string syntax (``'100ms'``,
+    ``'1h'``) or plain seconds.
+    """
+    return FaultRule(
+        src=src,
+        dst=dst,
+        fault_type=FaultType.DELAY,
+        interval=parse_duration(interval),
+        pattern=pattern,
+        on=on,
+        probability=probability,
+        max_matches=max_matches,
+    )
+
+
+def modify(
+    src: str,
+    dst: str,
+    pattern: _t.Union[str, bytes],
+    replace_bytes: _t.Union[str, bytes],
+    on: str = MessageDirection.RESPONSE,
+    probability: float = 1.0,
+    id_pattern: _t.Optional[str] = None,
+    max_matches: _t.Optional[int] = None,
+) -> FaultRule:
+    """``Modify(Src, Dst, ReplaceBytes, Pattern)`` — Table 2's third primitive.
+
+    ``pattern`` is the byte pattern matched inside the message body;
+    matched bytes are replaced with ``replace_bytes``.  Defaults to the
+    response direction, matching the paper's FakeSuccess example
+    (rewriting a successful reply's payload to trigger input-validation
+    bugs in the caller).
+    """
+    search = pattern.encode("utf-8") if isinstance(pattern, str) else bytes(pattern)
+    replacement = (
+        replace_bytes.encode("utf-8") if isinstance(replace_bytes, str) else bytes(replace_bytes)
+    )
+    return FaultRule(
+        src=src,
+        dst=dst,
+        fault_type=FaultType.MODIFY,
+        pattern=search.decode("latin-1"),
+        replace_bytes=replacement,
+        on=on,
+        probability=probability,
+        id_pattern=id_pattern,
+        max_matches=max_matches,
+    )

@@ -1,0 +1,15 @@
+"""Analysis helpers: CDFs, percentiles, distribution comparison, reports."""
+
+from repro.analysis.cdf import Cdf, percentile, summarize
+from repro.analysis.compare import CdfComparison, compare_cdfs, median_shift
+from repro.analysis.report import text_table
+
+__all__ = [
+    "Cdf",
+    "CdfComparison",
+    "compare_cdfs",
+    "median_shift",
+    "percentile",
+    "summarize",
+    "text_table",
+]

@@ -1,0 +1,111 @@
+"""Empirical CDFs and latency statistics for experiment output.
+
+Figures 5, 6 and 8 of the paper are CDFs of response/matching times;
+this module computes them and renders compact text plots so benchmark
+runs can show the reproduced curve shapes directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["Cdf", "percentile", "summarize"]
+
+
+def percentile(samples: _t.Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    interpolated = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Clamp out float rounding so the result always lies between the
+    # two bracketing samples (and hence inside the sample range).
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+class Cdf:
+    """An empirical cumulative distribution over float samples."""
+
+    def __init__(self, samples: _t.Sequence[float]) -> None:
+        if not samples:
+            raise ValueError("cannot build a CDF from no samples")
+        self.samples = sorted(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def value_at(self, fraction: float) -> float:
+        """Inverse CDF: the sample value at cumulative ``fraction``."""
+        return percentile(self.samples, fraction * 100)
+
+    def fraction_below(self, value: float) -> float:
+        """CDF: fraction of samples <= ``value``."""
+        count = 0
+        for sample in self.samples:
+            if sample <= value:
+                count += 1
+            else:
+                break
+        return count / len(self.samples)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return self.samples[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return self.samples[-1]
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.value_at(0.5)
+
+    def points(self, steps: int = 20) -> list[tuple[float, float]]:
+        """``steps + 1`` evenly spaced (value, cumulative fraction) pairs."""
+        return [
+            (self.value_at(index / steps), index / steps) for index in range(steps + 1)
+        ]
+
+    def ascii_plot(self, width: int = 50, label: str = "", unit: str = "s") -> str:
+        """A small horizontal text rendering of the CDF, for bench logs."""
+        lines = [f"CDF {label} (n={len(self)}, min={self.min:.4g}{unit}, max={self.max:.4g}{unit})"]
+        for decile in range(0, 11):
+            fraction = decile / 10
+            value = self.value_at(fraction)
+            span = self.max - self.min
+            filled = int(width * ((value - self.min) / span)) if span > 0 else 0
+            lines.append(f"  p{decile * 10:>3} {value:>10.4g}{unit} |{'#' * filled}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Cdf n={len(self)} median={self.median:.4g}>"
+
+
+def summarize(samples: _t.Sequence[float]) -> dict[str, float]:
+    """Standard latency summary: min/median/p90/p99/max/mean."""
+    if not samples:
+        raise ValueError("cannot summarize no samples")
+    return {
+        "n": float(len(samples)),
+        "min": min(samples),
+        "median": percentile(samples, 50),
+        "p90": percentile(samples, 90),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+        "mean": sum(samples) / len(samples),
+    }

@@ -1,0 +1,36 @@
+"""Plain-text tables for benchmark and experiment reports."""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["text_table"]
+
+
+def text_table(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[_t.Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(text_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

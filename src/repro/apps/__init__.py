@@ -1,0 +1,45 @@
+"""Prebuilt application topologies for the case studies and benchmarks.
+
+* :mod:`repro.apps.twotier` — ServiceA -> ServiceB (paper Example 1)
+* :mod:`repro.apps.wordpress` — WordPress + ElasticPress (Figs 5-6)
+* :mod:`repro.apps.enterprise` — the IBM case-study portal (Fig 4)
+* :mod:`repro.apps.trees` — binary trees of services (Fig 7)
+* :mod:`repro.apps.outages` — the Table 1 outage recreations
+"""
+
+from repro.apps.enterprise import build_enterprise_app
+from repro.apps.outages import (
+    OUTAGE_SUITE,
+    billing_recipe,
+    build_billing_app,
+    build_coreservice_app,
+    build_database_app,
+    build_messagebus_app,
+    coreservice_recipe,
+    database_overload_recipe,
+    messagebus_recipe,
+)
+from repro.apps.trees import TREE_ROOT, build_tree_app, tree_service_names
+from repro.apps.twotier import build_twotier
+from repro.apps.wordpress import ELASTICSEARCH, MYSQL, WORDPRESS, build_wordpress_app
+
+__all__ = [
+    "ELASTICSEARCH",
+    "MYSQL",
+    "OUTAGE_SUITE",
+    "TREE_ROOT",
+    "WORDPRESS",
+    "billing_recipe",
+    "build_billing_app",
+    "build_coreservice_app",
+    "build_database_app",
+    "build_enterprise_app",
+    "build_messagebus_app",
+    "build_tree_app",
+    "build_twotier",
+    "build_wordpress_app",
+    "coreservice_recipe",
+    "database_overload_recipe",
+    "messagebus_recipe",
+    "tree_service_names",
+]

@@ -1,0 +1,169 @@
+"""The IBM enterprise application of the case study (paper Fig 4).
+
+A web-service search portal: the user-facing **webapp** queries
+**searchservice** (which consults the **servicedb** catalogue) and
+**activityservice** (which aggregates development activity from the
+external services **github** and **stackoverflow**).
+
+Two reproduced findings from Section 7.1:
+
+* The Web App team relied on a Unirest-like HTTP library "for
+  abstracting boilerplate failure-handling logic", whose timeout
+  implementation "did not gracefully handle corner cases involving TCP
+  connection timeout; instead the errors percolated to other parts of
+  the microservice".  The default build reproduces that bug: the
+  activity-aggregation path catches ordinary timeouts and error
+  statuses, but a TCP-level reset escapes the library wrapper and
+  crashes the handler (surfacing as a 500 from the webapp).
+  ``fixed_unirest=True`` builds the corrected variant.
+
+* Writing the recipe itself surfaces dependency edges with no declared
+  failure handling — reproduced by the naive default policies on the
+  activity-service edges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConnectionResetError_, HttpError, NetworkError, RequestTimeoutError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.app import Application
+from repro.microservice.resilience.policy import PolicySpec
+from repro.microservice.service import ServiceContext, ServiceDefinition
+
+__all__ = [
+    "build_enterprise_app",
+    "WEBAPP",
+    "SEARCH",
+    "ACTIVITY",
+    "SERVICEDB",
+    "GITHUB",
+    "STACKOVERFLOW",
+]
+
+WEBAPP = "webapp"
+SEARCH = "searchservice"
+ACTIVITY = "activityservice"
+SERVICEDB = "servicedb"
+GITHUB = "github"
+STACKOVERFLOW = "stackoverflow"
+
+
+def _webapp_handler(fixed_unirest: bool):
+    """The user-facing request path: search + activity aggregation.
+
+    The search result is mandatory (its failure degrades the page to a
+    503); activity data is decorative and failures should be absorbed.
+    With the buggy Unirest wrapper, a TCP reset on the activity call is
+    *not* absorbed — the exception percolates and the whole page
+    becomes a 500, which is exactly what running the network-instability
+    recipe against the real application exposed.
+    """
+
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        try:
+            search_reply = yield from ctx.call(
+                SEARCH, HttpRequest("GET", "/search?q=payments"), parent=request
+            )
+        except (NetworkError, HttpError):
+            return HttpResponse(503, body=b"search backend unavailable")
+        if search_reply.status >= 500:
+            return HttpResponse(503, body=b"search backend degraded")
+
+        activity_body = b"activity unavailable"
+        absorbed = (RequestTimeoutError, HttpError)
+        if fixed_unirest:
+            absorbed = (RequestTimeoutError, HttpError, NetworkError)
+        try:
+            activity_reply = yield from ctx.call(
+                ACTIVITY, HttpRequest("GET", "/activity?q=payments"), parent=request
+            )
+            if activity_reply.status < 500:
+                activity_body = activity_reply.body
+        except absorbed:
+            pass
+        # NOTE: with the buggy library, ConnectionResetError_ (a TCP
+        # connection corner case) is NOT in `absorbed` and escapes here,
+        # turning into a handler crash -> 500 at the server layer.
+        return HttpResponse(200, body=b"results + " + activity_body)
+
+    return handler
+
+
+def _activity_handler(ctx: ServiceContext, request: HttpRequest):
+    """Aggregate development activity from the external services."""
+    yield from ctx.work()
+    fragments = []
+    for external in (GITHUB, STACKOVERFLOW):
+        try:
+            reply = yield from ctx.call(
+                external, HttpRequest("GET", "/api/activity"), parent=request
+            )
+            if reply.status < 500:
+                fragments.append(external)
+        except (NetworkError, HttpError):
+            continue
+    if not fragments:
+        return HttpResponse(503, body=b"no activity sources reachable")
+    return HttpResponse(200, body=("activity:" + ",".join(fragments)).encode())
+
+
+def _search_handler(ctx: ServiceContext, request: HttpRequest):
+    """Look up matching web services in the catalogue database."""
+    yield from ctx.work()
+    try:
+        reply = yield from ctx.call(
+            SERVICEDB, HttpRequest("GET", "/catalog/query"), parent=request
+        )
+    except (NetworkError, HttpError):
+        return HttpResponse(503, body=b"catalog unavailable")
+    if reply.status >= 500:
+        return HttpResponse(503, body=b"catalog degraded")
+    return HttpResponse(200, body=b"catalog results")
+
+
+def build_enterprise_app(fixed_unirest: bool = False) -> Application:
+    """The five-service enterprise deployment plus two external APIs.
+
+    External services (github, stackoverflow) are modelled as ordinary
+    leaf services with higher latency — from the proxy's viewpoint an
+    external API is just another HTTP destination, which is precisely
+    why Gremlin can fault-inject on those edges too.
+    """
+    app = Application("enterprise-search-portal")
+    app.add_service(
+        ServiceDefinition(
+            WEBAPP,
+            handler=_webapp_handler(fixed_unirest),
+            dependencies={
+                SEARCH: PolicySpec(timeout=2.0, max_retries=1),
+                # The Unirest-wrapped edge: a timeout is configured, but
+                # TCP corner cases escape the wrapper (see module docs).
+                ACTIVITY: PolicySpec(timeout=1.0),
+            },
+            service_time=0.002,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            SEARCH,
+            handler=_search_handler,
+            dependencies={SERVICEDB: PolicySpec(timeout=1.0, max_retries=2)},
+            service_time=0.003,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            ACTIVITY,
+            handler=_activity_handler,
+            dependencies={
+                GITHUB: PolicySpec.naive(),
+                STACKOVERFLOW: PolicySpec.naive(),
+            },
+            service_time=0.002,
+        )
+    )
+    app.add_service(ServiceDefinition(SERVICEDB, service_time=0.004))
+    app.add_service(ServiceDefinition(GITHUB, service_time=0.030))
+    app.add_service(ServiceDefinition(STACKOVERFLOW, service_time=0.040))
+    return app

@@ -1,0 +1,323 @@
+"""Topologies and recipes recreating the Table 1 outages.
+
+Every outage in the paper's Table 1 (and the two extra postmortems of
+Section 5) is modelled as an application topology plus the Gremlin
+recipe that *would have caught the bug before production did*.  Each
+builder takes ``hardened`` so the same recipe demonstrably fails
+against the as-deployed system and passes once the missing pattern is
+added — the "feedback-driven" loop the paper argues for.
+
+===================  ==========================================================
+Outage               Missing pattern reproduced
+===================  ==========================================================
+Parse.ly 2015 /      Datastore crash percolates into the message bus: bus
+Stackdriver 2013     workers block on the dead store (no timeout / breaker),
+                     queues fill, publishers block.
+CircleCI 2015 /      Database overload throttles requests; dependents without
+BBC 2014 / Joyent    breakers keep hammering and time out completely.
+Spotify 2013         A degraded core service drags every caller's latency up
+                     because callers lack timeouts.
+Twilio 2013          Datastore failure on the *response* path makes the billing
+                     gateway re-send charges that already applied — bounded
+                     retries without idempotency keys double-bill customers.
+===================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.patterns import HasBoundedRetries, HasCircuitBreaker, HasTimeouts
+from repro.core.recipe import Recipe
+from repro.core.scenarios import Crash, Degrade, Overload
+from repro.errors import HttpError, NetworkError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.app import Application
+from repro.microservice.handlers import fanout_handler
+from repro.microservice.resilience.policy import PolicySpec
+from repro.microservice.service import ServiceContext, ServiceDefinition
+
+__all__ = [
+    "build_messagebus_app",
+    "messagebus_recipe",
+    "build_database_app",
+    "database_overload_recipe",
+    "build_coreservice_app",
+    "coreservice_recipe",
+    "build_billing_app",
+    "billing_recipe",
+    "OUTAGE_SUITE",
+]
+
+
+# ---------------------------------------------------------------------------
+# Parse.ly 2015 / Stackdriver 2013: cascading failure via message bus
+# ---------------------------------------------------------------------------
+
+
+def build_messagebus_app(hardened: bool = False) -> Application:
+    """Publishers -> message bus -> Cassandra-like datastore.
+
+    The bus forwards every published event to the datastore.  In the
+    fragile build its forwarding client has no timeout and no breaker
+    and the bus has a small worker pool: when the datastore crashes or
+    hangs, every bus worker blocks on it, the pool saturates, and the
+    *publishers* start blocking — the cascading failure of the
+    Stackdriver postmortem.
+    """
+    if hardened:
+        store_policy = PolicySpec(
+            timeout=0.4,
+            max_retries=1,
+            breaker_failure_threshold=5,
+            breaker_recovery_timeout=10.0,
+            fallback=lambda request: HttpResponse(202, body=b"buffered for replay"),
+        )
+    else:
+        # The as-deployed bus: no timeout, no breaker, and eager flat
+        # retries.  A dead datastore therefore holds each bus worker for
+        # seconds per event — the queue-filling behaviour the
+        # Stackdriver postmortem describes.
+        store_policy = PolicySpec(
+            max_retries=20, retry_backoff_base=0.2, retry_backoff_factor=1.0
+        )
+    app = Application("messagebus-cascade")
+    app.add_service(
+        ServiceDefinition(
+            "publisher",
+            handler=fanout_handler(["messagebus"], partial_ok=False),
+            dependencies={"messagebus": PolicySpec(timeout=5.0)},
+            service_time=0.001,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            "messagebus",
+            handler=fanout_handler(["cassandra"], partial_ok=False),
+            dependencies={"cassandra": store_policy},
+            service_time=0.001,
+            worker_pool=4,
+        )
+    )
+    app.add_service(ServiceDefinition("cassandra", service_time=0.003))
+    return app
+
+
+def messagebus_recipe() -> Recipe:
+    """Crash Cassandra; the bus must answer publishers in bounded time
+    and stop hammering the dead store — the paper's Section 5 listing::
+
+        Crash('cassandra')
+        for s in dependents('messagebus'):
+            if not HasTimeouts(s, '1s') and not HasCircuitBreaker(...):
+                raise 'Will block on message bus'
+    """
+    return Recipe(
+        name="table1/messagebus-cascade",
+        scenarios=[Crash("cassandra")],
+        checks=[
+            HasTimeouts("messagebus", "1s"),
+            HasCircuitBreaker(
+                "messagebus", "cassandra", threshold=5, tdelta="5s", check_recovery=False
+            ),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# CircleCI 2015 / BBC 2014 / Joyent 2015: database overload
+# ---------------------------------------------------------------------------
+
+
+def build_database_app(hardened: bool = False, num_frontends: int = 2) -> Application:
+    """N frontend services sharing one overloadable database.
+
+    Fragile frontends have unbounded patience (no timeout, no breaker);
+    hardened ones time out, stop retrying, and open a breaker with a
+    cached-response fallback — the fix the BBC postmortem describes
+    ("services that had not cached the database responses locally began
+    timing out and eventually failed completely").
+    """
+    if hardened:
+        db_policy = PolicySpec(
+            timeout=0.5,
+            max_retries=1,
+            breaker_failure_threshold=5,
+            breaker_recovery_timeout=10.0,
+            fallback=lambda request: HttpResponse(200, body=b"cached response"),
+        )
+    else:
+        db_policy = PolicySpec(max_retries=10, retry_backoff_base=0.001, retry_backoff_factor=1.0)
+    app = Application("database-overload")
+    for index in range(num_frontends):
+        app.add_service(
+            ServiceDefinition(
+                f"frontend-{index}",
+                handler=fanout_handler(["database"], partial_ok=False),
+                dependencies={"database": db_policy},
+                service_time=0.001,
+            )
+        )
+    app.add_service(ServiceDefinition("database", service_time=0.004))
+    return app
+
+
+def database_overload_recipe(num_frontends: int = 2) -> Recipe:
+    """Fully throttle the database; every dependent must back off — the
+    paper's Section 5 listing for the BBC outage.
+
+    The emulated throttle rejects all test requests (an Overload with
+    ``abort_fraction=1.0``), matching the postmortem's "the database
+    backend ... started to throttle requests from various services".
+    Frontends with a breaker go quiet after a handful of failures;
+    frontends without one keep hammering, which is what the
+    HasBoundedRetries checks catch.
+    """
+    return Recipe(
+        name="table1/database-overload",
+        scenarios=[Overload("database", abort_fraction=1.0)],
+        checks=[
+            HasBoundedRetries(f"frontend-{index}", "database", max_tries=5, window="5s")
+            for index in range(num_frontends)
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spotify 2013: degradation of a core internal service
+# ---------------------------------------------------------------------------
+
+
+def build_coreservice_app(hardened: bool = False) -> Application:
+    """Edge services relying on one core internal service.
+
+    The fragile edges wait indefinitely on the degraded core; hardened
+    edges cap the wait at 300 ms and degrade their own answer
+    gracefully instead.
+    """
+    if hardened:
+        core_policy = PolicySpec(
+            timeout=0.3,
+            fallback=lambda request: HttpResponse(200, body=b"degraded mode"),
+        )
+    else:
+        core_policy = PolicySpec.naive()
+    app = Application("core-service-degradation")
+    for name in ("playlists", "radio"):
+        app.add_service(
+            ServiceDefinition(
+                name,
+                handler=fanout_handler(["coreservice"], partial_ok=False),
+                dependencies={"coreservice": core_policy},
+                service_time=0.001,
+            )
+        )
+    app.add_service(ServiceDefinition("coreservice", service_time=0.002))
+    return app
+
+
+def coreservice_recipe() -> Recipe:
+    """Degrade the core service; edges must keep answering quickly."""
+    return Recipe(
+        name="table1/core-service-degradation",
+        scenarios=[Degrade("coreservice", interval="2s")],
+        checks=[
+            HasTimeouts("playlists", "500ms"),
+            HasTimeouts("radio", "500ms"),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Twilio 2013: duplicate billing after a datastore failure
+# ---------------------------------------------------------------------------
+
+
+def _billing_db_handler(idempotent: bool):
+    """The billing datastore: applies charges, optionally deduplicated.
+
+    Charges are keyed by the request ID.  The idempotent variant makes
+    re-applying a charge a no-op (the actual fix from the Twilio
+    postmortem); the fragile one increments the balance every time.
+    """
+
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        charges: dict[str, int] = ctx.state.setdefault("charges", {})
+        key = request.request_id or "untagged"
+        if idempotent and key in charges:
+            return HttpResponse(200, body=b"charge already applied")
+        charges[key] = charges.get(key, 0) + 1
+        return HttpResponse(200, body=b"charge applied")
+
+    return handler
+
+
+def _billing_gateway_handler(ctx: ServiceContext, request: HttpRequest):
+    """The billing gateway: forwards one charge to the datastore."""
+    yield from ctx.work()
+    charge = HttpRequest("POST", "/charges")
+    try:
+        reply = yield from ctx.call("billingdb", charge, parent=request)
+    except (NetworkError, HttpError):
+        return HttpResponse(503, body=b"billing backend unavailable")
+    return HttpResponse(reply.status, body=reply.body)
+
+
+def build_billing_app(hardened: bool = False) -> Application:
+    """Billing gateway -> billing datastore.
+
+    The dangerous combination reproduced from the postmortem: eager
+    retries on the gateway *plus* a non-idempotent datastore.  When the
+    failure hits the **response** path (charge applied, confirmation
+    lost), every retry is another real charge.  The hardened build
+    keeps the retries but makes the datastore idempotent.
+    """
+    app = Application("billing-double-charge")
+    app.add_service(
+        ServiceDefinition(
+            "billinggateway",
+            handler=_billing_gateway_handler,
+            dependencies={
+                "billingdb": PolicySpec(timeout=1.0, max_retries=4, retry_backoff_base=0.010)
+            },
+            service_time=0.001,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            "billingdb",
+            handler=_billing_db_handler(idempotent=hardened),
+            service_time=0.002,
+        )
+    )
+    return app
+
+
+def billing_recipe() -> Recipe:
+    """Fail the datastore's *responses* (the charge applies, the
+    confirmation is lost) and verify retries stay bounded.  The
+    double-charge itself is application state the example inspects
+    directly — Gremlin's role is staging the response-path failure that
+    makes it reachable.
+    """
+    from repro.core.scenarios import AbortCalls
+
+    return Recipe(
+        name="table1/billing-double-charge",
+        scenarios=[
+            AbortCalls("billinggateway", "billingdb", error=503, on="response")
+        ],
+        checks=[
+            HasBoundedRetries("billinggateway", "billingdb", max_tries=5, window="5s")
+        ],
+    )
+
+
+#: The full Table 1 suite: (label, app builder, recipe factory).
+OUTAGE_SUITE: list[tuple[str, _t.Callable[..., Application], _t.Callable[..., Recipe]]] = [
+    ("parsely-stackdriver-messagebus", build_messagebus_app, messagebus_recipe),
+    ("circleci-bbc-database", build_database_app, database_overload_recipe),
+    ("spotify-coreservice", build_coreservice_app, coreservice_recipe),
+    ("twilio-billing", build_billing_app, billing_recipe),
+]

@@ -1,0 +1,52 @@
+"""The two-service application of paper Section 3.2 (Example 1).
+
+ServiceA makes API calls to ServiceB.  The operator wants to test
+ServiceA's resilience to ServiceB degrading, with the expectation that
+ServiceA retries failed calls no more than five times::
+
+    Overload(ServiceB)
+    HasBoundedRetries(ServiceA, ServiceB, 5)
+
+``build_twotier`` lets tests dial ServiceA's client from fully naive to
+fully hardened, so the same recipe demonstrably passes and fails.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.microservice.app import Application
+from repro.microservice.handlers import fanout_handler
+from repro.microservice.resilience.policy import PolicySpec
+from repro.microservice.service import ServiceDefinition
+
+__all__ = ["build_twotier"]
+
+
+def build_twotier(
+    policy: _t.Optional[PolicySpec] = None,
+    instances_a: int = 1,
+    instances_b: int = 1,
+    service_time_b: float = 0.001,
+) -> Application:
+    """ServiceA -> ServiceB with a configurable A->B client policy.
+
+    ``policy`` defaults to the paper's expectation: bounded retries
+    (five) with a one-second timeout and no breaker.
+    """
+    if policy is None:
+        policy = PolicySpec(timeout=1.0, max_retries=5, retry_backoff_base=0.050)
+    app = Application("twotier")
+    app.add_service(
+        ServiceDefinition(
+            "ServiceA",
+            handler=fanout_handler(["ServiceB"]),
+            dependencies={"ServiceB": policy},
+            instances=instances_a,
+            service_time=0.001,
+        )
+    )
+    app.add_service(
+        ServiceDefinition("ServiceB", instances=instances_b, service_time=service_time_b)
+    )
+    return app

@@ -1,0 +1,106 @@
+"""The WordPress + ElasticPress case study (paper Section 7.1, Figs 5-6).
+
+Deployment of three services, as in the paper: **wordpress** (with the
+ElasticPress plugin enabled), **elasticsearch** (search index) and
+**mysql** (the database WordPress requires).
+
+The reproduced plugin behaviour matches the paper's findings exactly:
+
+* ElasticPress *does* handle hard failures gracefully — "fell back to
+  the default (MySQL-powered) search method when Elasticsearch ... was
+  unreachable or returned an error";
+* it has **no timeout** — a Delay fault between WordPress and
+  Elasticsearch offsets every response by the injected delay (Fig 5);
+* it has **no circuit breaker** — after 100 consecutive aborted
+  requests, the next 100 delayed requests all wait out the full delay
+  instead of short-circuiting (Fig 6).
+
+``build_wordpress_app(hardened=True)`` swaps in a client with a
+timeout and breaker, producing the contrast curves the reproduction
+plots next to the naive ones.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import HttpError, NetworkError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.app import Application
+from repro.microservice.resilience.policy import PolicySpec
+from repro.microservice.service import ServiceContext, ServiceDefinition
+
+__all__ = ["build_wordpress_app", "WORDPRESS", "ELASTICSEARCH", "MYSQL"]
+
+WORDPRESS = "wordpress"
+ELASTICSEARCH = "elasticsearch"
+MYSQL = "mysql"
+
+#: Simulated per-query compute: ES is the fast path, MySQL the slow one
+#: (which is why the plugin exists).
+ES_QUERY_TIME = 0.005
+MYSQL_QUERY_TIME = 0.020
+WP_RENDER_TIME = 0.002
+
+
+def _elasticpress_search(ctx: ServiceContext, request: HttpRequest):
+    """The ElasticPress request path inside WordPress.
+
+    Try Elasticsearch first; on *any* failure — error status, refused
+    connection, reset, or (for the hardened variant) a client timeout
+    or open breaker — fall back to MySQL-powered search.  The fallback
+    is the part the real plugin got right; the missing timeout/breaker
+    are the parts Gremlin exposed.
+    """
+    yield from ctx.work()
+    search = HttpRequest("GET", "/index/_search")
+    try:
+        response = yield from ctx.call(ELASTICSEARCH, search, parent=request)
+        es_failed = response.status >= 500
+    except (NetworkError, HttpError):
+        es_failed = True
+    if not es_failed:
+        return HttpResponse(200, body=b"results via elasticsearch")
+    fallback = HttpRequest("GET", "/wp_posts/select")
+    try:
+        response = yield from ctx.call(MYSQL, fallback, parent=request)
+    except (NetworkError, HttpError) as exc:
+        return HttpResponse(500, body=f"search unavailable: {type(exc).__name__}".encode())
+    if response.status >= 500:
+        return HttpResponse(500, body=b"search unavailable: mysql degraded")
+    return HttpResponse(200, body=b"results via mysql fallback")
+
+
+def build_wordpress_app(hardened: bool = False) -> Application:
+    """The three-service deployment of the case study.
+
+    ``hardened=False`` (default) reproduces the published plugin: no
+    timeout, no retries, no breaker on the Elasticsearch client.
+    ``hardened=True`` is the fixed variant: a 1 s timeout and a
+    5-failure breaker with a 10 s recovery window, so delayed requests
+    fail fast onto the MySQL fallback.
+    """
+    if hardened:
+        es_policy = PolicySpec(
+            timeout=1.0,
+            breaker_failure_threshold=5,
+            breaker_recovery_timeout=10.0,
+        )
+    else:
+        es_policy = PolicySpec.naive()
+
+    app = Application("wordpress-elasticpress")
+    app.add_service(
+        ServiceDefinition(
+            WORDPRESS,
+            handler=_elasticpress_search,
+            dependencies={
+                ELASTICSEARCH: es_policy,
+                MYSQL: PolicySpec(timeout=5.0, max_retries=1),
+            },
+            service_time=WP_RENDER_TIME,
+        )
+    )
+    app.add_service(ServiceDefinition(ELASTICSEARCH, service_time=ES_QUERY_TIME))
+    app.add_service(ServiceDefinition(MYSQL, service_time=MYSQL_QUERY_TIME))
+    return app

@@ -1,0 +1,221 @@
+"""A message broker modelling the publish-subscribe pattern.
+
+Paper observation O2 lists publish-subscribe beside request-response as
+the standard interaction patterns of microservice applications, and two
+of the Table 1 outages (Parse.ly's "Kafkapocalypse", Stackdriver)
+involve a message bus cascading.  This module provides the broker as an
+ordinary microservice, which is the key property for Gremlin: both
+hops of the pattern — publisher→broker and broker→subscriber — are
+plain HTTP calls through sidecar agents, so faults can be staged and
+recovery observed on either edge with the same primitives as
+request-response.
+
+Semantics (modelled on a Kafka/RabbitMQ hybrid, simplified):
+
+* ``POST /publish/<topic>`` enqueues the message body for every
+  subscriber of the topic and answers ``202 Accepted``.
+* Each (topic, subscriber) pair has a bounded queue; a full queue makes
+  the publish answer ``503`` — the backpressure that blocked Parse.ly's
+  publishers when the downstream datastore died.
+* A delivery worker per (topic, subscriber) pushes messages to the
+  subscriber's ``/deliver/<topic>`` endpoint through the broker's
+  sidecar.  Delivery is at-least-once: a failed push is retried after
+  ``redelivery_delay`` without losing the message.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.errors import HttpError, NetworkError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.resilience.policy import PolicySpec
+from repro.microservice.service import ServiceContext, ServiceDefinition
+
+__all__ = ["BrokerConfig", "broker_definition", "publish", "DELIVER_PREFIX", "PUBLISH_PREFIX"]
+
+PUBLISH_PREFIX = "/publish/"
+DELIVER_PREFIX = "/deliver/"
+
+
+class BrokerConfig:
+    """Tunable broker behaviour.
+
+    ``queue_limit`` bounds each (topic, subscriber) queue; ``None``
+    means unbounded (the configuration that lets memory blow up instead
+    of exerting backpressure).  ``redelivery_delay`` is the pause
+    before retrying a failed push.  ``drop_on_overflow`` switches the
+    full-queue behaviour from 503-backpressure to silent drop (lossy
+    but publisher-friendly), the trade-off real brokers expose.
+
+    ``max_redeliveries`` bounds retries per message, after which it is
+    moved to the dead-letter list (so a permanently-dead subscriber
+    cannot spin the delivery worker forever); ``None`` retries without
+    bound — beware that an eternally-failing subscriber then keeps the
+    simulation's event queue alive, so drive such runs with
+    ``sim.run(until=...)``.
+    """
+
+    def __init__(
+        self,
+        queue_limit: _t.Optional[int] = 100,
+        redelivery_delay: float = 0.5,
+        drop_on_overflow: bool = False,
+        max_redeliveries: _t.Optional[int] = 20,
+    ) -> None:
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1 or None, got {queue_limit}")
+        if redelivery_delay < 0:
+            raise ValueError(f"redelivery_delay must be >= 0, got {redelivery_delay}")
+        if max_redeliveries is not None and max_redeliveries < 1:
+            raise ValueError(
+                f"max_redeliveries must be >= 1 or None, got {max_redeliveries}"
+            )
+        self.queue_limit = queue_limit
+        self.redelivery_delay = redelivery_delay
+        self.drop_on_overflow = drop_on_overflow
+        self.max_redeliveries = max_redeliveries
+
+
+def broker_definition(
+    name: str,
+    topics: dict[str, list[str]],
+    subscriber_policy: _t.Optional[PolicySpec] = None,
+    config: _t.Optional[BrokerConfig] = None,
+    instances: int = 1,
+    service_time: float = 0.0005,
+    worker_pool: _t.Optional[int] = None,
+) -> ServiceDefinition:
+    """Build the broker's :class:`ServiceDefinition`.
+
+    ``topics`` maps topic name -> subscriber service names; every
+    subscriber becomes a declared dependency of the broker (and hence
+    an edge in the application graph that Gremlin can fault).
+    ``subscriber_policy`` is the resilience policy for the broker's
+    push calls — the knob whose absence made the Table 1 cascades
+    possible.
+    """
+    if not topics:
+        raise ValueError("broker needs at least one topic")
+    config = config or BrokerConfig()
+    policy = subscriber_policy or PolicySpec(timeout=1.0)
+    subscribers = sorted({sub for subs in topics.values() for sub in subs})
+    if not subscribers:
+        raise ValueError("broker topics have no subscribers")
+    return ServiceDefinition(
+        name,
+        handler=_broker_handler(topics, config),
+        dependencies={subscriber: policy for subscriber in subscribers},
+        instances=instances,
+        service_time=service_time,
+        worker_pool=worker_pool,
+    )
+
+
+def publish(
+    ctx: ServiceContext,
+    broker: str,
+    topic: str,
+    payload: bytes,
+    parent: _t.Optional[HttpRequest] = None,
+) -> _t.Generator[_t.Any, _t.Any, HttpResponse]:
+    """Publish ``payload`` to ``topic`` via ``broker`` (subroutine).
+
+    Convenience for publisher handlers: builds the ``POST
+    /publish/<topic>`` request and sends it through the caller's
+    sidecar like any other dependency call.
+    """
+    request = HttpRequest("POST", f"{PUBLISH_PREFIX}{topic}", body=payload)
+    response = yield from ctx.call(broker, request, parent=parent)
+    return response
+
+
+def _broker_handler(topics: dict[str, list[str]], config: BrokerConfig):
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        if not request.uri.startswith(PUBLISH_PREFIX):
+            return HttpResponse(404, body=b"unknown broker endpoint")
+        topic = request.uri[len(PUBLISH_PREFIX) :]
+        subscribers = topics.get(topic)
+        if subscribers is None:
+            return HttpResponse(404, body=f"unknown topic {topic!r}".encode())
+
+        state = _state(ctx)
+        full_for: list[str] = []
+        for subscriber in subscribers:
+            queue = state["queues"][(topic, subscriber)]
+            if config.queue_limit is not None and len(queue) >= config.queue_limit:
+                if config.drop_on_overflow:
+                    state["dropped"] += 1
+                    continue
+                full_for.append(subscriber)
+                continue
+            queue.append((request.request_id, bytes(request.body)))
+            _wake_worker(ctx, state, topic, subscriber, config)
+        if full_for:
+            return HttpResponse(
+                503, body=f"queue full for subscribers: {','.join(full_for)}".encode()
+            )
+        return HttpResponse(202, body=b"queued")
+
+    def _state(ctx: ServiceContext) -> dict:
+        state = ctx.state.get("broker")
+        if state is None:
+            state = {
+                "queues": {
+                    (topic, subscriber): deque()
+                    for topic, subs in topics.items()
+                    for subscriber in subs
+                },
+                "workers": {},
+                "delivered": 0,
+                "dropped": 0,
+                "redeliveries": 0,
+                "dead_letter": [],
+            }
+            ctx.state["broker"] = state
+        return state
+
+    def _wake_worker(ctx, state, topic: str, subscriber: str, config: BrokerConfig) -> None:
+        key = (topic, subscriber)
+        worker = state["workers"].get(key)
+        if worker is not None and worker.is_alive:
+            return
+        state["workers"][key] = ctx.sim.process(
+            _delivery_loop(ctx, state, topic, subscriber, config),
+            name=f"{ctx.instance_id}/deliver/{topic}->{subscriber}",
+        )
+
+    def _delivery_loop(ctx, state, topic: str, subscriber: str, config: BrokerConfig):
+        queue = state["queues"][(topic, subscriber)]
+        attempts = 0
+        while queue:
+            request_id, payload = queue[0]
+            push = HttpRequest("POST", f"{DELIVER_PREFIX}{topic}", body=payload)
+            if request_id is not None:
+                push.request_id = request_id
+            try:
+                response = yield from ctx.call(subscriber, push)
+                delivered = response.status < 500
+            except (NetworkError, HttpError):
+                delivered = False
+            if delivered:
+                queue.popleft()
+                state["delivered"] += 1
+                attempts = 0
+                continue
+            # At-least-once: keep the message, back off, retry — up to
+            # the redelivery budget, then dead-letter it so a dead
+            # subscriber cannot spin this worker forever.
+            state["redeliveries"] += 1
+            attempts += 1
+            if config.max_redeliveries is not None and attempts > config.max_redeliveries:
+                state["dead_letter"].append((topic, subscriber, request_id, payload))
+                queue.popleft()
+                attempts = 0
+                continue
+            if config.redelivery_delay > 0:
+                yield ctx.sleep(config.redelivery_delay)
+
+    return handler

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operator-facing front end over the library, mirroring how the
+paper's operators interacted with Gremlin from scripts:
+
+* ``python -m repro apps`` — list the prebuilt application topologies;
+* ``python -m repro graph <app>`` — print an app's logical graph;
+* ``python -m repro recipes <app>`` — auto-generate recipes (Section 9)
+  for an app's graph and print them;
+* ``python -m repro test <app> --scenario overload --target <svc>`` —
+  deploy the app, stage a scenario, drive load, and report every
+  pattern check Gremlin can evaluate on the faulted edges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.apps import (
+    build_billing_app,
+    build_coreservice_app,
+    build_database_app,
+    build_enterprise_app,
+    build_messagebus_app,
+    build_tree_app,
+    build_twotier,
+    build_wordpress_app,
+)
+from repro.core import (
+    Crash,
+    Degrade,
+    Gremlin,
+    Hang,
+    HasBoundedRetries,
+    HasTimeouts,
+    Overload,
+    generate_recipes,
+)
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import Application
+
+__all__ = ["main", "APPS"]
+
+#: Name -> zero-argument builder for every prebuilt application.
+APPS: dict[str, _t.Callable[[], Application]] = {
+    "twotier": build_twotier,
+    "wordpress": build_wordpress_app,
+    "enterprise": build_enterprise_app,
+    "tree3": lambda: build_tree_app(3),
+    "messagebus": build_messagebus_app,
+    "database": build_database_app,
+    "coreservice": build_coreservice_app,
+    "billing": build_billing_app,
+}
+
+_SCENARIOS = {
+    "overload": lambda target: Overload(target),
+    "crash": lambda target: Crash(target),
+    "hang": lambda target: Hang(target),
+    "degrade": lambda target: Degrade(target, interval="2s"),
+}
+
+
+def _build(name: str) -> Application:
+    try:
+        return APPS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown app {name!r}; available: {', '.join(APPS)}") from None
+
+
+def cmd_apps(_args: argparse.Namespace) -> int:
+    print("prebuilt applications:")
+    for name, builder in APPS.items():
+        app = builder()
+        print(f"  {name:<12} services: {', '.join(app.definitions)}")
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    graph = _build(args.app).logical_graph()
+    print(f"logical application graph of {args.app!r}:")
+    for caller, callee in sorted(graph.edges()):
+        print(f"  {caller} -> {callee}")
+    print(f"entry services: {', '.join(graph.entry_services())}")
+    print(f"leaf services:  {', '.join(graph.leaf_services())}")
+    return 0
+
+
+def cmd_recipes(args: argparse.Namespace) -> int:
+    graph = _build(args.app).logical_graph()
+    recipes = generate_recipes(graph)
+    print(f"{len(recipes)} auto-generated recipes for {args.app!r}:")
+    for recipe in recipes:
+        scenario_text = ", ".join(scenario.describe() for scenario in recipe.scenarios)
+        print(f"  {recipe.name:<32} [{scenario_text}] {len(recipe.checks)} checks")
+    return 0
+
+
+def cmd_test(args: argparse.Namespace) -> int:
+    app = _build(args.app)
+    deployment = app.deploy(seed=args.seed)
+    graph = deployment.graph
+    if args.target not in graph.services():
+        raise SystemExit(
+            f"unknown target {args.target!r}; services: {', '.join(graph.services())}"
+        )
+    entry = args.entry or graph.entry_services()[0]
+    source = deployment.add_traffic_source(entry)
+    gremlin = Gremlin(deployment)
+
+    scenario = _SCENARIOS[args.scenario](args.target)
+    print(f"staging {scenario.describe()} on {args.app!r}; load via {entry!r}")
+    gremlin.inject(scenario)
+    ClosedLoopLoad(num_requests=args.requests, think_time=args.think).run(source)
+
+    failed = 0
+    for caller in graph.dependents(args.target):
+        for check in (
+            HasTimeouts(caller, "1s"),
+            HasBoundedRetries(caller, args.target, max_tries=5, window="10s"),
+        ):
+            result = check.run(deployment.store)
+            print(f"  {result}")
+            if not result.passed and not result.inconclusive:
+                failed += 1
+    gremlin.clear()
+    print("verdict:", "ISSUES FOUND" if failed else "no conclusive failures")
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gremlin resilience testing (ICDCS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list prebuilt applications").set_defaults(func=cmd_apps)
+
+    graph_parser = sub.add_parser("graph", help="print an app's logical graph")
+    graph_parser.add_argument("app")
+    graph_parser.set_defaults(func=cmd_graph)
+
+    recipes_parser = sub.add_parser("recipes", help="auto-generate recipes for an app")
+    recipes_parser.add_argument("app")
+    recipes_parser.set_defaults(func=cmd_recipes)
+
+    test_parser = sub.add_parser("test", help="stage a scenario and run pattern checks")
+    test_parser.add_argument("app")
+    test_parser.add_argument("--target", required=True, help="service to fault")
+    test_parser.add_argument("--scenario", choices=sorted(_SCENARIOS), default="overload")
+    test_parser.add_argument("--entry", default=None, help="service to inject load into")
+    test_parser.add_argument("--requests", type=int, default=20)
+    test_parser.add_argument("--think", type=float, default=0.05)
+    test_parser.add_argument("--seed", type=int, default=0)
+    test_parser.set_defaults(func=cmd_test)
+    return parser
+
+
+def main(argv: _t.Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

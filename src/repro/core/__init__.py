@@ -1,0 +1,99 @@
+"""The Gremlin control plane (the paper's primary contribution).
+
+Recipe Translator, Failure Orchestrator, Assertion Checker (queries,
+base assertions, Combine, pattern checks), the scenario library, the
+declarative Recipe object, and the :class:`Gremlin` facade tying it to
+a deployment.  :mod:`repro.core.autogen` implements the paper's
+future-work sketch of automatic recipe generation.
+"""
+
+from repro.core.assertions import (
+    AtLeastRequests,
+    AtMostRequests,
+    BaseAssertion,
+    CheckStatus,
+    Combine,
+    CombineResult,
+    NoRequestsFor,
+    StepOutcome,
+    combine,
+    num_requests,
+    reply_latency,
+    request_rate,
+)
+from repro.core.autogen import EdgeAnnotation, generate_recipes
+from repro.core.chaos import ChaosEvent, ChaosMonkey
+from repro.core.gremlin import Gremlin
+from repro.core.orchestrator import FailureOrchestrator, InstallationReport
+from repro.core.patterns import (
+    CheckFailures,
+    CheckResult,
+    HasBoundedRetries,
+    HasBulkhead,
+    HasCircuitBreaker,
+    HasTimeouts,
+    PatternCheck,
+)
+from repro.core.queries import get_replies, get_requests, observed_latency, observed_status
+from repro.core.recipe import Recipe, RecipeResult
+from repro.core.scenarios import (
+    AbortCalls,
+    Crash,
+    Degrade,
+    DelayCalls,
+    Disconnect,
+    FailureScenario,
+    FakeSuccess,
+    Hang,
+    ModifyReplies,
+    NetworkPartition,
+    Overload,
+)
+from repro.core.translator import RecipeTranslator
+
+__all__ = [
+    "AbortCalls",
+    "AtLeastRequests",
+    "AtMostRequests",
+    "BaseAssertion",
+    "ChaosEvent",
+    "ChaosMonkey",
+    "CheckFailures",
+    "CheckResult",
+    "CheckStatus",
+    "Combine",
+    "CombineResult",
+    "Crash",
+    "Degrade",
+    "DelayCalls",
+    "Disconnect",
+    "EdgeAnnotation",
+    "FailureOrchestrator",
+    "FailureScenario",
+    "FakeSuccess",
+    "Gremlin",
+    "Hang",
+    "HasBoundedRetries",
+    "HasBulkhead",
+    "HasCircuitBreaker",
+    "HasTimeouts",
+    "InstallationReport",
+    "ModifyReplies",
+    "NetworkPartition",
+    "NoRequestsFor",
+    "Overload",
+    "PatternCheck",
+    "Recipe",
+    "RecipeResult",
+    "RecipeTranslator",
+    "StepOutcome",
+    "combine",
+    "generate_recipes",
+    "get_replies",
+    "get_requests",
+    "num_requests",
+    "observed_latency",
+    "observed_status",
+    "reply_latency",
+    "request_rate",
+]

@@ -1,0 +1,329 @@
+"""Base assertions and the ``Combine`` operator (middle of Table 3).
+
+Base assertions compute over an RList and return booleans so they can
+be chained.  ``Combine`` evaluates a sequence of them in the style of a
+state machine: each assertion that passes *consumes* the prefix of
+records that satisfied it, and the next assertion sees only the
+remainder, with its time window anchored at the consumption point —
+exactly the semantics the paper uses to validate a circuit breaker
+("upon seeing five API call failures, the caller should backoff for a
+minute, before issuing more API calls").
+
+Two API styles are provided, matching how the paper presents them:
+
+* plain functions (``num_requests``, ``reply_latency``,
+  ``request_rate``) for direct queries;
+* assertion *classes* (:class:`CheckStatus`, :class:`AtMostRequests`,
+  ...) whose instances are predicates over an RList and which
+  ``Combine`` knows how to thread state through.  The classes are also
+  callable so a bare ``CheckStatus(...)(rlist)`` works outside Combine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.queries import RList, observed_latency, observed_status
+from repro.util import parse_duration
+
+__all__ = [
+    "num_requests",
+    "reply_latency",
+    "request_rate",
+    "StepOutcome",
+    "BaseAssertion",
+    "CheckStatus",
+    "AtMostRequests",
+    "AtLeastRequests",
+    "NoRequestsFor",
+    "Combine",
+    "combine",
+]
+
+
+# -- plain query functions ----------------------------------------------------
+
+
+def num_requests(
+    rlist: RList,
+    tdelta: _t.Union[str, float, None] = None,
+    with_rule: bool = True,
+) -> int:
+    """Number of records in ``rlist``, optionally within a time window.
+
+    ``tdelta`` bounds the window starting at the first record's
+    timestamp (the paper's optional ``Tdelta``).
+
+    ``with_rule`` accounting: requests the caller sent are real in both
+    views — a Gremlin Abort intercepted them, but the caller *did* send
+    them — so request records always count.  Records synthesized by
+    Gremlin itself (abort replies) exist only in the caller-observed
+    view and are excluded when ``with_rule=False``.
+    """
+    if not rlist:
+        return 0
+    records: _t.Iterable = rlist
+    if tdelta is not None:
+        horizon = rlist[0].timestamp + parse_duration(tdelta)
+        records = (r for r in rlist if r.timestamp <= horizon)
+    if with_rule:
+        return sum(1 for _ in records)
+    return sum(1 for r in records if not r.gremlin_generated)
+
+
+def reply_latency(rlist: RList, with_rule: bool = True) -> list[float]:
+    """Latency of each reply in ``rlist`` (see Table 3).
+
+    ``with_rule=True`` gives caller-observed latencies (injected delays
+    included); ``with_rule=False`` gives the callee's untampered
+    timings and drops Gremlin-synthesized replies.
+    """
+    latencies = []
+    for record in rlist:
+        value = observed_latency(record, with_rule)
+        if value is not None:
+            latencies.append(value)
+    return latencies
+
+
+def request_rate(rlist: RList) -> float:
+    """Rate of requests (req/sec) across the span of ``rlist``.
+
+    A single record (or an empty list) has no measurable span; the
+    rate is defined as 0.0 in that case.
+    """
+    if len(rlist) < 2:
+        return 0.0
+    span = rlist[-1].timestamp - rlist[0].timestamp
+    if span <= 0:
+        return 0.0
+    return (len(rlist) - 1) / span
+
+
+# -- assertion classes -----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class StepOutcome:
+    """Result of one assertion step inside :class:`Combine`."""
+
+    passed: bool
+    consumed: int
+    detail: str
+    #: Timestamp anchoring the next step's window (None = unchanged).
+    anchor: _t.Optional[float] = None
+
+
+class BaseAssertion:
+    """A chainable predicate over an RList.
+
+    ``evaluate`` receives the not-yet-consumed records plus the anchor
+    timestamp established by the previous step (None on the first
+    step), and reports pass/fail, how many leading records it consumed,
+    and the next anchor.
+    """
+
+    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+        raise NotImplementedError
+
+    def __call__(self, rlist: RList) -> bool:
+        """Standalone evaluation over a full RList."""
+        return self.evaluate(rlist, None).passed
+
+
+class CheckStatus(BaseAssertion):
+    """Table 3's ``CheckStatus(RList, Status, NumMatch, withRule)``.
+
+    Passes when at least ``num_match`` records returned ``status``.
+    Inside Combine it consumes the prefix through the ``num_match``-th
+    matching record and anchors the next step at that record's time.
+    """
+
+    def __init__(self, status: int, num_match: int, with_rule: bool = True) -> None:
+        if num_match < 1:
+            raise ValueError(f"num_match must be >= 1, got {num_match}")
+        self.status = status
+        self.num_match = num_match
+        self.with_rule = with_rule
+
+    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+        matches = 0
+        for index, record in enumerate(rlist):
+            if observed_status(record, self.with_rule) == self.status:
+                matches += 1
+                if matches >= self.num_match:
+                    return StepOutcome(
+                        passed=True,
+                        consumed=index + 1,
+                        detail=f"found {matches} replies with status {self.status}",
+                        anchor=record.timestamp,
+                    )
+        return StepOutcome(
+            passed=False,
+            consumed=len(rlist),
+            detail=(
+                f"only {matches}/{self.num_match} records returned status"
+                f" {self.status} (withRule={self.with_rule})"
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return f"CheckStatus({self.status}, {self.num_match}, withRule={self.with_rule})"
+
+
+class AtMostRequests(BaseAssertion):
+    """Table 3's ``AtMostRequests(RList, Tdelta, withRule, Num)``.
+
+    Passes when at most ``num`` records fall inside the ``tdelta``
+    window following the anchor (or the first record, standalone).
+    Consumes every record inside the window.
+    """
+
+    def __init__(self, tdelta: _t.Union[str, float], with_rule: bool, num: int) -> None:
+        if num < 0:
+            raise ValueError(f"num must be >= 0, got {num}")
+        self.tdelta = parse_duration(tdelta)
+        self.with_rule = with_rule
+        self.num = num
+
+    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+        if anchor is None:
+            anchor = rlist[0].timestamp if rlist else 0.0
+        horizon = anchor + self.tdelta
+        in_window = [r for r in rlist if r.timestamp <= horizon]
+        count = num_requests(in_window, with_rule=self.with_rule)
+        passed = count <= self.num
+        return StepOutcome(
+            passed=passed,
+            consumed=len(in_window),
+            detail=(
+                f"{count} requests within {self.tdelta:g}s window"
+                f" (limit {self.num}, withRule={self.with_rule})"
+            ),
+            anchor=horizon,
+        )
+
+    def __repr__(self) -> str:
+        return f"AtMostRequests({self.tdelta:g}s, withRule={self.with_rule}, num={self.num})"
+
+
+class AtLeastRequests(BaseAssertion):
+    """Dual of :class:`AtMostRequests`: at least ``num`` in the window.
+
+    Not in Table 3 verbatim, but needed to express the recovery half of
+    circuit-breaker validation ("SuccessThreshold requests should close
+    the circuit breaker") and bulkhead liveness.
+    """
+
+    def __init__(self, tdelta: _t.Union[str, float], with_rule: bool, num: int) -> None:
+        if num < 0:
+            raise ValueError(f"num must be >= 0, got {num}")
+        self.tdelta = parse_duration(tdelta)
+        self.with_rule = with_rule
+        self.num = num
+
+    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+        if anchor is None:
+            anchor = rlist[0].timestamp if rlist else 0.0
+        horizon = anchor + self.tdelta
+        in_window = [r for r in rlist if r.timestamp <= horizon]
+        count = num_requests(in_window, with_rule=self.with_rule)
+        passed = count >= self.num
+        return StepOutcome(
+            passed=passed,
+            consumed=len(in_window),
+            detail=(
+                f"{count} requests within {self.tdelta:g}s window"
+                f" (minimum {self.num}, withRule={self.with_rule})"
+            ),
+            anchor=horizon,
+        )
+
+    def __repr__(self) -> str:
+        return f"AtLeastRequests({self.tdelta:g}s, withRule={self.with_rule}, num={self.num})"
+
+
+def NoRequestsFor(tdelta: _t.Union[str, float], with_rule: bool = True) -> AtMostRequests:
+    """Convenience: silence for a window (``AtMostRequests(..., 0)``)."""
+    return AtMostRequests(tdelta, with_rule, 0)
+
+
+# -- Combine ------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CombineResult:
+    """Outcome of a full Combine evaluation."""
+
+    passed: bool
+    steps: list[StepOutcome]
+    #: Records left unconsumed after the final step.
+    remainder: RList
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def explain(self) -> str:
+        """Multi-line human-readable trace of each step."""
+        lines = []
+        for index, step in enumerate(self.steps):
+            mark = "PASS" if step.passed else "FAIL"
+            lines.append(f"  step {index + 1}: [{mark}] {step.detail}")
+        return "\n".join(lines)
+
+
+__all__.append("CombineResult")
+
+
+class Combine:
+    """Table 3's ``Combine(RList, (Assertion, args)...)`` operator.
+
+    Steps may be :class:`BaseAssertion` instances or paper-style tuples
+    ``(CheckStatus, 503, 5, True)`` — a class followed by its
+    constructor arguments.  Evaluation threads the RList through the
+    steps: each passing step's consumed prefix is discarded before the
+    next step runs ("Combine automatically discards requests that have
+    triggered the first assertion before passing RList to the second").
+    Evaluation short-circuits on the first failing step.
+    """
+
+    def __init__(self, *steps: _t.Union[BaseAssertion, tuple]) -> None:
+        if not steps:
+            raise ValueError("Combine requires at least one assertion step")
+        self.steps = [self._coerce(step) for step in steps]
+
+    @staticmethod
+    def _coerce(step: _t.Union[BaseAssertion, tuple]) -> BaseAssertion:
+        if isinstance(step, BaseAssertion):
+            return step
+        if isinstance(step, tuple) and step and callable(step[0]):
+            factory, *args = step
+            built = factory(*args)
+            if not isinstance(built, BaseAssertion):
+                raise TypeError(f"{factory!r} did not build a BaseAssertion")
+            return built
+        raise TypeError(f"Combine step must be a BaseAssertion or (Class, args...), got {step!r}")
+
+    def evaluate(self, rlist: RList) -> CombineResult:
+        """Run the state machine over ``rlist``."""
+        remaining = list(rlist)
+        anchor: _t.Optional[float] = None
+        outcomes: list[StepOutcome] = []
+        for assertion in self.steps:
+            outcome = assertion.evaluate(remaining, anchor)
+            outcomes.append(outcome)
+            if not outcome.passed:
+                return CombineResult(passed=False, steps=outcomes, remainder=remaining)
+            remaining = remaining[outcome.consumed :]
+            if outcome.anchor is not None:
+                anchor = outcome.anchor
+        return CombineResult(passed=True, steps=outcomes, remainder=remaining)
+
+    def __call__(self, rlist: RList) -> bool:
+        return self.evaluate(rlist).passed
+
+
+def combine(rlist: RList, *steps: _t.Union[BaseAssertion, tuple]) -> bool:
+    """Paper-style invocation: ``combine(RList, (CheckStatus, ...), ...)``."""
+    return Combine(*steps).evaluate(rlist).passed

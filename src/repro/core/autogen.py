@@ -1,0 +1,144 @@
+"""Automatic recipe generation (paper Section 9, future work).
+
+    "Given semantic annotations to the application graph, it might be
+    possible to automatically identify microservices and resiliency
+    patterns in need of testing, then construct and run appropriate
+    recipes."
+
+This module implements that sketch: :func:`generate_recipes` walks the
+logical application graph and, for every caller/callee edge, emits the
+recipes that would validate the four resiliency patterns on that edge
+— an Overload probing bounded retries, a Crash probing the circuit
+breaker, a Hang probing timeouts, and (for callers with several
+dependencies) a Degrade probing the bulkhead.
+
+Annotations let operators tune the generator per service::
+
+    annotations = {
+        "mysql":  EdgeAnnotation(criticality="high"),
+        "github": EdgeAnnotation(skip=True),       # third party, don't test
+    }
+
+Skipped services generate nothing; high-criticality callees get both
+the Overload and the Crash recipe, others only the Overload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.patterns import (
+    HasBoundedRetries,
+    HasBulkhead,
+    HasCircuitBreaker,
+    HasTimeouts,
+)
+from repro.core.recipe import Recipe
+from repro.core.scenarios import Crash, Degrade, Hang, Overload
+from repro.microservice.graph import ApplicationGraph
+
+__all__ = ["EdgeAnnotation", "generate_recipes"]
+
+
+@dataclasses.dataclass
+class EdgeAnnotation:
+    """Operator guidance for auto-generation around one service."""
+
+    #: "high" adds crash/breaker recipes on top of overload/retry ones.
+    criticality: str = "normal"
+    #: Don't generate recipes that fault this service (e.g. third party
+    #: endpoints billed per call).
+    skip: bool = False
+    #: Expected retry bound for generated HasBoundedRetries checks.
+    max_tries: int = 5
+    #: Expected caller answer deadline for generated HasTimeouts checks.
+    max_latency: float = 2.0
+    #: Breaker parameters for generated HasCircuitBreaker checks.
+    breaker_threshold: int = 5
+    breaker_window: float = 10.0
+
+
+def generate_recipes(
+    graph: ApplicationGraph,
+    annotations: _t.Optional[dict[str, EdgeAnnotation]] = None,
+    entry_services: _t.Optional[_t.Sequence[str]] = None,
+) -> list[Recipe]:
+    """Emit a recipe per (pattern, edge) worth testing.
+
+    ``entry_services`` marks user-facing services whose response-time
+    bound matters most; they get the HasTimeouts check in Hang recipes.
+    Defaults to the graph's entry nodes.
+    """
+    annotations = annotations or {}
+    if entry_services is None:
+        entry_services = graph.entry_services()
+    recipes: list[Recipe] = []
+
+    for callee in graph.services():
+        note = annotations.get(callee, EdgeAnnotation())
+        if note.skip:
+            continue
+        callers = graph.dependents(callee)
+        if not callers:
+            continue  # nothing observes this service failing
+
+        retry_checks = [
+            HasBoundedRetries(caller, callee, annotations.get(caller, note).max_tries)
+            for caller in callers
+        ]
+        recipes.append(
+            Recipe(
+                name=f"auto/overload-{callee}",
+                scenarios=[Overload(callee)],
+                checks=retry_checks,
+            )
+        )
+
+        hang_checks = [
+            HasTimeouts(caller, annotations.get(caller, EdgeAnnotation()).max_latency)
+            for caller in callers
+            if caller in entry_services or graph.dependents(caller)
+        ]
+        if hang_checks:
+            recipes.append(
+                Recipe(
+                    name=f"auto/hang-{callee}",
+                    scenarios=[Hang(callee)],
+                    checks=hang_checks,
+                )
+            )
+
+        if note.criticality == "high":
+            breaker_checks = [
+                HasCircuitBreaker(
+                    caller,
+                    callee,
+                    threshold=note.breaker_threshold,
+                    tdelta=note.breaker_window,
+                )
+                for caller in callers
+            ]
+            recipes.append(
+                Recipe(
+                    name=f"auto/crash-{callee}",
+                    scenarios=[Crash(callee)],
+                    checks=breaker_checks,
+                )
+            )
+
+        multi_dependency_callers = [
+            caller for caller in callers if len(graph.dependencies(caller)) > 1
+        ]
+        if multi_dependency_callers:
+            recipes.append(
+                Recipe(
+                    name=f"auto/degrade-{callee}",
+                    scenarios=[Degrade(callee, interval="2s")],
+                    checks=[
+                        HasBulkhead(caller, callee, rate=1.0)
+                        for caller in multi_dependency_callers
+                    ],
+                )
+            )
+    return recipes

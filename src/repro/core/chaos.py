@@ -1,0 +1,122 @@
+"""A Chaos-Monkey-style randomized fault injector (baseline).
+
+Paper Section 8.1 positions Gremlin against Netflix's Chaos Monkey:
+
+    "Chaos Monkey is a randomized fault-injection tool ... However, the
+    tool lacks support for automatically analyzing application
+    behavior, which is necessary to quickly zero in on implementation
+    bugs.  Moreover, faults injected by Chaos Monkey cannot be
+    constrained to a subset of requests or services."
+
+This module implements that baseline so the comparison is executable:
+:class:`ChaosMonkey` repeatedly picks a *random* service and kills it
+for a while (by stopping its instances — service-scoped, like the real
+tool, not request-scoped), with no assertion checking of its own.  The
+comparison benchmark measures how many random rounds it takes to
+stumble onto the failure mode a single targeted Gremlin recipe stages
+directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.microservice.app import Deployment
+
+__all__ = ["ChaosEvent", "ChaosMonkey"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosEvent:
+    """One randomized kill: which service, when, for how long."""
+
+    service: str
+    start: float
+    duration: float
+
+
+class ChaosMonkey:
+    """Randomized service killer over a deployment.
+
+    Parameters
+    ----------
+    candidates:
+        Services eligible for termination; defaults to every service in
+        the deployment (Chaos Monkey does not discriminate).
+    mean_interval:
+        Mean virtual seconds between kills (exponentially distributed).
+    outage_duration:
+        How long a killed service stays down before it is restarted.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        candidates: _t.Optional[_t.Sequence[str]] = None,
+        mean_interval: float = 5.0,
+        outage_duration: float = 2.0,
+        rng_stream: str = "chaosmonkey",
+    ) -> None:
+        if mean_interval <= 0:
+            raise ValueError(f"mean_interval must be > 0, got {mean_interval}")
+        if outage_duration <= 0:
+            raise ValueError(f"outage_duration must be > 0, got {outage_duration}")
+        self.deployment = deployment
+        self.candidates = (
+            list(candidates) if candidates is not None else list(deployment.instances)
+        )
+        if not self.candidates:
+            raise ValueError("no candidate services to terminate")
+        self.mean_interval = mean_interval
+        self.outage_duration = outage_duration
+        self._rng = deployment.sim.rng(rng_stream)
+        #: Every kill performed, in order.
+        self.events: list[ChaosEvent] = []
+        self._running = False
+
+    def unleash(self, duration: float) -> None:
+        """Start killing random services for ``duration`` virtual seconds.
+
+        Runs as a simulation process; drive the simulator (e.g. with a
+        load generator) to let it act.
+        """
+        if self._running:
+            raise RuntimeError("this monkey is already unleashed")
+        self._running = True
+        self.deployment.sim.process(self._rampage(duration), name="chaos-monkey")
+
+    def kill_once(self) -> ChaosEvent:
+        """Kill one random service immediately (restarts itself after
+        the outage duration).  Returns the event."""
+        sim = self.deployment.sim
+        service = self._rng.choice(self.candidates)
+        event = ChaosEvent(service=service, start=sim.now, duration=self.outage_duration)
+        self.events.append(event)
+        instances = self.deployment.instances_of(service)
+        for instance in instances:
+            instance.stop()
+
+        def _restart(_ev) -> None:
+            for instance in instances:
+                if not instance.running:
+                    instance.start()
+
+        sim.timeout(self.outage_duration).add_callback(_restart)
+        return event
+
+    def _rampage(self, duration: float) -> _t.Generator:
+        sim = self.deployment.sim
+        deadline = sim.now + duration
+        while sim.now < deadline:
+            yield sim.timeout(self._rng.expovariate(1.0 / self.mean_interval))
+            if sim.now >= deadline:
+                break
+            self.kill_once()
+        self._running = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChaosMonkey candidates={self.candidates}"
+            f" kills={len(self.events)}>"
+        )

@@ -1,0 +1,373 @@
+"""Pattern checks (bottom block of paper Table 3).
+
+Each check validates, purely from network observations, that a service
+implements one of the resiliency design patterns of Section 2.1:
+
+* :class:`HasTimeouts` — Src answers its upstream callers within a
+  latency bound even while its own dependencies misbehave.
+* :class:`HasBoundedRetries` — after repeated failures, Src sends at
+  most MaxTries more requests to Dst within a window (built from
+  ``Combine`` exactly as the paper's listing shows).
+* :class:`HasCircuitBreaker` — Threshold failures are followed by a
+  Tdelta-long silence on the wire, then recovery probes.
+* :class:`HasBulkhead` — while SlowDst is degraded, Src keeps calling
+  its *other* dependents at a healthy rate.
+
+Checks return a :class:`CheckResult` rather than a bare boolean so
+recipe reports can explain *why* something failed — the quick feedback
+loop the paper argues makes systematic testing valuable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.assertions import (
+    AtLeastRequests,
+    AtMostRequests,
+    BaseAssertion,
+    CheckStatus,
+    Combine,
+    StepOutcome,
+    request_rate,
+)
+from repro.core.queries import get_requests, observed_status
+from repro.logstore.query import Query
+from repro.logstore.record import ObservationKind
+from repro.logstore.store import EventStore
+from repro.util import parse_duration
+
+__all__ = [
+    "CheckResult",
+    "PatternCheck",
+    "CheckFailures",
+    "HasTimeouts",
+    "HasBoundedRetries",
+    "HasCircuitBreaker",
+    "HasBulkhead",
+]
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Outcome of a pattern check, with explanation and evidence."""
+
+    name: str
+    passed: bool
+    detail: str
+    #: Check-specific evidence (counts, latencies, step traces).
+    data: dict = dataclasses.field(default_factory=dict)
+    #: True when there were no observations to judge — the check failed
+    #: for lack of evidence, not because the pattern is proven absent.
+    inconclusive: bool = False
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else ("INCONCLUSIVE" if self.inconclusive else "FAIL")
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+class PatternCheck:
+    """Base class: a named, store-evaluable resiliency-pattern check."""
+
+    #: Human-readable check name, set by subclasses.
+    name = "pattern"
+
+    def run(
+        self,
+        store: EventStore,
+        since: _t.Optional[float] = None,
+        until: _t.Optional[float] = None,
+    ) -> CheckResult:
+        """Evaluate against the event store, optionally time-scoped."""
+        raise NotImplementedError
+
+    def _no_data(self, detail: str) -> CheckResult:
+        return CheckResult(self.name, passed=False, detail=detail, inconclusive=True)
+
+
+class CheckFailures(BaseAssertion):
+    """Base assertion: at least ``num_match`` *failed* outcomes.
+
+    A failure is a 5xx status or a transport error (reset / timeout /
+    refused) under the given ``with_rule`` view.  This generalizes
+    ``CheckStatus`` for breaker validation, where the triggering
+    failures may be resets (Crash) rather than one specific code.
+    """
+
+    def __init__(self, num_match: int, with_rule: bool = True) -> None:
+        if num_match < 1:
+            raise ValueError(f"num_match must be >= 1, got {num_match}")
+        self.num_match = num_match
+        self.with_rule = with_rule
+
+    def evaluate(self, rlist, anchor):
+        matches = 0
+        for index, record in enumerate(rlist):
+            status = observed_status(record, self.with_rule)
+            failed = (status is not None and status >= 500) or record.error is not None
+            if failed:
+                matches += 1
+                if matches >= self.num_match:
+                    return StepOutcome(
+                        passed=True,
+                        consumed=index + 1,
+                        detail=f"found {matches} failed calls",
+                        anchor=record.timestamp,
+                    )
+        return StepOutcome(
+            passed=False,
+            consumed=len(rlist),
+            detail=f"only {matches}/{self.num_match} failed calls observed",
+        )
+
+    def __repr__(self) -> str:
+        return f"CheckFailures({self.num_match}, withRule={self.with_rule})"
+
+
+class HasTimeouts(PatternCheck):
+    """``HasTimeouts(Src, MaxLatency)``: bounded upstream response time.
+
+    Examines every reply *from* ``src`` observed by its upstream
+    callers.  Violations are replies slower than ``max_latency`` and
+    calls that never completed at all (a hung service).  A service with
+    working timeouts answers its callers within its own budget even
+    when a dependency is held by a Delay fault — the property Fig 5
+    shows ElasticPress lacking.
+    """
+
+    def __init__(self, src: str, max_latency: _t.Union[str, float], id_pattern: str = "*") -> None:
+        self.src = src
+        self.max_latency = parse_duration(max_latency)
+        self.id_pattern = id_pattern
+        self.name = f"HasTimeouts({src}, {self.max_latency:g}s)"
+
+    def run(self, store, since=None, until=None):
+        replies = store.search(
+            Query(
+                kind=ObservationKind.REPLY,
+                dst=self.src,
+                id_pattern=self.id_pattern,
+                since=since,
+                until=until,
+            )
+        )
+        requests = store.search(
+            Query(
+                kind=ObservationKind.REQUEST,
+                dst=self.src,
+                id_pattern=self.id_pattern,
+                since=since,
+                until=until,
+            )
+        )
+        if not requests:
+            return self._no_data(f"no upstream calls to {self.src!r} observed")
+        slow = [r for r in replies if r.latency is not None and r.latency > self.max_latency]
+        unanswered = [r for r in requests if r.status is None and r.error is None]
+        passed = not slow and not unanswered
+        detail = (
+            f"{len(replies)} replies from {self.src!r}: {len(slow)} exceeded"
+            f" {self.max_latency:g}s, {len(unanswered)} calls never completed"
+        )
+        return CheckResult(
+            self.name,
+            passed,
+            detail,
+            data={
+                "replies": len(replies),
+                "slow": len(slow),
+                "unanswered": len(unanswered),
+                "max_observed": max((r.latency for r in replies if r.latency is not None), default=0.0),
+            },
+        )
+
+
+class HasBoundedRetries(PatternCheck):
+    """``HasBoundedRetries(Src, Dst, MaxTries)`` — the paper's listing::
+
+        RList = GetRequests(Src, Dst)
+        Combine(RList, (CheckStatus, 503, 5, True),
+                       (AtMostRequests, '1min', False, MaxTries))
+
+    "if five replies with error codes are observed by Src, then Src
+    should send at most MaxTries more requests to Dst within the next
+    minute."
+
+    ``failure_status=None`` widens the trigger from one specific status
+    code to *any* failed call (5xx or transport error) — needed when the
+    staged fault is a Crash, whose failures are TCP resets carrying no
+    application status code.
+    """
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        max_tries: int,
+        failure_status: _t.Optional[int] = 503,
+        num_failures: int = 5,
+        window: _t.Union[str, float] = "1min",
+        id_pattern: str = "*",
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.max_tries = max_tries
+        self.failure_status = failure_status
+        self.num_failures = num_failures
+        self.window = window
+        self.id_pattern = id_pattern
+        self.name = f"HasBoundedRetries({src}, {dst}, {max_tries})"
+
+    def run(self, store, since=None, until=None):
+        rlist = get_requests(store, self.src, self.dst, self.id_pattern, since, until)
+        if not rlist:
+            return self._no_data(f"no requests {self.src!r} -> {self.dst!r} observed")
+        if self.failure_status is None:
+            trigger: BaseAssertion = CheckFailures(self.num_failures, with_rule=True)
+            trigger_text = f"{self.num_failures} failed calls"
+        else:
+            trigger = CheckStatus(self.failure_status, self.num_failures, True)
+            trigger_text = (
+                f"{self.num_failures} failures with status {self.failure_status}"
+            )
+        result = Combine(
+            trigger,
+            (AtMostRequests, self.window, False, self.max_tries),
+        ).evaluate(rlist)
+        if not result.steps[0].passed:
+            return self._no_data(
+                f"fewer than {trigger_text} observed — fault not exercised"
+            )
+        return CheckResult(
+            self.name,
+            result.passed,
+            result.steps[-1].detail,
+            data={"requests": len(rlist), "trace": result.explain()},
+        )
+
+
+class HasCircuitBreaker(PatternCheck):
+    """``HasCircuitBreaker(Src, Dst, Threshold, Tdelta, SuccessThreshold)``.
+
+    "Threshold failed requests triggers absence of calls for Tdelta
+    time.  SuccessThreshold requests should close the circuit breaker."
+
+    Three chained steps over ``GetRequests(Src, Dst)``:
+
+    1. ``Threshold`` failed calls are observed (any 5xx or transport
+       error — Crash-induced resets count);
+    2. near-silence on the wire for ``Tdelta`` (at most
+       ``half_open_allowance`` probes tolerated, 0 by default — the
+       paper's strict "absence of calls");
+    3. when ``check_recovery`` (default True): at least
+       ``success_threshold`` requests within ``recovery_window`` after
+       the silent period, showing the breaker re-probes and closes.
+    """
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        threshold: int = 5,
+        tdelta: _t.Union[str, float] = "1min",
+        success_threshold: int = 1,
+        half_open_allowance: int = 0,
+        check_recovery: bool = True,
+        recovery_window: _t.Union[str, float, None] = None,
+        id_pattern: str = "*",
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.threshold = threshold
+        self.tdelta = parse_duration(tdelta)
+        self.success_threshold = success_threshold
+        self.half_open_allowance = half_open_allowance
+        self.check_recovery = check_recovery
+        self.recovery_window = (
+            parse_duration(recovery_window) if recovery_window is not None else self.tdelta
+        )
+        self.id_pattern = id_pattern
+        self.name = f"HasCircuitBreaker({src}, {dst}, {threshold}, {self.tdelta:g}s)"
+
+    def run(self, store, since=None, until=None):
+        rlist = get_requests(store, self.src, self.dst, self.id_pattern, since, until)
+        if not rlist:
+            return self._no_data(f"no requests {self.src!r} -> {self.dst!r} observed")
+        steps: list = [
+            CheckFailures(self.threshold, with_rule=True),
+            AtMostRequests(self.tdelta, True, self.half_open_allowance),
+        ]
+        if self.check_recovery:
+            steps.append(AtLeastRequests(self.recovery_window, True, self.success_threshold))
+        result = Combine(*steps).evaluate(rlist)
+        if not result.steps[0].passed:
+            return self._no_data(
+                f"fewer than {self.threshold} failures observed — fault not exercised"
+            )
+        return CheckResult(
+            self.name,
+            result.passed,
+            "; ".join(step.detail for step in result.steps[1:]),
+            data={"requests": len(rlist), "trace": result.explain()},
+        )
+
+
+class HasBulkhead(PatternCheck):
+    """``HasBulkHead(Src, SlowDst, Rate)``.
+
+    "Ensures that service request rate is at least Rate to dependents
+    other than SlowDst" — i.e. while ``slow_dst`` is degraded, ``src``
+    keeps serving its other dependencies instead of stalling on a
+    shared, exhausted pool.
+
+    ``other_dsts`` may be given explicitly; otherwise every destination
+    ``src`` was observed calling (besides ``slow_dst``) is checked.
+    """
+
+    def __init__(
+        self,
+        src: str,
+        slow_dst: str,
+        rate: float,
+        other_dsts: _t.Optional[_t.Sequence[str]] = None,
+        id_pattern: str = "*",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.src = src
+        self.slow_dst = slow_dst
+        self.rate = rate
+        self.other_dsts = list(other_dsts) if other_dsts is not None else None
+        self.id_pattern = id_pattern
+        self.name = f"HasBulkhead({src}, slow={slow_dst}, rate>={rate:g}/s)"
+
+    def run(self, store, since=None, until=None):
+        others = self.other_dsts
+        if others is None:
+            observed = {
+                record.dst
+                for record in store.search(
+                    Query(kind=ObservationKind.REQUEST, src=self.src, since=since, until=until)
+                )
+            }
+            others = sorted(observed - {self.slow_dst})
+        if not others:
+            return self._no_data(
+                f"{self.src!r} has no observed dependents other than {self.slow_dst!r}"
+            )
+        rates = {}
+        for dst in others:
+            rlist = get_requests(store, self.src, dst, self.id_pattern, since, until)
+            rates[dst] = request_rate(rlist)
+        starved = {dst: r for dst, r in rates.items() if r < self.rate}
+        passed = not starved
+        detail = (
+            f"rates to other dependents: "
+            + ", ".join(f"{dst}={r:.2f}/s" for dst, r in sorted(rates.items()))
+            + (f"; starved: {sorted(starved)}" if starved else "")
+        )
+        return CheckResult(self.name, passed, detail, data={"rates": rates})

@@ -1,0 +1,441 @@
+"""High-level failure scenarios (paper Section 5, "Example recipes").
+
+A :class:`FailureScenario` describes an outage in operator vocabulary
+— *overload this service*, *crash that one*, *partition these groups*
+— and decomposes into primitive :class:`~repro.agent.rules.FaultRule`
+objects against the logical application graph, exactly the role of the
+paper's Recipe Translator.
+
+Every scenario takes a ``pattern`` confining injection to matching
+request IDs (default ``'test-*'``), so production flows in the same
+deployment pass untouched.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.agent.rules import FaultRule, TCP_RESET, abort, delay, modify
+from repro.errors import RecipeError
+from repro.microservice.graph import ApplicationGraph
+from repro.util import parse_duration
+
+__all__ = [
+    "FailureScenario",
+    "AbortCalls",
+    "DelayCalls",
+    "ModifyReplies",
+    "Disconnect",
+    "Crash",
+    "Hang",
+    "Overload",
+    "Degrade",
+    "NetworkPartition",
+    "FakeSuccess",
+]
+
+
+class FailureScenario:
+    """Base class: a named outage decomposable into fault rules."""
+
+    #: Human-readable scenario kind, set by subclasses.
+    kind = "scenario"
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        """Translate into primitive rules using the application graph."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for recipe reports."""
+        return f"{self.kind}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class AbortCalls(FailureScenario):
+    """Primitive passthrough: Abort on one caller/callee edge."""
+
+    kind = "abort"
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        error: int = 503,
+        pattern: str = "test-*",
+        on: str = "request",
+        probability: float = 1.0,
+        max_matches: _t.Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.error = error
+        self.pattern = pattern
+        self.on = on
+        self.probability = probability
+        self.max_matches = max_matches
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.src, self.dst])
+        return [
+            abort(
+                self.src,
+                self.dst,
+                error=self.error,
+                pattern=self.pattern,
+                on=self.on,
+                probability=self.probability,
+                max_matches=self.max_matches,
+            )
+        ]
+
+    def describe(self) -> str:
+        return f"abort({self.src}->{self.dst}, error={self.error})"
+
+
+class DelayCalls(FailureScenario):
+    """Primitive passthrough: Delay on one caller/callee edge."""
+
+    kind = "delay"
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        interval: _t.Union[str, float],
+        pattern: str = "test-*",
+        on: str = "request",
+        probability: float = 1.0,
+        max_matches: _t.Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.interval = parse_duration(interval)
+        self.pattern = pattern
+        self.on = on
+        self.probability = probability
+        self.max_matches = max_matches
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.src, self.dst])
+        return [
+            delay(
+                self.src,
+                self.dst,
+                interval=self.interval,
+                pattern=self.pattern,
+                on=self.on,
+                probability=self.probability,
+                max_matches=self.max_matches,
+            )
+        ]
+
+    def describe(self) -> str:
+        return f"delay({self.src}->{self.dst}, {self.interval:g}s)"
+
+
+class ModifyReplies(FailureScenario):
+    """Primitive passthrough: Modify on responses of one edge."""
+
+    kind = "modify"
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        pattern: _t.Union[str, bytes],
+        replace_bytes: _t.Union[str, bytes],
+        id_pattern: _t.Optional[str] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.pattern = pattern
+        self.replace_bytes = replace_bytes
+        self.id_pattern = id_pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.src, self.dst])
+        return [
+            modify(
+                self.src,
+                self.dst,
+                pattern=self.pattern,
+                replace_bytes=self.replace_bytes,
+                id_pattern=self.id_pattern,
+            )
+        ]
+
+    def describe(self) -> str:
+        return f"modify({self.src}->{self.dst})"
+
+
+class Disconnect(FailureScenario):
+    """Paper Section 5's ``Disconnect``: one edge answers an error.
+
+    "Returns a HTTP error code when Service1 sends a request to
+    Service2" — an Abort with ``Probability=1`` on test traffic.
+    """
+
+    kind = "disconnect"
+
+    def __init__(
+        self, service1: str, service2: str, error: int = 503, pattern: str = "test-*"
+    ) -> None:
+        self.service1 = service1
+        self.service2 = service2
+        self.error = error
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service1, self.service2])
+        return [
+            abort(self.service1, self.service2, error=self.error, pattern=self.pattern)
+        ]
+
+    def describe(self) -> str:
+        return f"disconnect({self.service1} -x-> {self.service2})"
+
+
+class Crash(FailureScenario):
+    """Paper Section 5's ``Crash``: abrupt fail-stop of a service.
+
+    Aborts requests from *all dependents* with ``Error=-1``: "terminate
+    the connection at the TCP level, and return no application error
+    codes ... emulating an abrupt crash."  ``probability < 1`` gives
+    the paper's *transient crashes*.
+    """
+
+    kind = "crash"
+
+    def __init__(self, service: str, pattern: str = "test-*", probability: float = 1.0) -> None:
+        self.service = service
+        self.pattern = pattern
+        self.probability = probability
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(
+                f"Crash({self.service!r}): service has no dependents to observe the crash"
+            )
+        return [
+            abort(
+                dependent,
+                self.service,
+                error=TCP_RESET,
+                pattern=self.pattern,
+                probability=self.probability,
+            )
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return f"crash({self.service})"
+
+
+class Hang(FailureScenario):
+    """Paper Section 5's ``Hang``: the service stops answering.
+
+    "Software hangs are simulated using long delays (e.g., 1 hour)" on
+    requests from every dependent.
+    """
+
+    kind = "hang"
+
+    def __init__(self, service: str, interval: _t.Union[str, float] = "1h", pattern: str = "test-*") -> None:
+        self.service = service
+        self.interval = parse_duration(interval)
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(f"Hang({self.service!r}): service has no dependents")
+        return [
+            delay(dependent, self.service, interval=self.interval, pattern=self.pattern)
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return f"hang({self.service}, {self.interval:g}s)"
+
+
+class Overload(FailureScenario):
+    """Paper Section 5's ``Overload``: mixed aborts and delays.
+
+    "Gremlin delays 75% of requests between Service1 and its
+    neighboring services by 100 milliseconds and aborts 25% of requests
+    with an error code."
+
+    Decomposition note: our agents apply the *first* matching rule, so
+    the 25%/75% split is expressed as an Abort with probability
+    ``abort_fraction`` followed by a Delay with probability 1.0 — every
+    non-aborted request is delayed, giving exactly the paper's disjoint
+    25/75 partition of the stream.
+    """
+
+    kind = "overload"
+
+    def __init__(
+        self,
+        service: str,
+        abort_fraction: float = 0.25,
+        interval: _t.Union[str, float] = "100ms",
+        error: int = 503,
+        pattern: str = "test-*",
+    ) -> None:
+        if not 0.0 <= abort_fraction <= 1.0:
+            raise RecipeError(f"abort_fraction must be in [0, 1], got {abort_fraction}")
+        self.service = service
+        self.abort_fraction = abort_fraction
+        self.interval = parse_duration(interval)
+        self.error = error
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(f"Overload({self.service!r}): service has no dependents")
+        rules: list[FaultRule] = []
+        for dependent in dependents:
+            if self.abort_fraction > 0:
+                rules.append(
+                    abort(
+                        dependent,
+                        self.service,
+                        error=self.error,
+                        pattern=self.pattern,
+                        probability=self.abort_fraction,
+                    )
+                )
+            if self.abort_fraction < 1.0:
+                rules.append(
+                    delay(
+                        dependent,
+                        self.service,
+                        interval=self.interval,
+                        pattern=self.pattern,
+                        probability=1.0,
+                    )
+                )
+        return rules
+
+    def describe(self) -> str:
+        return (
+            f"overload({self.service}, abort={self.abort_fraction:.0%},"
+            f" delay={self.interval:g}s)"
+        )
+
+
+class Degrade(FailureScenario):
+    """Pure slowdown of a service seen by all dependents.
+
+    Models the Spotify 2013 incident class ("degradation of a core
+    internal service"): no errors, just latency.
+    """
+
+    kind = "degrade"
+
+    def __init__(
+        self, service: str, interval: _t.Union[str, float] = "1s", pattern: str = "test-*"
+    ) -> None:
+        self.service = service
+        self.interval = parse_duration(interval)
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(f"Degrade({self.service!r}): service has no dependents")
+        return [
+            delay(dependent, self.service, interval=self.interval, pattern=self.pattern)
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return f"degrade({self.service}, {self.interval:g}s)"
+
+
+class NetworkPartition(FailureScenario):
+    """Paper Section 5: partition along a cut of the application graph.
+
+    "A network partition is implemented using a series of Abort
+    operations with a TCP-level reset along the cut of an application
+    graph."  Rules are installed for every edge crossing the cut, in
+    whichever direction the edge points.
+    """
+
+    kind = "partition"
+
+    def __init__(
+        self,
+        group_a: _t.Iterable[str],
+        group_b: _t.Iterable[str],
+        pattern: str = "test-*",
+    ) -> None:
+        self.group_a = list(group_a)
+        self.group_b = list(group_b)
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        crossing = graph.edges_across(self.group_a, self.group_b)
+        if not crossing:
+            raise RecipeError(
+                f"NetworkPartition: no edges cross the cut"
+                f" {self.group_a} | {self.group_b}"
+            )
+        return [
+            abort(caller, callee, error=TCP_RESET, pattern=self.pattern)
+            for caller, callee in crossing
+        ]
+
+    def describe(self) -> str:
+        return f"partition({self.group_a} | {self.group_b})"
+
+
+class FakeSuccess(FailureScenario):
+    """Paper Section 5's ``FakeSuccess``: corrupt successful replies.
+
+    Rewrites the payload of responses from a service to all its
+    dependents (e.g. ``key`` -> ``badkey``) "to trigger unexpected
+    behavior in services that depend on Service1" — an input-validation
+    probe.
+    """
+
+    kind = "fake_success"
+
+    def __init__(
+        self,
+        service: str,
+        pattern: _t.Union[str, bytes] = "key",
+        replace_bytes: _t.Union[str, bytes] = "badkey",
+        id_pattern: _t.Optional[str] = "test-*",
+    ) -> None:
+        self.service = service
+        self.pattern = pattern
+        self.replace_bytes = replace_bytes
+        self.id_pattern = id_pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(f"FakeSuccess({self.service!r}): service has no dependents")
+        return [
+            modify(
+                dependent,
+                self.service,
+                pattern=self.pattern,
+                replace_bytes=self.replace_bytes,
+                id_pattern=self.id_pattern,
+            )
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return f"fake_success({self.service})"

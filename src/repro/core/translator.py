@@ -1,0 +1,62 @@
+"""The Recipe Translator (paper Section 4.2).
+
+    "Internally, the translator breaks down the recipe into a set of
+    fault-injection rules to be executed on the application's logical
+    graph."
+
+The translator is pure: scenarios + graph in, validated primitive
+rules out.  It never touches the data plane — that is the Failure
+Orchestrator's job — which keeps translation unit-testable and makes
+the Figure 7 cost split (orchestration vs. assertion) measurable.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.agent.rules import FaultRule
+from repro.core.scenarios import FailureScenario
+from repro.errors import RecipeError
+from repro.microservice.graph import ApplicationGraph
+
+__all__ = ["RecipeTranslator"]
+
+
+class RecipeTranslator:
+    """Decomposes high-level scenarios into primitive fault rules."""
+
+    def __init__(self, graph: ApplicationGraph) -> None:
+        self.graph = graph
+
+    def translate(
+        self, scenarios: _t.Union[FailureScenario, _t.Sequence[FailureScenario]]
+    ) -> list[FaultRule]:
+        """Translate one scenario or a sequence of them.
+
+        Rules from multiple scenarios are concatenated in scenario
+        order; agents apply the first matching rule, so scenario order
+        is priority order — the property the Overload decomposition
+        relies on.
+        """
+        if isinstance(scenarios, FailureScenario):
+            scenarios = [scenarios]
+        if not scenarios:
+            raise RecipeError("recipe contains no failure scenarios")
+        rules: list[FaultRule] = []
+        for scenario in scenarios:
+            if not isinstance(scenario, FailureScenario):
+                raise RecipeError(
+                    f"expected a FailureScenario, got {type(scenario).__name__}"
+                )
+            rules.extend(scenario.decompose(self.graph))
+        return rules
+
+    def affected_sources(self, rules: _t.Sequence[FaultRule]) -> list[str]:
+        """The distinct source services whose agents need programming."""
+        seen: dict[str, None] = {}
+        for rule in rules:
+            seen.setdefault(rule.src)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return f"<RecipeTranslator graph={self.graph!r}>"

@@ -1,0 +1,57 @@
+"""HTTP-like Layer-7 substrate: messages, wire codec, client, server.
+
+All inter-service communication in the reproduced applications flows
+through this package, which is what lets the Gremlin agents intercept,
+match, log, and manipulate it (observation O1 of the paper: "Touch the
+network, not the app").
+"""
+
+from repro.http.client import HttpClient, await_with_deadline
+from repro.http.codec import (
+    decode,
+    decode_request,
+    decode_response,
+    encode,
+    encode_request,
+    encode_response,
+)
+from repro.http.headers import REQUEST_ID_HEADER, Headers
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.server import Handler, HttpServer
+from repro.http.status import (
+    BAD_GATEWAY,
+    GATEWAY_TIMEOUT,
+    INTERNAL_SERVER_ERROR,
+    NOT_FOUND,
+    OK,
+    SERVICE_UNAVAILABLE,
+    is_error,
+    is_success,
+    reason_phrase,
+)
+
+__all__ = [
+    "BAD_GATEWAY",
+    "GATEWAY_TIMEOUT",
+    "Handler",
+    "Headers",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "INTERNAL_SERVER_ERROR",
+    "NOT_FOUND",
+    "OK",
+    "REQUEST_ID_HEADER",
+    "SERVICE_UNAVAILABLE",
+    "await_with_deadline",
+    "decode",
+    "decode_request",
+    "decode_response",
+    "encode",
+    "encode_request",
+    "encode_response",
+    "is_error",
+    "is_success",
+    "reason_phrase",
+]

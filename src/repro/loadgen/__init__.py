@@ -1,0 +1,6 @@
+"""Load generation: closed-loop, open-loop (Poisson), and an ab-like tool."""
+
+from repro.loadgen.bench_tool import ApacheBench
+from repro.loadgen.workload import ClosedLoopLoad, LoadResult, OpenLoopLoad, Sample
+
+__all__ = ["ApacheBench", "ClosedLoopLoad", "LoadResult", "OpenLoopLoad", "Sample"]

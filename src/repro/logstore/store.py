@@ -1,0 +1,103 @@
+"""The centralized event store (Elasticsearch stand-in).
+
+Agents ship observation records here (via the
+:class:`~repro.logstore.pipeline.LogPipeline`); the Assertion Checker
+queries them back, filtered and time-sorted, exactly as the paper's
+``GetRequests``/``GetReplies`` do against Elasticsearch.
+
+The store keeps a primary time-ordered list plus a (src, dst) pair
+index, since every assertion in Table 3 scopes to a service pair.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+from repro.logstore.query import Query
+from repro.logstore.record import ObservationRecord
+
+__all__ = ["EventStore"]
+
+
+class EventStore:
+    """Append-only, queryable store of observation records."""
+
+    def __init__(self) -> None:
+        self._records: list[ObservationRecord] = []
+        self._timestamps: list[float] = []
+        self._pair_index: dict[tuple[str, str], list[int]] = {}
+        self._sorted = True
+
+    def append(self, record: ObservationRecord) -> None:
+        """Ingest one record (agents go through the pipeline instead)."""
+        if self._records and record.timestamp < self._records[-1].timestamp:
+            self._sorted = False
+        index = len(self._records)
+        self._records.append(record)
+        self._timestamps.append(record.timestamp)
+        self._pair_index.setdefault((record.src, record.dst), []).append(index)
+
+    def extend(self, records: _t.Iterable[ObservationRecord]) -> None:
+        """Ingest many records."""
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop everything — used between chained recipe steps when the
+        operator wants a clean observation window."""
+        self._records.clear()
+        self._timestamps.clear()
+        self._pair_index.clear()
+        self._sorted = True
+
+    def all_records(self) -> list[ObservationRecord]:
+        """Every record, sorted by timestamp."""
+        self._ensure_sorted()
+        return list(self._records)
+
+    def search(self, query: Query) -> list[ObservationRecord]:
+        """Records matching ``query``, sorted by timestamp.
+
+        Uses the pair index when both ``src`` and ``dst`` are bound
+        (the common assertion shape), binary-searching the time range
+        otherwise.
+        """
+        self._ensure_sorted()
+        candidates = self._candidates(query)
+        return [record for record in candidates if query.matches(record)]
+
+    def count(self, query: Query) -> int:
+        """Number of records matching ``query``."""
+        return len(self.search(query))
+
+    # -- internals ------------------------------------------------------------
+
+    def _candidates(self, query: Query) -> _t.Iterable[ObservationRecord]:
+        if query.src is not None and query.dst is not None:
+            indexes = self._pair_index.get((query.src, query.dst), [])
+            return (self._records[i] for i in indexes)
+        lo = 0
+        hi = len(self._records)
+        if query.since is not None:
+            lo = bisect.bisect_left(self._timestamps, query.since)
+        if query.until is not None:
+            hi = bisect.bisect_right(self._timestamps, query.until)
+        return self._records[lo:hi]
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        order = sorted(range(len(self._records)), key=lambda i: self._timestamps[i])
+        remap = {old: new for new, old in enumerate(order)}
+        self._records = [self._records[i] for i in order]
+        self._timestamps = [r.timestamp for r in self._records]
+        for indexes in self._pair_index.values():
+            indexes[:] = sorted(remap[i] for i in indexes)
+        self._sorted = True
+
+    def __repr__(self) -> str:
+        return f"<EventStore records={len(self._records)} pairs={len(self._pair_index)}>"

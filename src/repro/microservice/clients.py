@@ -1,0 +1,207 @@
+"""Per-dependency clients applying the resilience policy.
+
+A :class:`DependencyClient` is what a microservice's code path to one
+downstream service looks like: it sends HTTP requests (through the
+sidecar agent when one is deployed) and wraps them in whatever subset
+of the resilience patterns the service adopted.  The control flow per
+logical call::
+
+    fallback/raise <- breaker open?
+    fallback/raise <- bulkhead full?
+    loop attempts:
+        per-attempt timeout -> HTTP call
+        success (status < 500)  -> breaker.record_success, return
+        failure (5xx / network / timeout / codec):
+            breaker.record_failure
+            retries left? backoff, continue
+            else: fallback, or return the error response,
+                  or re-raise the transport error
+
+Failure classification follows the paper's fault model: 5xx statuses,
+connection errors, resets, timeouts, and unparseable responses all
+count as failures; 4xx statuses are the caller's own fault and are
+returned as-is without burning retries.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import (
+    BulkheadFullError,
+    CircuitOpenError,
+    CodecError,
+    NetworkError,
+    RequestTimeoutError,
+)
+from repro.http.client import HttpClient
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.resilience.policy import ResiliencePolicy
+from repro.network.address import Address
+from repro.simulation.kernel import Simulator
+
+__all__ = ["DependencyClient", "CallStats"]
+
+#: Exceptions classified as call failures (retryable, breaker-counted).
+FAILURE_EXCEPTIONS = (NetworkError, RequestTimeoutError, CodecError)
+
+
+class CallStats:
+    """Counters a client keeps about its own behaviour, for tests."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.attempts = 0
+        self.successes = 0
+        self.failures = 0
+        self.retries = 0
+        self.breaker_rejections = 0
+        self.bulkhead_rejections = 0
+        self.fallbacks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CallStats calls={self.calls} attempts={self.attempts}"
+            f" successes={self.successes} failures={self.failures}"
+            f" retries={self.retries} fallbacks={self.fallbacks}>"
+        )
+
+
+class DependencyClient:
+    """The policy-wrapped path from one caller instance to one callee."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        http: HttpClient,
+        caller: str,
+        dependency: str,
+        target: _t.Union[Address, _t.Callable[[], Address]],
+        policy: ResiliencePolicy,
+    ) -> None:
+        self.sim = sim
+        self.http = http
+        self.caller = caller
+        self.dependency = dependency
+        #: Either a fixed address (the sidecar's loopback port, the
+        #: normal case) or a resolver callable for sidecar-less
+        #: deployments, where the client itself picks an instance.
+        self.target = target
+        self.policy = policy
+        self.stats = CallStats()
+        self._rng = sim.rng(f"client/{caller}->{dependency}")
+
+    def _resolve_target(self) -> Address:
+        if callable(self.target):
+            return self.target()
+        return self.target
+
+    def call(
+        self, request: HttpRequest
+    ) -> _t.Generator[_t.Any, _t.Any, HttpResponse]:
+        """One logical call with the full policy applied (subroutine).
+
+        Returns the downstream response — including downstream *error*
+        responses once retries are exhausted, since a real client hands
+        the final 503 to the application.  Raises transport-level
+        exceptions only when there is no HTTP response and no fallback
+        to substitute (:class:`CircuitOpenError`,
+        :class:`BulkheadFullError`, or the last network error).
+        """
+        policy = self.policy
+        self.stats.calls += 1
+
+        if policy.breaker is not None and not policy.breaker.allow_request():
+            self.stats.breaker_rejections += 1
+            fallback = self._try_fallback(request)
+            if fallback is not None:
+                return fallback
+            raise CircuitOpenError(
+                f"{self.caller} -> {self.dependency}: circuit breaker open"
+            )
+
+        if policy.bulkhead is not None:
+            try:
+                policy.bulkhead.acquire()
+            except BulkheadFullError:
+                self.stats.bulkhead_rejections += 1
+                fallback = self._try_fallback(request)
+                if fallback is not None:
+                    return fallback
+                raise
+
+        try:
+            response = yield from self._attempt_loop(request)
+        finally:
+            if policy.bulkhead is not None:
+                policy.bulkhead.release()
+        return response
+
+    # -- internals ------------------------------------------------------------
+
+    def _attempt_loop(
+        self, request: HttpRequest
+    ) -> _t.Generator[_t.Any, _t.Any, HttpResponse]:
+        policy = self.policy
+        last_error: Exception | None = None
+        last_response: HttpResponse | None = None
+
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                # The breaker gates *every* attempt: if the failures of
+                # this very call tripped it, remaining retries must not
+                # reach the wire (Hystrix semantics — and what the
+                # HasCircuitBreaker check observes as silence).
+                if policy.breaker is not None and not policy.breaker.allow_request():
+                    self.stats.breaker_rejections += 1
+                    break
+                self.stats.retries += 1
+                assert policy.retry is not None
+                backoff = policy.retry.backoff(attempt - 1, rng=self._rng)
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+            self.stats.attempts += 1
+            try:
+                response = yield from self.http.call(
+                    self._resolve_target(), request.copy(), timeout=policy.attempt_timeout
+                )
+            except FAILURE_EXCEPTIONS as exc:
+                last_error, last_response = exc, None
+                self._record_failure()
+                continue
+            if response.status >= 500:
+                last_error, last_response = None, response
+                self._record_failure()
+                continue
+            # 2xx/3xx/4xx: the call reached the service and came back;
+            # 4xx is the caller's problem, not an availability failure.
+            self.stats.successes += 1
+            if policy.breaker is not None:
+                policy.breaker.record_success()
+            return response
+
+        # All attempts failed.
+        fallback = self._try_fallback(request)
+        if fallback is not None:
+            return fallback
+        if last_response is not None:
+            return last_response
+        assert last_error is not None
+        raise last_error
+
+    def _record_failure(self) -> None:
+        self.stats.failures += 1
+        if self.policy.breaker is not None:
+            self.policy.breaker.record_failure()
+
+    def _try_fallback(self, request: HttpRequest) -> HttpResponse | None:
+        if self.policy.fallback is None:
+            return None
+        self.stats.fallbacks += 1
+        return self.policy.fallback(request)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DependencyClient {self.caller} -> {self.dependency}"
+            f" via {self.target} [{self.policy.describe()}]>"
+        )

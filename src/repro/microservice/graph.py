@@ -1,0 +1,157 @@
+"""The logical application graph.
+
+Paper Section 4.2: "The operator is also expected to provide a logical
+application graph: a directed graph describing the caller/callee
+relationship between different microservices."  The Recipe Translator
+walks this graph to decompose high-level scenarios (``dependents`` of a
+crashed service, edges across a partition cut) into per-edge fault
+rules.
+
+Backed by :mod:`networkx` so standard graph algorithms (reachability,
+cuts) come for free, with a thin domain wrapper enforcing the
+invariants recipes rely on.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import networkx as nx
+
+from repro.errors import RecipeError
+
+__all__ = ["ApplicationGraph"]
+
+
+class ApplicationGraph:
+    """Directed caller -> callee graph over logical service names."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: _t.Iterable[tuple[str, str]]) -> "ApplicationGraph":
+        """Build from ``(caller, callee)`` pairs.
+
+        >>> g = ApplicationGraph.from_edges([("A", "B"), ("B", "C")])
+        >>> g.dependents("C")
+        ['B']
+        """
+        graph = cls()
+        for caller, callee in edges:
+            graph.add_dependency(caller, callee)
+        return graph
+
+    def add_service(self, name: str) -> None:
+        """Register a service node (idempotent)."""
+        if not name:
+            raise RecipeError("service name must be non-empty")
+        self._graph.add_node(name)
+
+    def add_dependency(self, caller: str, callee: str) -> None:
+        """Record that ``caller`` makes API calls to ``callee``."""
+        if caller == callee:
+            raise RecipeError(f"service {caller!r} cannot depend on itself")
+        self._graph.add_edge(caller, callee)
+
+    # -- queries (the vocabulary of paper Section 5's recipes) --------------
+
+    def services(self) -> list[str]:
+        """All service names."""
+        return list(self._graph.nodes)
+
+    def has_service(self, name: str) -> bool:
+        """True if ``name`` is a node of the graph."""
+        return self._graph.has_node(name)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All ``(caller, callee)`` edges."""
+        return list(self._graph.edges)
+
+    def dependents(self, service: str) -> list[str]:
+        """Services that *call* ``service`` (its upstream neighbours).
+
+        This is the ``dependents()`` helper the paper's Crash/Hang/
+        Overload recipes iterate over.
+        """
+        self._require(service)
+        return list(self._graph.predecessors(service))
+
+    def dependencies(self, service: str) -> list[str]:
+        """Services that ``service`` calls (its downstream neighbours)."""
+        self._require(service)
+        return list(self._graph.successors(service))
+
+    def downstream_closure(self, service: str) -> set[str]:
+        """Every service transitively reachable from ``service``."""
+        self._require(service)
+        return set(nx.descendants(self._graph, service))
+
+    def upstream_closure(self, service: str) -> set[str]:
+        """Every service that can transitively reach ``service``."""
+        self._require(service)
+        return set(nx.ancestors(self._graph, service))
+
+    def edges_across(
+        self, group_a: _t.Iterable[str], group_b: _t.Iterable[str]
+    ) -> list[tuple[str, str]]:
+        """Edges crossing the cut between two service groups (either
+        direction).  This is the cut the NetworkPartition scenario
+        installs reset-Aborts along (paper Section 5)."""
+        set_a = set(group_a)
+        set_b = set(group_b)
+        overlap = set_a & set_b
+        if overlap:
+            raise RecipeError(f"partition groups overlap: {sorted(overlap)}")
+        for name in set_a | set_b:
+            self._require(name)
+        crossing = []
+        for caller, callee in self._graph.edges:
+            if (caller in set_a and callee in set_b) or (caller in set_b and callee in set_a):
+                crossing.append((caller, callee))
+        return crossing
+
+    def entry_services(self) -> list[str]:
+        """Services nothing calls — the user-facing edge (e.g. Web App)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def leaf_services(self) -> list[str]:
+        """Services that call nothing — datastores and third parties."""
+        return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
+
+    def validate_services(self, names: _t.Iterable[str]) -> None:
+        """Raise :class:`RecipeError` if any name is not in the graph.
+
+        Recipes are validated against the graph before any rule reaches
+        the data plane, so a typo fails fast instead of silently
+        injecting nothing.
+        """
+        unknown = [n for n in names if not self._graph.has_node(n)]
+        if unknown:
+            raise RecipeError(
+                f"services not in application graph: {unknown}; known: {sorted(self._graph.nodes)}"
+            )
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """A copy of the underlying networkx digraph, for analysis."""
+        return self._graph.copy()
+
+    # -- internals ------------------------------------------------------------
+
+    def _require(self, name: str) -> None:
+        if not self._graph.has_node(name):
+            raise RecipeError(f"unknown service {name!r} (not in application graph)")
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self._graph.has_node(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ApplicationGraph services={self._graph.number_of_nodes()}"
+            f" edges={self._graph.number_of_edges()}>"
+        )

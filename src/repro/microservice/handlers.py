@@ -1,0 +1,100 @@
+"""Reusable handler factories for building application topologies.
+
+Real microservices differ in business logic but share a few structural
+shapes; these factories cover the shapes the paper's case studies and
+benchmarks need, so topology modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.service import ServiceContext
+
+__all__ = [
+    "static_handler",
+    "fanout_handler",
+    "chain_handler",
+    "proxy_handler",
+]
+
+
+def static_handler(status: int = 200, body: bytes = b"ok") -> _t.Callable:
+    """A leaf handler that burns service time and answers statically."""
+
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        return HttpResponse(status, body=body)
+
+    return handler
+
+
+def fanout_handler(
+    dependencies: _t.Sequence[str],
+    degrade_status: int = 500,
+    partial_ok: bool = False,
+) -> _t.Callable:
+    """Call every dependency sequentially, then answer.
+
+    ``partial_ok=True`` makes the service degrade gracefully: a failed
+    dependency is noted in the body but the response is still 200 —
+    the behaviour of a service with working fallbacks.  With
+    ``partial_ok=False`` the first dependency failure turns into
+    ``degrade_status``, modelling a service whose response *requires*
+    all its dependencies (the shape that cascades).
+    """
+
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        failures = []
+        for dependency in dependencies:
+            downstream = HttpRequest("GET", f"/{dependency.lower()}")
+            try:
+                response = yield from ctx.call(dependency, downstream, parent=request)
+            except Exception as exc:  # noqa: BLE001 - any dependency failure
+                failures.append(f"{dependency}:{type(exc).__name__}")
+                response = None
+            if response is not None and response.status >= 500:
+                failures.append(f"{dependency}:{response.status}")
+            if failures and not partial_ok:
+                return HttpResponse(
+                    degrade_status,
+                    body=f"dependency failure: {failures[0]}".encode("utf-8"),
+                )
+        body = b"ok" if not failures else ("degraded: " + ",".join(failures)).encode("utf-8")
+        return HttpResponse(200, body=body)
+
+    return handler
+
+
+def chain_handler(next_service: _t.Optional[str]) -> _t.Callable:
+    """Pass-through chain hop: call the next service, relay its status.
+
+    ``None`` makes it a chain terminator (static 200).
+    """
+    if next_service is None:
+        return static_handler()
+
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        downstream = HttpRequest("GET", request.uri)
+        try:
+            response = yield from ctx.call(next_service, downstream, parent=request)
+        except Exception as exc:  # noqa: BLE001
+            return HttpResponse(502, body=f"chain broken: {type(exc).__name__}".encode())
+        return HttpResponse(response.status, body=response.body)
+
+    return handler
+
+
+def proxy_handler(backend: str) -> _t.Callable:
+    """Forward the inbound request to one backend verbatim."""
+
+    def handler(ctx: ServiceContext, request: HttpRequest):
+        yield from ctx.work()
+        downstream = HttpRequest(request.method, request.uri, body=request.body)
+        response = yield from ctx.call(backend, downstream, parent=request)
+        return response
+
+    return handler

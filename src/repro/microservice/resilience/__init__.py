@@ -1,0 +1,22 @@
+"""Resilience design patterns (paper Section 2.1).
+
+Timeouts, bounded retries, circuit breakers and bulkheads — the four
+best-practice patterns whose presence (or absence) Gremlin's assertion
+checker validates from network observations alone.
+"""
+
+from repro.microservice.resilience.bulkhead import Bulkhead
+from repro.microservice.resilience.circuit_breaker import BreakerState, CircuitBreaker
+from repro.microservice.resilience.policy import PolicySpec, ResiliencePolicy
+from repro.microservice.resilience.retry import RetryPolicy
+from repro.microservice.resilience.timeout import TimeoutPolicy
+
+__all__ = [
+    "BreakerState",
+    "Bulkhead",
+    "CircuitBreaker",
+    "PolicySpec",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "TimeoutPolicy",
+]

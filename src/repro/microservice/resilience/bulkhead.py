@@ -1,0 +1,66 @@
+"""The bulkhead resilience pattern (paper Section 2.1).
+
+    "If a shared thread pool is used to make API calls to multiple
+    microservices, thread pool resources can be quickly exhausted when
+    one of the downstream services degrades. ... The bulkhead pattern
+    mitigates this issue by assigning an independent thread pool for
+    each type of dependent microservice being called."
+
+A bulkhead here is a bounded concurrency pool per dependency; when a
+slow dependency saturates its pool, further calls to *that* dependency
+are rejected immediately (``BulkheadFullError``) while calls to other
+dependencies continue at full rate — the behaviour
+``HasBulkhead(Src, SlowDst, Rate)`` checks for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BulkheadFullError
+from repro.simulation.kernel import Simulator
+from repro.simulation.resources import Semaphore
+
+__all__ = ["Bulkhead"]
+
+
+class Bulkhead:
+    """A per-dependency concurrency limit with reject-on-full semantics."""
+
+    def __init__(self, sim: Simulator, max_concurrent: int, name: str = "bulkhead") -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.sim = sim
+        self.name = name
+        self.max_concurrent = max_concurrent
+        self._pool = Semaphore(sim, max_concurrent, name=name)
+        #: Calls rejected because the pool was full, for diagnostics.
+        self.rejected = 0
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held by in-flight calls."""
+        return self._pool.in_use
+
+    @property
+    def available(self) -> int:
+        """Free slots right now."""
+        return self._pool.available
+
+    def acquire(self) -> None:
+        """Take a slot or raise :class:`BulkheadFullError` immediately.
+
+        Rejecting rather than queueing is the point of the pattern:
+        queued callers would tie up the caller's own resources, which
+        is exactly the failure mode bulkheads exist to prevent.
+        """
+        if not self._pool.try_acquire():
+            self.rejected += 1
+            raise BulkheadFullError(
+                f"bulkhead {self.name!r} full ({self.max_concurrent} in flight)"
+            )
+
+    def release(self) -> None:
+        """Return a slot after the call completes (success or failure)."""
+        self._pool.release()
+
+    def __repr__(self) -> str:
+        return f"<Bulkhead {self.name!r} {self.in_use}/{self.max_concurrent} in use>"

@@ -1,0 +1,158 @@
+"""The circuit-breaker resilience pattern (paper Section 2.1).
+
+    "Circuit breakers prevent failures from cascading across the
+    microservice chain.  When repeated calls to a microservice fail,
+    the circuit breaker transitions to open mode and the caller service
+    returns a cached (or default) response to its upstream microservice.
+    After a fixed time period, the caller attempts to re-establish
+    connectivity with the failed downstream service.  If successful,
+    the circuit is closed again."
+
+State machine::
+
+             failures >= failure_threshold
+    CLOSED ---------------------------------> OPEN
+      ^                                        | recovery_timeout elapses
+      |   successes >= success_threshold       v
+      +------------------------------------ HALF_OPEN
+                                               | any failure
+                                               v
+                                              OPEN (timer restarts)
+
+The checker's ``HasCircuitBreaker(Src, Dst, Threshold, Tdelta,
+SuccessThreshold)`` verifies the observable consequences: after
+``Threshold`` failures, no requests for ``Tdelta``; then trial traffic;
+then normal volume after ``SuccessThreshold`` successes.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.kernel import Simulator
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState:
+    """The three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on the simulation clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures in CLOSED (or a single failure in
+        HALF_OPEN) that trip the breaker.
+    recovery_timeout:
+        Virtual seconds the breaker stays OPEN before allowing trial
+        calls (HALF_OPEN).
+    success_threshold:
+        Consecutive successes in HALF_OPEN required to close again.
+    half_open_max_calls:
+        In-flight trial calls permitted while HALF_OPEN; extra calls
+        are rejected as if OPEN.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        success_threshold: int = 1,
+        half_open_max_calls: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if recovery_timeout <= 0:
+            raise ValueError(f"recovery_timeout must be > 0, got {recovery_timeout}")
+        if success_threshold < 1:
+            raise ValueError(f"success_threshold must be >= 1, got {success_threshold}")
+        if half_open_max_calls < 1:
+            raise ValueError(f"half_open_max_calls must be >= 1, got {half_open_max_calls}")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.success_threshold = success_threshold
+        self.half_open_max_calls = half_open_max_calls
+
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._opened_at: float | None = None
+        self._half_open_in_flight = 0
+        #: Transition log of (virtual_time, new_state), for tests.
+        self.transitions: list[tuple[float, str]] = []
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for recovery-timeout expiry."""
+        self._maybe_enter_half_open()
+        return self._state
+
+    def allow_request(self) -> bool:
+        """Gate one outbound call.
+
+        CLOSED: always allowed.  OPEN: rejected.  HALF_OPEN: allowed
+        while trial slots remain (each allowance takes a slot that
+        :meth:`record_success` / :meth:`record_failure` releases).
+        """
+        self._maybe_enter_half_open()
+        if self._state == BreakerState.CLOSED:
+            return True
+        if self._state == BreakerState.OPEN:
+            return False
+        if self._half_open_in_flight >= self.half_open_max_calls:
+            return False
+        self._half_open_in_flight += 1
+        return True
+
+    def record_success(self) -> None:
+        """Report a successful call outcome."""
+        if self._state == BreakerState.HALF_OPEN:
+            self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
+            self._consecutive_successes += 1
+            if self._consecutive_successes >= self.success_threshold:
+                self._transition(BreakerState.CLOSED)
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Report a failed call outcome."""
+        if self._state == BreakerState.HALF_OPEN:
+            self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
+            self._trip()
+            return
+        if self._state == BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    # -- internals --------------------------------------------------------------
+
+    def _trip(self) -> None:
+        self._opened_at = self.sim.now
+        self._transition(BreakerState.OPEN)
+
+    def _maybe_enter_half_open(self) -> None:
+        if self._state == BreakerState.OPEN and self._opened_at is not None:
+            if self.sim.now - self._opened_at >= self.recovery_timeout:
+                self._transition(BreakerState.HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        self._state = new_state
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        if new_state != BreakerState.HALF_OPEN:
+            self._half_open_in_flight = 0
+        self.transitions.append((self.sim.now, new_state))
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.state} fails={self._consecutive_failures}"
+            f"/{self.failure_threshold}>"
+        )

@@ -1,0 +1,152 @@
+"""Composition of resilience patterns into a per-dependency policy.
+
+A :class:`ResiliencePolicy` bundles the four patterns of paper Section
+2.1 — any subset may be present, and the *absence* of each one is a
+bug class Gremlin's pattern checks are designed to expose:
+
+* no timeout      -> Fig 5's delay-offset response times
+* no bounded retry-> unbounded hammering of a degraded callee
+* no breaker      -> Fig 6's fully-delayed request train, cascading load
+* no bulkhead     -> caller resource exhaustion from one slow callee
+
+``fallback`` is the "cached (or default) response" of the breaker
+description: a callable producing an :class:`HttpResponse` when the
+dependency is unavailable (breaker open, bulkhead full, or attempts
+exhausted).  Without a fallback those conditions surface as exceptions
+to the service handler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.resilience.bulkhead import Bulkhead
+from repro.microservice.resilience.circuit_breaker import CircuitBreaker
+from repro.microservice.resilience.retry import RetryPolicy
+from repro.microservice.resilience.timeout import TimeoutPolicy
+from repro.simulation.kernel import Simulator
+
+__all__ = ["ResiliencePolicy", "PolicySpec"]
+
+#: A fallback takes the failed request and returns a substitute response.
+Fallback = _t.Callable[[HttpRequest], HttpResponse]
+
+
+@dataclasses.dataclass
+class PolicySpec:
+    """Declarative description of a policy, used in service definitions.
+
+    Service definitions are built before the simulator exists, so the
+    spec holds plain parameters; :meth:`build` instantiates the
+    stateful pattern objects against a concrete simulator.  A spec with
+    every field ``None`` describes the *naive* client the case studies
+    (ElasticPress, pre-fix Unirest users) exhibit.
+    """
+
+    timeout: _t.Optional[float] = None
+    max_retries: _t.Optional[int] = None
+    retry_backoff_base: float = 0.010
+    retry_backoff_factor: float = 2.0
+    breaker_failure_threshold: _t.Optional[int] = None
+    breaker_recovery_timeout: float = 30.0
+    breaker_success_threshold: int = 1
+    bulkhead_max_concurrent: _t.Optional[int] = None
+    fallback: _t.Optional[Fallback] = None
+
+    @classmethod
+    def naive(cls) -> "PolicySpec":
+        """No patterns at all — the anti-pattern under test in Fig 5/6."""
+        return cls()
+
+    @classmethod
+    def hardened(
+        cls,
+        timeout: float = 1.0,
+        max_retries: int = 3,
+        breaker_failure_threshold: int = 5,
+        breaker_recovery_timeout: float = 30.0,
+        bulkhead_max_concurrent: int = 10,
+        fallback: _t.Optional[Fallback] = None,
+    ) -> "PolicySpec":
+        """All four patterns enabled with sane defaults."""
+        return cls(
+            timeout=timeout,
+            max_retries=max_retries,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_recovery_timeout=breaker_recovery_timeout,
+            bulkhead_max_concurrent=bulkhead_max_concurrent,
+            fallback=fallback,
+        )
+
+    def build(self, sim: Simulator, name: str = "policy") -> "ResiliencePolicy":
+        """Instantiate the stateful policy for a concrete simulator."""
+        timeout = TimeoutPolicy(self.timeout) if self.timeout is not None else None
+        retry = (
+            RetryPolicy(
+                self.max_retries,
+                backoff_base=self.retry_backoff_base,
+                backoff_factor=self.retry_backoff_factor,
+            )
+            if self.max_retries is not None
+            else None
+        )
+        breaker = (
+            CircuitBreaker(
+                sim,
+                failure_threshold=self.breaker_failure_threshold,
+                recovery_timeout=self.breaker_recovery_timeout,
+                success_threshold=self.breaker_success_threshold,
+            )
+            if self.breaker_failure_threshold is not None
+            else None
+        )
+        bulkhead = (
+            Bulkhead(sim, self.bulkhead_max_concurrent, name=f"{name}/bulkhead")
+            if self.bulkhead_max_concurrent is not None
+            else None
+        )
+        return ResiliencePolicy(
+            timeout=timeout,
+            retry=retry,
+            breaker=breaker,
+            bulkhead=bulkhead,
+            fallback=self.fallback,
+        )
+
+
+@dataclasses.dataclass
+class ResiliencePolicy:
+    """The stateful, per-(caller-instance, dependency) policy bundle."""
+
+    timeout: _t.Optional[TimeoutPolicy] = None
+    retry: _t.Optional[RetryPolicy] = None
+    breaker: _t.Optional[CircuitBreaker] = None
+    bulkhead: _t.Optional[Bulkhead] = None
+    fallback: _t.Optional[Fallback] = None
+
+    @property
+    def attempt_timeout(self) -> _t.Optional[float]:
+        """Per-attempt deadline in virtual seconds, or None (unbounded)."""
+        return self.timeout.timeout if self.timeout is not None else None
+
+    @property
+    def max_attempts(self) -> int:
+        """Total request attempts the policy allows per logical call."""
+        return self.retry.max_attempts if self.retry is not None else 1
+
+    def describe(self) -> str:
+        """Compact human-readable summary of enabled patterns."""
+        parts = []
+        if self.timeout is not None:
+            parts.append(f"timeout={self.timeout.timeout}")
+        if self.retry is not None:
+            parts.append(f"retries={self.retry.max_retries}")
+        if self.breaker is not None:
+            parts.append(f"breaker={self.breaker.failure_threshold}")
+        if self.bulkhead is not None:
+            parts.append(f"bulkhead={self.bulkhead.max_concurrent}")
+        if self.fallback is not None:
+            parts.append("fallback")
+        return "+".join(parts) if parts else "naive"

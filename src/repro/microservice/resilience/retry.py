@@ -1,0 +1,82 @@
+"""The bounded-retry resilience pattern (paper Section 2.1).
+
+    "Bounded retries handle transient failures in the system ... The
+    API calls are retried a bounded number of times and are usually
+    accompanied with an exponential backoff strategy to avoid
+    overloading the callee microservice."
+
+``HasBoundedRetries(Src, Dst, MaxTries)`` in the assertion checker
+verifies the *observable* consequence of this policy: after repeated
+failures, Src sends at most MaxTries more requests to Dst.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Retries failed attempts with exponential backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        Number of *additional* attempts after the first (so the total
+        number of requests on the wire is ``max_retries + 1``).
+    backoff_base:
+        Sleep before the first retry, in virtual seconds.
+    backoff_factor:
+        Multiplier applied per retry (2.0 = classic exponential).
+    max_backoff:
+        Upper clamp on any single backoff sleep.
+    jitter:
+        Fraction of the backoff drawn uniformly at random and added,
+        from the simulator's seeded RNG, to de-synchronize retry storms
+        (0.0 disables jitter and keeps tests exactly deterministic).
+    """
+
+    def __init__(
+        self,
+        max_retries: int,
+        backoff_base: float = 0.010,
+        backoff_factor: float = 2.0,
+        max_backoff: float = 10.0,
+        jitter: float = 0.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base < 0 or max_backoff < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {backoff_factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts including the initial one."""
+        return self.max_retries + 1
+
+    def backoff(self, retry_index: int, rng=None) -> float:
+        """Sleep duration before retry number ``retry_index`` (0-based).
+
+        ``rng`` supplies jitter draws; pass the simulator's named
+        stream so runs stay reproducible.
+        """
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        delay = min(self.max_backoff, self.backoff_base * (self.backoff_factor**retry_index))
+        if self.jitter > 0.0 and rng is not None:
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, base={self.backoff_base},"
+            f" factor={self.backoff_factor})"
+        )

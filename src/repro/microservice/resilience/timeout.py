@@ -1,0 +1,33 @@
+"""The timeout resilience pattern (paper Section 2.1).
+
+    "Timeouts ensure that an API call to a microservice completes in
+    bounded time, to maintain responsiveness and release resources
+    associated with the API call in a timely fashion."
+
+The policy object is deliberately tiny — the mechanism lives in the
+HTTP client's deadline support — because what matters for the
+reproduction is its *presence or absence*: Figure 5 of the paper shows
+WordPress response times offset by exactly the injected delay when the
+callee's client has no timeout configured.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimeoutPolicy"]
+
+
+class TimeoutPolicy:
+    """Bounds each API call attempt to ``timeout`` virtual seconds.
+
+    Applied per *attempt*: a retry policy wrapping this one restarts
+    the budget for every try, matching common client libraries
+    (requests, Finagle, Hystrix).
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"TimeoutPolicy({self.timeout!r})"

@@ -1,0 +1,196 @@
+"""Service definitions and handler context.
+
+A :class:`ServiceDefinition` is the deploy-time description of one
+microservice: its name, request handler, replica count, simulated
+compute time, and — per dependency — the resilience policy its client
+uses.  Definitions are pure data; :mod:`repro.microservice.app` turns
+them into running instances on a simulator.
+
+Handlers are generator functions ``handler(ctx, request)`` returning an
+:class:`HttpResponse`.  ``ctx`` is a :class:`ServiceContext` giving the
+handler its only capabilities: virtual sleep, downstream calls through
+the sidecar (so Gremlin can see them), and per-instance state.  This
+mirrors how a real polyglot microservice looks *from the network*: the
+paper's whole premise (observation O1) is that internal logic is opaque
+and only message exchanges matter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.resilience.policy import PolicySpec
+from repro.network.latency import LatencyModel
+from repro.simulation.events import SimEvent
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.microservice.instance import ServiceInstance
+    from repro.simulation.kernel import Simulator
+
+__all__ = ["ServiceDefinition", "ServiceContext", "ServiceHandler", "DEFAULT_SERVICE_PORT"]
+
+#: Conventional port every simulated microservice serves on.
+DEFAULT_SERVICE_PORT = 8080
+
+#: Handler signature: generator from (context, request) to HttpResponse.
+ServiceHandler = _t.Callable[
+    ["ServiceContext", HttpRequest],
+    _t.Generator[_t.Any, _t.Any, HttpResponse],
+]
+
+
+def default_handler(
+    ctx: "ServiceContext", request: HttpRequest
+) -> _t.Generator[_t.Any, _t.Any, HttpResponse]:
+    """Leaf-service behaviour: burn the service time, answer 200.
+
+    Used by datastore stand-ins and benchmark tree leaves.
+    """
+    yield from ctx.work()
+    return HttpResponse(200, body=f"ok from {ctx.service_name}".encode("utf-8"))
+
+
+@dataclasses.dataclass
+class ServiceDefinition:
+    """Deploy-time description of one microservice.
+
+    Parameters
+    ----------
+    name:
+        Logical service name; nodes of the application graph.
+    handler:
+        Request handler generator; defaults to :func:`default_handler`.
+    dependencies:
+        Map of downstream service name -> :class:`PolicySpec` for the
+        client calling it.  ``PolicySpec.naive()`` declares the
+        dependency with no resilience patterns at all.
+    instances:
+        Replica count (paper Figure 3 tests rules across all instance
+        pairs).
+    service_time:
+        Simulated compute per request, seconds or a
+        :class:`~repro.network.latency.LatencyModel`.
+    port:
+        Serving port on each instance host.
+    worker_pool:
+        Max concurrent in-flight requests per instance (extra requests
+        queue), or ``None`` for unbounded.  Lets overload experiments
+        model real resource exhaustion.
+    canary_instances:
+        Number of *additional* replicas dedicated to test traffic
+        (paper Section 9's state-cleanup proposal).  Sidecars route
+        flows whose request ID matches the deployment's canary pattern
+        (default ``test-*``) to these replicas, so experiments that
+        mutate state never touch the production instances.
+    """
+
+    name: str
+    handler: ServiceHandler = default_handler
+    dependencies: dict[str, PolicySpec] = dataclasses.field(default_factory=dict)
+    instances: int = 1
+    service_time: _t.Union[float, LatencyModel] = 0.001
+    port: int = DEFAULT_SERVICE_PORT
+    worker_pool: _t.Optional[int] = None
+    canary_instances: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service name must be non-empty")
+        if self.instances < 1:
+            raise ValueError(f"instances must be >= 1, got {self.instances}")
+        if self.worker_pool is not None and self.worker_pool < 1:
+            raise ValueError(f"worker_pool must be >= 1, got {self.worker_pool}")
+        if self.canary_instances < 0:
+            raise ValueError(f"canary_instances must be >= 0, got {self.canary_instances}")
+
+    def dependency_names(self) -> list[str]:
+        """Downstream service names, in declaration order."""
+        return list(self.dependencies)
+
+
+class ServiceContext:
+    """Capabilities a handler gets: clock, downstream calls, state.
+
+    One context exists per service *instance*; handlers for concurrent
+    requests on the same instance share it (and its ``state`` dict),
+    which is how stateful behaviours like double-billing bugs are
+    modelled.
+    """
+
+    def __init__(self, instance: "ServiceInstance") -> None:
+        self._instance = instance
+        #: Arbitrary per-instance state shared across requests.
+        self.state: dict[str, _t.Any] = {}
+
+    @property
+    def sim(self) -> "Simulator":
+        """The simulator this instance runs on."""
+        return self._instance.sim
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._instance.sim.now
+
+    @property
+    def service_name(self) -> str:
+        """Logical name of the owning service."""
+        return self._instance.definition.name
+
+    @property
+    def instance_id(self) -> str:
+        """Physical instance ID (e.g. ``"servicea-0"``)."""
+        return self._instance.instance_id
+
+    @property
+    def dependencies(self) -> list[str]:
+        """Names of services this instance can call."""
+        return list(self._instance.clients)
+
+    def sleep(self, duration: float) -> SimEvent:
+        """Event for a virtual-time sleep: ``yield ctx.sleep(0.5)``."""
+        return self.sim.timeout(duration)
+
+    def work(self) -> _t.Generator[_t.Any, _t.Any, None]:
+        """Burn this service's configured compute time (subroutine)."""
+        service_time = self._instance.definition.service_time
+        if isinstance(service_time, LatencyModel):
+            duration = service_time.sample(self.sim)
+        else:
+            duration = float(service_time)
+        if duration > 0:
+            yield self.sim.timeout(duration)
+
+    def call(
+        self,
+        dependency: str,
+        request: HttpRequest,
+        parent: _t.Optional[HttpRequest] = None,
+    ) -> _t.Generator[_t.Any, _t.Any, HttpResponse]:
+        """Call a declared downstream dependency (subroutine).
+
+        Routes through this instance's sidecar agent (when deployed
+        with one) so the call is observable and injectable.  ``parent``
+        is the inbound request whose ID should propagate; pass it for
+        every call made on behalf of a user request.
+
+        Raises ``KeyError`` for undeclared dependencies — declaring the
+        dependency is what puts the edge in the application graph.
+        """
+        client = self._instance.clients.get(dependency)
+        if client is None:
+            raise KeyError(
+                f"{self.service_name} has no declared dependency {dependency!r};"
+                f" declared: {self.dependencies}"
+            )
+        if parent is not None:
+            rid = parent.request_id
+            if rid is not None:
+                request.request_id = rid
+        response = yield from client.call(request)
+        return response
+
+    def __repr__(self) -> str:
+        return f"<ServiceContext {self.instance_id}>"

@@ -1,0 +1,39 @@
+"""Simulated L4 network: addresses, latency models, transport.
+
+The transport exposes precisely the failure observables of the paper's
+fault model: refused connections, connect timeouts under partition,
+resets, and silently-dropped in-flight messages.
+"""
+
+from repro.network.address import LOOPBACK, Address
+from repro.network.latency import (
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+    NoLatency,
+    UniformLatency,
+    as_latency,
+)
+from repro.network.transport import (
+    Connection,
+    ConnectionEnd,
+    Host,
+    Listener,
+    Network,
+)
+
+__all__ = [
+    "Address",
+    "Connection",
+    "ConnectionEnd",
+    "FixedLatency",
+    "Host",
+    "LatencyModel",
+    "Listener",
+    "LognormalLatency",
+    "LOOPBACK",
+    "Network",
+    "NoLatency",
+    "UniformLatency",
+    "as_latency",
+]

@@ -1,0 +1,59 @@
+"""Network addresses for the simulated transport.
+
+Addresses mirror the ``host:port`` form the paper's sidecar
+configuration uses (``localhost:<port> -> <remotehost>[:<remoteport>]``)
+so deployment descriptors in :mod:`repro.microservice.app` read exactly
+like the paper's Section 6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Address", "LOOPBACK"]
+
+#: Conventional loopback host name, used for microservice -> sidecar hops.
+LOOPBACK = "localhost"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Address:
+    """An immutable ``host:port`` endpoint on the simulated network."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 < self.port < 65536:
+            raise ValueError(f"port must be in (0, 65536), got {self.port}")
+
+    @classmethod
+    def parse(cls, text: str, default_port: int | None = None) -> "Address":
+        """Parse ``"host:port"`` (or ``"host"`` with ``default_port``).
+
+        >>> Address.parse("10.1.1.1:8080")
+        Address(host='10.1.1.1', port=8080)
+        >>> Address.parse("db", default_port=5432)
+        Address(host='db', port=5432)
+        """
+        host, sep, port_text = text.partition(":")
+        if sep:
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise ValueError(f"invalid port in address {text!r}") from None
+        elif default_port is not None:
+            port = default_port
+        else:
+            raise ValueError(f"address {text!r} has no port and no default given")
+        return cls(host, port)
+
+    @property
+    def is_loopback(self) -> bool:
+        """True for the loopback pseudo-host (microservice -> sidecar)."""
+        return self.host == LOOPBACK
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"

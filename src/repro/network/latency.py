@@ -1,0 +1,120 @@
+"""Latency models for simulated network links.
+
+The data-plane benchmarks in the paper run against real networks whose
+one-way latencies are noisy; the case-study figures (Fig 5/6) are
+dominated by injected delays measured in seconds, so sub-millisecond
+link jitter is irrelevant to the reproduced shapes.  We still provide a
+small family of models so experiments can check robustness of the
+assertion logic to latency noise.
+
+All models draw from a named, seeded RNG stream of the simulator, so a
+given topology produces identical latencies run-to-run.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.simulation.kernel import Simulator
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "NoLatency",
+]
+
+
+class LatencyModel:
+    """Base class: maps each message transmission to a one-way delay."""
+
+    def sample(self, sim: Simulator) -> float:
+        """Return the one-way delay (virtual seconds) for one message."""
+        raise NotImplementedError
+
+
+class NoLatency(LatencyModel):
+    """Zero-delay links; useful for logic-only unit tests."""
+
+    def sample(self, sim: Simulator) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NoLatency()"
+
+
+class FixedLatency(LatencyModel):
+    """A constant one-way delay.
+
+    The default data-plane link in :mod:`repro.apps` uses 500 µs,
+    roughly a same-datacenter RTT of 1 ms.
+    """
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self, sim: Simulator) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay!r})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, stream: str = "latency.uniform") -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"require 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.stream = stream
+
+    def sample(self, sim: Simulator) -> float:
+        return sim.rng(self.stream).uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low!r}, {self.high!r})"
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed delay, the common empirical shape for service RTTs.
+
+    Parameterized by the underlying normal's ``mu``/``sigma``; the
+    sampled value is clamped below at ``floor`` to avoid pathological
+    near-zero delays.
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        sigma: float,
+        floor: float = 0.0,
+        stream: str = "latency.lognormal",
+    ) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        self.mu = mu
+        self.sigma = sigma
+        self.floor = floor
+        self.stream = stream
+
+    def sample(self, sim: Simulator) -> float:
+        return max(self.floor, sim.rng(self.stream).lognormvariate(self.mu, self.sigma))
+
+    def __repr__(self) -> str:
+        return f"LognormalLatency(mu={self.mu!r}, sigma={self.sigma!r})"
+
+
+def as_latency(value: _t.Union[float, LatencyModel, None]) -> LatencyModel:
+    """Coerce a float (seconds) or None into a :class:`LatencyModel`."""
+    if value is None:
+        return NoLatency()
+    if isinstance(value, LatencyModel):
+        return value
+    return FixedLatency(float(value))

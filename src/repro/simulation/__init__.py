@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate everything else in the reproduction runs
+on: a virtual clock, one-shot events, generator-based processes, and
+the two synchronization resources (channels, semaphores) used by the
+network transport and the resilience patterns.
+
+See :class:`repro.simulation.Simulator` for the entry point.
+"""
+
+from repro.simulation.events import AllOf, AnyOf, Condition, SimEvent, Timeout
+from repro.simulation.kernel import Simulator
+from repro.simulation.process import Interrupt, Process
+from repro.simulation.resources import Channel, ChannelClosed, Semaphore
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "ChannelClosed",
+    "Condition",
+    "Interrupt",
+    "Process",
+    "Semaphore",
+    "SimEvent",
+    "Simulator",
+    "Timeout",
+]

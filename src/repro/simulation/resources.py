@@ -1,0 +1,166 @@
+"""Synchronization resources built on the simulation kernel.
+
+Two resources cover everything the substrates need:
+
+* :class:`Channel` — an unbounded FIFO of items with blocking ``get``;
+  the building block of network connections and message buses.
+* :class:`Semaphore` — counted permits with blocking and non-blocking
+  acquire; the building block of thread pools and the bulkhead
+  resilience pattern (a bulkhead *is* a per-dependency semaphore).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.simulation.events import SimEvent
+from repro.simulation.kernel import Simulator
+
+__all__ = ["Channel", "ChannelClosed", "Semaphore"]
+
+
+class ChannelClosed(Exception):
+    """Raised into getters when the channel is closed and drained.
+
+    A closed channel models a torn-down connection: pending items may
+    still be consumed, after which waiting getters fail.
+    """
+
+
+class Channel:
+    """Unbounded FIFO channel with event-based blocking ``get``.
+
+    ``put`` never blocks (links apply backpressure through latency, not
+    queue limits — adequate for the paper's fault model).  ``get``
+    returns a :class:`SimEvent` the caller yields on.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "channel") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: deque[_t.Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+        self._closed = False
+        self._close_reason: Exception | None = None
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` was called."""
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: _t.Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        if self._closed:
+            raise ChannelClosed(f"cannot put into closed channel {self.name!r}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Return an event yielding the next item (or failing on close)."""
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        elif self._closed:
+            ev.fail(self._close_exception())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def close(self, reason: Exception | None = None) -> None:
+        """Close the channel; all waiting getters fail immediately.
+
+        ``reason`` (if given) is the exception delivered to getters,
+        letting a connection reset surface as ``ConnectionResetError_``
+        rather than a generic :class:`ChannelClosed`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._close_reason = reason
+        while self._getters:
+            self._getters.popleft().fail(self._close_exception())
+
+    def _close_exception(self) -> Exception:
+        if self._close_reason is not None:
+            return self._close_reason
+        return ChannelClosed(f"channel {self.name!r} closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<Channel {self.name!r} {state} items={len(self._items)}>"
+
+
+class Semaphore:
+    """Counted permits with FIFO blocking acquire.
+
+    Used for service worker pools and for the bulkhead pattern, where a
+    dependency gets a bounded number of concurrent in-flight calls and
+    excess callers are rejected (``try_acquire``) instead of queued.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "semaphore") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: deque[SimEvent] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of free permits right now."""
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        """Number of permits currently held."""
+        return self.capacity - self._available
+
+    @property
+    def queued(self) -> int:
+        """Number of blocked acquirers waiting for a permit."""
+        return len(self._waiters)
+
+    def acquire(self) -> SimEvent:
+        """Return an event that succeeds once a permit is granted."""
+        ev = self.sim.event()
+        if self._available > 0:
+            self._available -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Take a permit without blocking; False if none available.
+
+        This is the bulkhead behaviour: when the pool for a slow
+        dependency is exhausted, new calls are rejected immediately so
+        the caller's resources are not dragged down with it.
+        """
+        if self._available > 0:
+            self._available -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a permit, waking the oldest blocked acquirer if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+            return
+        if self._available >= self.capacity:
+            raise ValueError(f"semaphore {self.name!r} released more than acquired")
+        self._available += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<Semaphore {self.name!r} {self._available}/{self.capacity} free"
+            f" queued={len(self._waiters)}>"
+        )

@@ -1,0 +1,22 @@
+"""Request-ID generation and propagation (the Dapper/Zipkin stand-in).
+
+The paper (Section 4.1) relies on the common practice of tagging every
+user request with a globally unique ID that each microservice forwards
+downstream; Gremlin agents match rule patterns against this ID so fault
+injection can be confined to test traffic (e.g. IDs of the form
+``test-*``) while production flows pass untouched.
+"""
+
+from repro.tracing.context import (
+    RequestIdGenerator,
+    TEST_ID_PREFIX,
+    is_test_request_id,
+    propagate,
+)
+
+__all__ = [
+    "RequestIdGenerator",
+    "TEST_ID_PREFIX",
+    "is_test_request_id",
+    "propagate",
+]

@@ -1,0 +1,57 @@
+"""Request-ID utilities.
+
+IDs are deterministic per generator instance (seeded counter + random
+suffix) so simulation runs are reproducible, yet unique across a run.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.http.headers import REQUEST_ID_HEADER
+from repro.http.message import HttpRequest
+
+__all__ = ["TEST_ID_PREFIX", "RequestIdGenerator", "is_test_request_id", "propagate"]
+
+#: Prefix used for synthetic test traffic, matching the paper's
+#: ``Pattern='test-*'`` rule examples.
+TEST_ID_PREFIX = "test-"
+
+
+class RequestIdGenerator:
+    """Mints unique request IDs.
+
+    ``prefix`` distinguishes traffic classes: ``test-`` for synthetic
+    load (the flows Gremlin injects faults on) versus e.g. ``user-``
+    for production-like background traffic that must pass unharmed.
+    """
+
+    def __init__(self, prefix: str = TEST_ID_PREFIX, start: int = 1) -> None:
+        self.prefix = prefix
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> str:
+        """Return the next unique request ID, e.g. ``"test-17"``."""
+        return f"{self.prefix}{next(self._counter)}"
+
+    def __repr__(self) -> str:
+        return f"RequestIdGenerator(prefix={self.prefix!r})"
+
+
+def is_test_request_id(request_id: str | None) -> bool:
+    """True if the ID marks synthetic test traffic."""
+    return request_id is not None and request_id.startswith(TEST_ID_PREFIX)
+
+
+def propagate(incoming: HttpRequest, outgoing: HttpRequest) -> HttpRequest:
+    """Copy the request ID from an inbound request onto an outbound one.
+
+    This is what every well-behaved microservice does with trace
+    headers; the reproduced service runtime calls it on each downstream
+    call so a user request's flow is traceable end to end.  Returns
+    ``outgoing`` for chaining.
+    """
+    rid = incoming.headers.get(REQUEST_ID_HEADER)
+    if rid is not None:
+        outgoing.headers[REQUEST_ID_HEADER] = rid
+    return outgoing

@@ -1,0 +1,63 @@
+"""Small shared utilities.
+
+Currently: human-friendly duration parsing.  The paper's recipes write
+intervals as strings — ``Delay(..., Interval='100ms')``,
+``AtMostRequests(RList, '1min', ...)``, ``Delay(..., Interval='1h')`` —
+so both the rule layer and the assertion layer accept the same syntax.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+__all__ = ["parse_duration", "format_duration"]
+
+_DURATION_RE = re.compile(r"^\s*(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>us|ms|s|sec|min|m|h|hr)?\s*$")
+
+_UNIT_SECONDS = {
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    None: 1.0,  # bare numbers are seconds
+}
+
+
+def parse_duration(value: _t.Union[str, int, float]) -> float:
+    """Convert ``'100ms'`` / ``'1min'`` / ``'1h'`` / ``2.5`` to seconds.
+
+    >>> parse_duration('100ms')
+    0.1
+    >>> parse_duration('1min')
+    60.0
+    >>> parse_duration(3)
+    3.0
+    """
+    if isinstance(value, (int, float)):
+        result = float(value)
+    else:
+        match = _DURATION_RE.match(value)
+        if match is None:
+            raise ValueError(f"unparseable duration {value!r} (try '100ms', '1min', '1h')")
+        result = float(match.group("value")) * _UNIT_SECONDS[match.group("unit")]
+    if result < 0:
+        raise ValueError(f"duration must be >= 0, got {result}")
+    return result
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds compactly: 0.1 -> ``'100ms'``, 90 -> ``'1.5min'``."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:g}h"
+    if seconds >= 60:
+        return f"{seconds / 60:g}min"
+    if seconds >= 1:
+        return f"{seconds:g}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:g}ms"
+    return f"{seconds * 1e6:g}us"

@@ -1,0 +1,57 @@
+"""Agent-level unit tests for canary routing configuration."""
+
+from repro.apps import build_twotier
+from repro.agent.proxy import GremlinAgent
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import Application, PolicySpec, ServiceDefinition, fanout_handler
+from repro.tracing import RequestIdGenerator
+
+
+def build(canary_pattern="test-*"):
+    """Two-tier app with one canary; agents use ``canary_pattern``."""
+    app = Application("canary-config")
+    app.add_service(
+        ServiceDefinition(
+            "ServiceA",
+            handler=fanout_handler(["ServiceB"]),
+            dependencies={"ServiceB": PolicySpec(timeout=1.0)},
+        )
+    )
+    app.add_service(ServiceDefinition("ServiceB", canary_instances=1))
+    deployment = app.deploy(seed=141)
+    # Reconfigure every agent's canary pattern post-deploy (unit-level
+    # knob; the Deployment default is test-*).
+    from repro.logstore.query import compile_id_pattern
+
+    for agent in deployment.agents:
+        agent.canary_pattern = canary_pattern
+        agent._canary_regex = compile_id_pattern(canary_pattern)
+    source = deployment.add_traffic_source("ServiceA")
+    for agent in deployment.agents:
+        agent.canary_pattern = canary_pattern
+        agent._canary_regex = compile_id_pattern(canary_pattern)
+    return deployment, source
+
+
+class TestCanaryPatternConfig:
+    def test_custom_pattern(self):
+        deployment, source = build(canary_pattern="shadow-*")
+        ClosedLoopLoad(num_requests=2, ids=RequestIdGenerator(prefix="shadow-")).run(source)
+        ClosedLoopLoad(num_requests=3).run(source)  # test-* -> production now
+        canary = deployment.canaries_of("ServiceB")[0]
+        production = deployment.production_instances_of("ServiceB")[0]
+        assert canary.server.requests_served == 2
+        assert production.server.requests_served == 3
+
+    def test_none_disables_canary_routing(self):
+        deployment, source = build(canary_pattern=None)
+        ClosedLoopLoad(num_requests=4).run(source)
+        canary = deployment.canaries_of("ServiceB")[0]
+        production = deployment.production_instances_of("ServiceB")[0]
+        assert canary.server.requests_served == 0
+        assert production.server.requests_served == 4
+
+    def test_default_pattern_on_fresh_agent(self):
+        deployment, _source = build()
+        agent = deployment.agents_of("ServiceA")[0]
+        assert agent.canary_pattern == "test-*"

@@ -1,0 +1,52 @@
+"""Unit tests for the agent control channel and rule wire format."""
+
+import pytest
+
+from repro.agent import abort, delay, modify, rule_from_wire, rule_to_wire
+from repro.errors import RuleValidationError
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            abort("A", "B", error=503, pattern="test-*"),
+            abort("A", "B", error=-1, probability=0.5),
+            delay("A", "B", interval="100ms", on="response", max_matches=10),
+            modify("A", "B", pattern="key", replace_bytes="badkey", id_pattern="test-*"),
+        ],
+    )
+    def test_round_trip_preserves_semantics(self, rule):
+        parsed = rule_from_wire(rule_to_wire(rule))
+        assert parsed.src == rule.src
+        assert parsed.dst == rule.dst
+        assert parsed.fault_type == rule.fault_type
+        assert parsed.pattern == rule.pattern
+        assert parsed.on == rule.on
+        assert parsed.probability == rule.probability
+        assert parsed.error == rule.error
+        assert parsed.interval == rule.interval
+        assert parsed.replace_bytes == rule.replace_bytes
+        assert parsed.max_matches == rule.max_matches
+
+    def test_binary_replace_bytes_survive(self):
+        rule = modify("A", "B", pattern=b"\x00\xff", replace_bytes=b"\xfe\x01")
+        parsed = rule_from_wire(rule_to_wire(rule))
+        assert parsed.search_bytes == b"\x00\xff"
+        assert parsed.replace_bytes == b"\xfe\x01"
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(RuleValidationError):
+            rule_from_wire("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(RuleValidationError):
+            rule_from_wire("[1, 2]")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(RuleValidationError, match="unknown"):
+            rule_from_wire('{"src": "A", "dst": "B", "fault_type": "abort", "error": 503, "evil": 1}')
+
+    def test_invalid_rule_content_rejected_at_agent_boundary(self):
+        with pytest.raises(RuleValidationError):
+            rule_from_wire('{"src": "A", "dst": "B", "fault_type": "abort", "error": 200}')

@@ -1,0 +1,67 @@
+"""Unit tests for fault-action helpers."""
+
+import pytest
+
+from repro.agent import (
+    abort,
+    delay,
+    modify,
+    modify_request,
+    modify_response,
+    synthesize_abort_response,
+)
+from repro.agent.rules import TCP_RESET
+from repro.errors import RuleValidationError
+from repro.http import HttpRequest, HttpResponse
+
+
+class TestSynthesizeAbort:
+    def test_error_response_carries_code_and_id(self):
+        rule = abort("A", "B", error=503)
+        request = HttpRequest("GET", "/x")
+        request.request_id = "test-5"
+        response = synthesize_abort_response(rule, request)
+        assert response.status == 503
+        assert response.request_id == "test-5"
+        assert str(rule.rule_id).encode() in response.body
+
+    def test_custom_error_codes(self):
+        assert synthesize_abort_response(abort("A", "B", error=404), HttpRequest("GET", "/")).status == 404
+
+    def test_reset_rule_cannot_synthesize(self):
+        with pytest.raises(RuleValidationError):
+            synthesize_abort_response(abort("A", "B", error=TCP_RESET), HttpRequest("GET", "/"))
+
+    def test_non_abort_rule_rejected(self):
+        with pytest.raises(RuleValidationError):
+            synthesize_abort_response(delay("A", "B", interval=1), HttpRequest("GET", "/"))
+
+
+class TestModify:
+    def test_modify_response_rewrites_body(self):
+        rule = modify("A", "B", pattern="key", replace_bytes="badkey")
+        response = HttpResponse(200, body=b"key=value")
+        rewritten = modify_response(rule, response)
+        assert rewritten.body == b"badkey=value"
+        assert response.body == b"key=value"  # original untouched
+
+    def test_modify_request_rewrites_body(self):
+        rule = modify("A", "B", pattern="amount=5", replace_bytes="amount=50", on="request")
+        request = HttpRequest("POST", "/charge", body=b"amount=5")
+        assert modify_request(rule, request).body == b"amount=50"
+
+    def test_all_occurrences_replaced(self):
+        rule = modify("A", "B", pattern="x", replace_bytes="yy")
+        assert modify_response(rule, HttpResponse(200, body=b"x.x.x")).body == b"yy.yy.yy"
+
+    def test_no_match_leaves_body(self):
+        rule = modify("A", "B", pattern="absent", replace_bytes="z")
+        assert modify_response(rule, HttpResponse(200, body=b"body")).body == b"body"
+
+    def test_non_modify_rule_rejected(self):
+        with pytest.raises(RuleValidationError):
+            modify_response(abort("A", "B"), HttpResponse(200))
+
+    def test_binary_patterns(self):
+        rule = modify("A", "B", pattern=b"\x01\x02", replace_bytes=b"")
+        assert modify_response(rule, HttpResponse(200, body=b"a\x01\x02b")).body == b"ab"

@@ -1,0 +1,243 @@
+"""Integration tests for the GremlinAgent sidecar proxy.
+
+Each test deploys the two-tier app (ServiceA -> ServiceB through A's
+sidecar) and drives calls from a traffic source, asserting on both the
+caller-visible behaviour and the observation records the agent emits.
+"""
+
+import pytest
+
+from repro.agent import TCP_RESET, abort, delay, modify
+from repro.apps import build_twotier
+from repro.errors import ConnectionResetError_, OrchestrationError
+from repro.http import HttpRequest
+from repro.logstore import Query
+from repro.microservice import PolicySpec
+
+
+def deploy(policy=None, instances_b=1, seed=11):
+    deployment = build_twotier(
+        policy=policy or PolicySpec(timeout=5.0), instances_b=instances_b
+    ).deploy(seed=seed)
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source
+
+
+def drive(deployment, source, n=1, prefix="test-", uri="/api"):
+    """Issue n tagged requests; returns list of (status_or_exc, elapsed)."""
+    sim = deployment.sim
+    outcomes = []
+
+    def one(sim, rid):
+        request = HttpRequest("GET", uri)
+        request.request_id = rid
+        start = sim.now
+        try:
+            response = yield from source.client.call(request)
+            outcomes.append((response.status, sim.now - start))
+        except Exception as exc:  # noqa: BLE001
+            outcomes.append((type(exc).__name__, sim.now - start))
+
+    def sequence(sim):
+        for index in range(n):
+            yield from one(sim, f"{prefix}{index + 1}")
+
+    sim.process(sequence(sim))
+    sim.run()
+    return outcomes
+
+
+def agent_a(deployment):
+    return deployment.agents_of("ServiceA")[0]
+
+
+class TestForwarding:
+    def test_passthrough_and_observation_records(self):
+        deployment, source = deploy()
+        outcomes = drive(deployment, source, n=2)
+        assert [status for status, _ in outcomes] == [200, 200]
+
+        requests = deployment.store.search(Query(kind="request", src="ServiceA", dst="ServiceB"))
+        replies = deployment.store.search(Query(kind="reply", src="ServiceA", dst="ServiceB"))
+        assert len(requests) == 2
+        assert len(replies) == 2
+        record = requests[0]
+        assert record.src_instance == "servicea-0"
+        assert record.method == "GET"
+        assert record.uri == "/serviceb"
+        assert record.request_id == "test-1"
+        assert record.status == 200  # outcome written back in place
+        assert record.fault_applied is None
+        reply = replies[0]
+        assert reply.latency is not None and reply.latency > 0
+        assert reply.injected_delay == 0.0
+        assert not reply.gremlin_generated
+
+    def test_round_robin_across_instances(self):
+        deployment, source = deploy(instances_b=2)
+        drive(deployment, source, n=4)
+        served = [i.server.requests_served for i in deployment.instances_of("ServiceB")]
+        assert served == [2, 2]
+
+    def test_proxied_counter(self):
+        deployment, source = deploy()
+        drive(deployment, source, n=3)
+        assert agent_a(deployment).proxied == 3
+
+
+class TestAbortFault:
+    def test_abort_503_never_reaches_destination(self):
+        deployment, source = deploy(policy=PolicySpec(timeout=5.0))
+        agent_a(deployment).install_rule(abort("ServiceA", "ServiceB", error=503))
+        outcomes = drive(deployment, source, n=2)
+        # fanout_handler turns the dependency 503 into a 500 upstream.
+        assert [status for status, _ in outcomes] == [500, 500]
+        assert all(i.server.requests_served == 0 for i in deployment.instances_of("ServiceB"))
+
+        requests = deployment.store.search(Query(kind="request", src="ServiceA", dst="ServiceB"))
+        assert all(r.fault_applied == "abort(503)" for r in requests)
+        assert all(r.status == 503 for r in requests)
+        replies = deployment.store.search(Query(kind="reply", src="ServiceA", dst="ServiceB"))
+        assert all(r.gremlin_generated for r in replies)
+
+    def test_abort_reset_surfaces_as_connection_reset(self):
+        deployment, source = deploy(policy=PolicySpec())
+        agent_a(deployment).install_rule(abort("ServiceA", "ServiceB", error=TCP_RESET))
+        outcomes = drive(deployment, source, n=1)
+        # ServiceA's naive client sees the reset; its handler degrades to 500.
+        assert outcomes[0][0] == 500
+        replies = deployment.store.search(Query(kind="reply", src="ServiceA", dst="ServiceB"))
+        assert replies[0].error == "reset"
+
+    def test_abort_matches_only_rule_pattern(self):
+        deployment, source = deploy()
+        agent_a(deployment).install_rule(abort("ServiceA", "ServiceB", error=503, pattern="test-*"))
+        test_outcomes = drive(deployment, source, n=1, prefix="test-")
+        production_outcomes = drive(deployment, source, n=1, prefix="user-")
+        assert test_outcomes[0][0] == 500
+        assert production_outcomes[0][0] == 200
+
+
+class TestDelayFault:
+    def test_delay_offsets_latency_and_is_recorded(self):
+        deployment, source = deploy()
+        agent_a(deployment).install_rule(delay("ServiceA", "ServiceB", interval="2s"))
+        outcomes = drive(deployment, source, n=1)
+        status, elapsed = outcomes[0]
+        assert status == 200
+        assert elapsed == pytest.approx(2.0, abs=0.1)
+        replies = deployment.store.search(Query(kind="reply", src="ServiceA", dst="ServiceB"))
+        reply = replies[0]
+        assert reply.injected_delay == pytest.approx(2.0)
+        assert reply.latency == pytest.approx(2.0, abs=0.1)
+        assert reply.actual_latency == pytest.approx(reply.latency - 2.0)
+        assert reply.fault_applied == "delay(2)"
+
+    def test_delayed_request_still_reaches_destination(self):
+        deployment, source = deploy()
+        agent_a(deployment).install_rule(delay("ServiceA", "ServiceB", interval=0.5))
+        drive(deployment, source, n=2)
+        total_served = sum(i.server.requests_served for i in deployment.instances_of("ServiceB"))
+        assert total_served == 2
+
+    def test_response_direction_delay(self):
+        deployment, source = deploy()
+        agent_a(deployment).install_rule(
+            delay("ServiceA", "ServiceB", interval=1.0, on="response")
+        )
+        outcomes = drive(deployment, source, n=1)
+        assert outcomes[0][1] == pytest.approx(1.0, abs=0.1)
+
+
+class TestModifyFault:
+    def test_response_body_rewritten(self):
+        deployment, source = deploy()
+        agent_a(deployment).install_rule(
+            modify("ServiceA", "ServiceB", pattern="ok", replace_bytes="corrupted")
+        )
+        sim = deployment.sim
+        bodies = []
+
+        def scenario(sim):
+            request = HttpRequest("GET", "/api")
+            request.request_id = "test-1"
+            # Look at what ServiceA's client actually received by calling
+            # through the source (ServiceA relays ServiceB's body on 200).
+            response = yield from source.client.call(request)
+            bodies.append(response.body)
+
+        sim.process(scenario(sim))
+        sim.run()
+        assert bodies == [b"ok"]  # fanout handler replies "ok" on success
+
+        # The record shows the fault was applied on the A->B edge.
+        replies = deployment.store.search(Query(kind="reply", src="ServiceA", dst="ServiceB"))
+        assert replies[0].fault_applied == "modify"
+
+
+class TestBudgetedRules:
+    def test_fig6_style_schedule(self):
+        """Abort the first 3 matching requests, delay the next 3."""
+        deployment, source = deploy(policy=PolicySpec(timeout=10.0))
+        agent = agent_a(deployment)
+        agent.install_rule(abort("ServiceA", "ServiceB", error=503, max_matches=3))
+        agent.install_rule(delay("ServiceA", "ServiceB", interval=3.0, max_matches=3))
+        outcomes = drive(deployment, source, n=7)
+        statuses = [status for status, _ in outcomes]
+        elapsed = [t for _, t in outcomes]
+        assert statuses == [500, 500, 500, 200, 200, 200, 200]
+        assert all(t < 0.5 for t in elapsed[:3])
+        assert all(t == pytest.approx(3.0, abs=0.2) for t in elapsed[3:6])
+        assert elapsed[6] < 0.5
+
+
+class TestControlInterface:
+    def test_rule_for_other_source_rejected(self):
+        deployment, _source = deploy()
+        with pytest.raises(OrchestrationError):
+            agent_a(deployment).install_rule(abort("ServiceX", "ServiceB"))
+
+    def test_rule_for_unrouted_destination_rejected(self):
+        deployment, _source = deploy()
+        with pytest.raises(OrchestrationError):
+            agent_a(deployment).install_rule(abort("ServiceA", "Unknown"))
+
+    def test_clear_rules_restores_passthrough(self):
+        deployment, source = deploy()
+        agent = agent_a(deployment)
+        agent.install_rule(abort("ServiceA", "ServiceB", error=503))
+        assert drive(deployment, source, n=1)[0][0] == 500
+        agent.clear_rules()
+        assert drive(deployment, source, n=1, prefix="test-x")[0][0] == 200
+
+    def test_list_and_remove_rules(self):
+        deployment, _source = deploy()
+        agent = agent_a(deployment)
+        rule = abort("ServiceA", "ServiceB")
+        agent.install_rule(rule)
+        assert [r.rule_id for r in agent.list_rules()] == [rule.rule_id]
+        assert agent.remove_rule(rule.rule_id)
+        assert agent.list_rules() == []
+
+    def test_duplicate_route_rejected(self):
+        deployment, _source = deploy()
+        with pytest.raises(OrchestrationError):
+            agent_a(deployment).add_route(9000, "ServiceB")
+
+
+class TestUpstreamFailures:
+    def test_stopped_destination_becomes_503(self):
+        deployment, source = deploy(policy=PolicySpec())
+        for instance in deployment.instances_of("ServiceB"):
+            instance.stop()
+        outcomes = drive(deployment, source, n=1)
+        assert outcomes[0][0] == 500  # A's handler sees 503 -> degrades to 500
+        replies = deployment.store.search(Query(kind="reply", src="ServiceA", dst="ServiceB"))
+        assert replies[0].error == "refused"
+        assert replies[0].status == 503
+
+    def test_agent_stop_refuses_caller(self):
+        deployment, source = deploy(policy=PolicySpec())
+        agent_a(deployment).stop()
+        outcomes = drive(deployment, source, n=1)
+        assert outcomes[0][0] == 500  # refused at the loopback hop

@@ -1,0 +1,118 @@
+"""Unit tests for fault-rule construction and validation (Table 2)."""
+
+import pytest
+
+from repro.agent import FaultRule, FaultType, TCP_RESET, abort, delay, modify
+from repro.errors import RuleValidationError
+
+
+class TestAbortRule:
+    def test_basic(self):
+        rule = abort("A", "B", error=503)
+        assert rule.fault_type == FaultType.ABORT
+        assert rule.error == 503
+        assert not rule.is_reset
+        assert rule.describe() == "abort(503)"
+
+    def test_reset_variant(self):
+        rule = abort("A", "B", error=TCP_RESET)
+        assert rule.is_reset
+        assert rule.describe() == "abort(reset)"
+
+    def test_error_mandatory(self):
+        with pytest.raises(RuleValidationError):
+            FaultRule(src="A", dst="B", fault_type=FaultType.ABORT)
+
+    @pytest.mark.parametrize("bad_error", [0, 200, 399, 600, -2])
+    def test_error_must_be_4xx_5xx_or_reset(self, bad_error):
+        with pytest.raises(RuleValidationError):
+            abort("A", "B", error=bad_error)
+
+    def test_default_pattern_is_test_traffic(self):
+        assert abort("A", "B").pattern == "test-*"
+        assert abort("A", "B").flow_pattern == "test-*"
+
+
+class TestDelayRule:
+    def test_basic(self):
+        rule = delay("A", "B", interval="100ms")
+        assert rule.fault_type == FaultType.DELAY
+        assert rule.interval == pytest.approx(0.1)
+        assert rule.describe() == "delay(0.1)"
+
+    def test_paper_duration_strings(self):
+        assert delay("A", "B", interval="1h").interval == 3600.0
+        assert delay("A", "B", interval="1min").interval == 60.0
+
+    def test_numeric_interval(self):
+        assert delay("A", "B", interval=2.5).interval == 2.5
+
+    def test_interval_mandatory(self):
+        with pytest.raises(RuleValidationError):
+            FaultRule(src="A", dst="B", fault_type=FaultType.DELAY)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(RuleValidationError):
+            FaultRule(src="A", dst="B", fault_type=FaultType.DELAY, interval=-1)
+
+
+class TestModifyRule:
+    def test_basic(self):
+        rule = modify("A", "B", pattern="key", replace_bytes="badkey")
+        assert rule.fault_type == FaultType.MODIFY
+        assert rule.search_bytes == b"key"
+        assert rule.replace_bytes == b"badkey"
+        assert rule.on == "response"  # FakeSuccess default direction
+        assert rule.describe() == "modify"
+
+    def test_bytes_input(self):
+        rule = modify("A", "B", pattern=b"\x00\x01", replace_bytes=b"\xff")
+        assert rule.search_bytes == b"\x00\x01"
+        assert rule.replace_bytes == b"\xff"
+
+    def test_flow_pattern_defaults_to_all(self):
+        assert modify("A", "B", pattern="k", replace_bytes="x").flow_pattern == "*"
+
+    def test_id_pattern_scopes_flows(self):
+        rule = modify("A", "B", pattern="k", replace_bytes="x", id_pattern="test-*")
+        assert rule.flow_pattern == "test-*"
+
+    def test_replace_bytes_mandatory(self):
+        with pytest.raises(RuleValidationError):
+            FaultRule(src="A", dst="B", fault_type=FaultType.MODIFY)
+
+    def test_search_bytes_only_for_modify(self):
+        with pytest.raises(RuleValidationError):
+            _ = abort("A", "B").search_bytes
+
+
+class TestCommonValidation:
+    def test_unknown_fault_type(self):
+        with pytest.raises(RuleValidationError):
+            FaultRule(src="A", dst="B", fault_type="explode")
+
+    def test_empty_services_rejected(self):
+        with pytest.raises(RuleValidationError):
+            FaultRule(src="", dst="B", fault_type=FaultType.ABORT, error=503)
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.1])
+    def test_probability_bounds(self, probability):
+        with pytest.raises(RuleValidationError):
+            abort("A", "B", probability=probability)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(RuleValidationError):
+            abort("A", "B", on="sideways")
+
+    def test_max_matches_validated(self):
+        with pytest.raises(RuleValidationError):
+            abort("A", "B", max_matches=0)
+
+    def test_rule_ids_unique(self):
+        assert abort("A", "B").rule_id != abort("A", "B").rule_id
+
+    def test_str_includes_essentials(self):
+        text = str(abort("A", "B", max_matches=100))
+        assert "abort(503)" in text
+        assert "A->B" in text
+        assert "budget=100" in text

@@ -1,0 +1,82 @@
+"""Tests for CDF computation and latency statistics."""
+
+import pytest
+
+from repro.analysis import Cdf, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_interpolation(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCdf:
+    def test_basic_properties(self):
+        cdf = Cdf([3.0, 1.0, 2.0])
+        assert cdf.min == 1.0
+        assert cdf.max == 3.0
+        assert cdf.median == 2.0
+        assert len(cdf) == 3
+
+    def test_fraction_below(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_below(2) == 0.5
+        assert cdf.fraction_below(0.5) == 0.0
+        assert cdf.fraction_below(10) == 1.0
+
+    def test_value_at(self):
+        cdf = Cdf(list(range(101)))
+        assert cdf.value_at(0.9) == pytest.approx(90)
+
+    def test_points_monotonic(self):
+        cdf = Cdf([4, 1, 3, 2, 8])
+        points = cdf.points(steps=10)
+        values = [value for value, _fraction in points]
+        assert values == sorted(values)
+        assert points[0][1] == 0.0
+        assert points[-1][1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_ascii_plot_renders(self):
+        plot = Cdf([1, 2, 3]).ascii_plot(label="demo")
+        assert "demo" in plot
+        assert "p 50" in plot.replace("p50", "p 50") or "p50" in plot
+
+    def test_constant_samples(self):
+        cdf = Cdf([2.0, 2.0, 2.0])
+        assert cdf.min == cdf.max == cdf.median
+        cdf.ascii_plot()  # zero span must not divide by zero
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["n"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["median"] == 2.5
+        assert summary["mean"] == 2.5
+        assert summary["p90"] >= summary["median"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

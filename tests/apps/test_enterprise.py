@@ -1,0 +1,84 @@
+"""Case-study tests: the IBM enterprise application (paper Fig 4)."""
+
+from repro.apps import build_enterprise_app
+from repro.apps.enterprise import ACTIVITY, GITHUB, SEARCH, SERVICEDB, STACKOVERFLOW, WEBAPP
+from repro.core import Crash, Disconnect, Gremlin, Hang
+from repro.loadgen import ClosedLoopLoad
+
+
+def deploy(fixed_unirest=False, seed=31):
+    deployment = build_enterprise_app(fixed_unirest=fixed_unirest).deploy(seed=seed)
+    source = deployment.add_traffic_source(WEBAPP)
+    return deployment, source, Gremlin(deployment)
+
+
+class TestTopology:
+    def test_graph_matches_figure_4(self):
+        deployment, _source, _g = deploy()
+        graph = deployment.graph
+        assert set(graph.dependencies(WEBAPP)) == {SEARCH, ACTIVITY}
+        assert graph.dependencies(SEARCH) == [SERVICEDB]
+        assert set(graph.dependencies(ACTIVITY)) == {GITHUB, STACKOVERFLOW}
+
+    def test_healthy_page_renders(self):
+        _deployment, source, _g = deploy()
+        load = ClosedLoopLoad(num_requests=3)
+        load.run(source)
+        assert all(sample.ok for sample in load.result.samples)
+
+
+class TestGracefulDegradation:
+    def test_activity_outage_degrades_gracefully(self):
+        """Losing the decorative activity data must not kill the page —
+        an HTTP-level failure is absorbed even by the buggy library."""
+        _deployment, source, gremlin = deploy()
+        gremlin.inject(Disconnect(WEBAPP, ACTIVITY, error=503))
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        assert [sample.status for sample in load.result.samples] == [200] * 5
+
+    def test_search_outage_degrades_to_503(self):
+        _deployment, source, gremlin = deploy()
+        gremlin.inject(Disconnect(WEBAPP, SEARCH, error=503))
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        assert [sample.status for sample in load.result.samples] == [503] * 5
+
+    def test_external_api_failure_absorbed_by_activity_service(self):
+        _deployment, source, gremlin = deploy()
+        gremlin.inject(Crash(GITHUB))
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        # stackoverflow still reachable -> page fine.
+        assert all(sample.ok for sample in load.result.samples)
+
+
+class TestUnirestBug:
+    """Paper Section 7.1: "the Unirest library's implementation of the
+    timeout resiliency pattern did not gracefully handle corner cases
+    involving TCP connection timeout; instead the errors percolated to
+    other parts of the microservice."""
+
+    def test_tcp_reset_percolates_in_buggy_build(self):
+        _deployment, source, gremlin = deploy(fixed_unirest=False)
+        gremlin.inject(Crash(ACTIVITY))  # TCP-level reset on the edge
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        # The reset escapes the wrapper and crashes the handler -> 500.
+        assert [sample.status for sample in load.result.samples] == [500] * 5
+
+    def test_plain_hang_is_handled_by_timeout(self):
+        """The ordinary timeout path works — which is exactly why the
+        bug stayed hidden until Gremlin staged the TCP corner case."""
+        _deployment, source, gremlin = deploy(fixed_unirest=False)
+        gremlin.inject(Hang(ACTIVITY, interval="1h"))
+        load = ClosedLoopLoad(num_requests=3)
+        load.run(source)
+        assert [sample.status for sample in load.result.samples] == [200] * 3
+
+    def test_fixed_library_absorbs_reset(self):
+        _deployment, source, gremlin = deploy(fixed_unirest=True)
+        gremlin.inject(Crash(ACTIVITY))
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        assert [sample.status for sample in load.result.samples] == [200] * 5

@@ -1,0 +1,66 @@
+"""Tests for the binary-tree benchmark applications (paper Fig 7)."""
+
+import pytest
+
+from repro.apps import TREE_ROOT, build_tree_app, tree_service_names
+from repro.core import Gremlin, Hang
+from repro.loadgen import ClosedLoopLoad
+
+
+class TestNaming:
+    @pytest.mark.parametrize("depth,count", [(0, 1), (1, 3), (2, 7), (3, 15), (4, 31)])
+    def test_paper_sizes(self, depth, count):
+        assert len(tree_service_names(depth)) == count
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            tree_service_names(-1)
+
+
+class TestTopology:
+    def test_heap_shaped_edges(self):
+        deployment = build_tree_app(2).deploy()
+        graph = deployment.graph
+        assert sorted(graph.dependencies("svc-0")) == ["svc-1", "svc-2"]
+        assert sorted(graph.dependencies("svc-1")) == ["svc-3", "svc-4"]
+        assert graph.dependencies("svc-3") == []
+
+    def test_sidecars_on_internal_nodes_only(self):
+        deployment = build_tree_app(2).deploy()
+        # 3 internal nodes (svc-0..2) have dependencies -> 3 agents.
+        assert len(deployment.agents) == 3
+
+    def test_single_service_tree(self):
+        deployment = build_tree_app(0).deploy()
+        source = deployment.add_traffic_source(TREE_ROOT)
+        load = ClosedLoopLoad(num_requests=2)
+        load.run(source)
+        assert all(sample.ok for sample in load.result.samples)
+
+
+class TestEndToEnd:
+    def test_request_traverses_whole_tree(self):
+        deployment = build_tree_app(3).deploy()
+        source = deployment.add_traffic_source(TREE_ROOT)
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        assert load.result.samples[0].ok
+        served = sum(
+            instance.server.requests_served
+            for name in tree_service_names(3)
+            for instance in deployment.instances_of(name)
+        )
+        assert served == 15  # every node saw the request exactly once
+
+    def test_leaf_hang_fails_the_root_without_timeouts(self):
+        from repro.microservice import PolicySpec
+
+        deployment = build_tree_app(2, client_policy=PolicySpec(timeout=0.5)).deploy()
+        source = deployment.add_traffic_source(TREE_ROOT)
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Hang("svc-3", interval="1h"))
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        sample = load.result.samples[0]
+        # svc-1's client times out -> degrades -> root degrades.
+        assert sample.status == 500

@@ -1,0 +1,129 @@
+"""Case-study tests: WordPress + ElasticPress (paper Section 7.1)."""
+
+import pytest
+
+from repro.analysis import percentile
+from repro.apps import ELASTICSEARCH, MYSQL, WORDPRESS, build_wordpress_app
+from repro.core import (
+    AbortCalls,
+    Crash,
+    DelayCalls,
+    Gremlin,
+    HasCircuitBreaker,
+    HasTimeouts,
+)
+from repro.loadgen import ClosedLoopLoad
+
+
+def deploy(hardened=False, seed=21):
+    deployment = build_wordpress_app(hardened=hardened).deploy(seed=seed)
+    source = deployment.add_traffic_source(WORDPRESS)
+    return deployment, source, Gremlin(deployment)
+
+
+class TestHealthyBehaviour:
+    def test_search_uses_elasticsearch(self):
+        deployment, source, _g = deploy()
+        load = ClosedLoopLoad(num_requests=3)
+        load.run(source)
+        assert all(sample.ok for sample in load.result.samples)
+        assert deployment.instances_of(ELASTICSEARCH)[0].server.requests_served == 3
+        assert deployment.instances_of(MYSQL)[0].server.requests_served == 0
+
+
+class TestGracefulFallback:
+    """The paper: "ElasticPress handled failure gracefully and fell back
+    to the default (MySQL-powered) search method when Elasticsearch ...
+    was unreachable or returned an error."""
+
+    def test_fallback_on_error_response(self):
+        deployment, source, gremlin = deploy()
+        gremlin.inject(AbortCalls(WORDPRESS, ELASTICSEARCH, error=503))
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        assert all(sample.ok for sample in load.result.samples)
+        assert deployment.instances_of(MYSQL)[0].server.requests_served == 5
+
+    def test_fallback_on_unreachable(self):
+        deployment, source, gremlin = deploy()
+        gremlin.inject(Crash(ELASTICSEARCH))
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        assert all(sample.ok for sample in load.result.samples)
+        assert deployment.instances_of(MYSQL)[0].server.requests_served == 5
+
+
+class TestMissingTimeout:
+    """Fig 5: response times offset by exactly the injected delay."""
+
+    @pytest.mark.parametrize("injected", [1.0, 2.0])
+    def test_naive_plugin_latency_offset_by_delay(self, injected):
+        deployment, source, gremlin = deploy()
+        gremlin.inject(DelayCalls(WORDPRESS, ELASTICSEARCH, interval=injected))
+        load = ClosedLoopLoad(num_requests=10)
+        load.run(source)
+        fastest = min(load.result.latencies)
+        # "Quickest response times were dictated by the delay."
+        assert fastest >= injected
+        assert percentile(load.result.latencies, 50) == pytest.approx(injected, rel=0.05)
+
+    def test_hardened_plugin_bounded_by_timeout(self):
+        deployment, source, gremlin = deploy(hardened=True)
+        gremlin.inject(DelayCalls(WORDPRESS, ELASTICSEARCH, interval=3.0))
+        load = ClosedLoopLoad(num_requests=10)
+        load.run(source)
+        # 1s ES timeout + MySQL fallback; never anywhere near 3s.
+        assert max(load.result.latencies) < 1.5
+        assert all(sample.ok for sample in load.result.samples)
+
+    def test_gremlin_detects_missing_timeout(self):
+        deployment, source, gremlin = deploy()
+        gremlin.inject(DelayCalls(WORDPRESS, ELASTICSEARCH, interval=2.0))
+        ClosedLoopLoad(num_requests=5).run(source)
+        assert not gremlin.check(HasTimeouts(WORDPRESS, "1s")).passed
+
+    def test_gremlin_confirms_fixed_timeout(self):
+        deployment, source, gremlin = deploy(hardened=True)
+        gremlin.inject(DelayCalls(WORDPRESS, ELASTICSEARCH, interval=2.0))
+        ClosedLoopLoad(num_requests=5).run(source)
+        assert gremlin.check(HasTimeouts(WORDPRESS, "1.5s")).passed
+
+
+class TestMissingCircuitBreaker:
+    """Fig 6: 100 aborts then 100 delayed-by-3s requests; without a
+    breaker, every delayed request waits the full 3 seconds."""
+
+    def run_fig6(self, hardened, aborts=20, delays=20):
+        deployment, source, gremlin = deploy(hardened=hardened)
+        gremlin.inject(
+            AbortCalls(WORDPRESS, ELASTICSEARCH, error=503, max_matches=aborts),
+            DelayCalls(WORDPRESS, ELASTICSEARCH, interval=3.0, max_matches=delays),
+        )
+        load = ClosedLoopLoad(num_requests=aborts + delays)
+        load.run(source)
+        return load.result.latencies[:aborts], load.result.latencies[aborts:]
+
+    def test_naive_plugin_all_delayed_requests_wait(self):
+        aborted, delayed = self.run_fig6(hardened=False)
+        assert max(aborted) < 0.5
+        # "None of the delayed requests returned without delay."
+        assert min(delayed) >= 3.0
+
+    def test_hardened_plugin_short_circuits_delayed_requests(self):
+        aborted, delayed = self.run_fig6(hardened=True)
+        assert max(aborted) < 0.5
+        # Breaker tripped during the abort phase; delayed-phase requests
+        # mostly fail fast onto the MySQL fallback.
+        fast = [latency for latency in delayed if latency < 1.5]
+        assert len(fast) >= len(delayed) - 2  # allow breaker probes
+
+    def test_gremlin_detects_missing_breaker(self):
+        deployment, source, gremlin = deploy()
+        window_start = deployment.sim.now
+        gremlin.inject(AbortCalls(WORDPRESS, ELASTICSEARCH, error=503))
+        ClosedLoopLoad(num_requests=30, think_time=0.1).run(source)
+        result = gremlin.check(
+            HasCircuitBreaker(WORDPRESS, ELASTICSEARCH, threshold=5, tdelta="2s"),
+            since=window_start,
+        )
+        assert not result.passed

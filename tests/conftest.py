@@ -1,0 +1,34 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import pytest
+
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+def run_to_completion(sim: Simulator, generator: _t.Generator, until: float | None = None):
+    """Run ``generator`` as a process to completion; return its value.
+
+    Raises the process's failure exception, so tests read naturally::
+
+        response = run_to_completion(sim, client.get(addr, "/x"))
+    """
+    process = sim.process(generator)
+    # The helper consumes the outcome itself, so a failure must not
+    # also trip the simulator's strict unhandled-failure accounting.
+    process.defused = True
+    sim.run(until=until)
+    if process.is_alive:
+        raise AssertionError(f"process still alive at t={sim.now}")
+    if not process.ok:
+        raise process.value
+    return process.value

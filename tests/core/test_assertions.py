@@ -1,0 +1,252 @@
+"""Unit tests for queries, base assertions and Combine (Table 3)."""
+
+import pytest
+
+from repro.core import (
+    AtLeastRequests,
+    AtMostRequests,
+    CheckStatus,
+    Combine,
+    NoRequestsFor,
+    combine,
+    num_requests,
+    reply_latency,
+    request_rate,
+)
+from repro.core.queries import observed_latency, observed_status
+from repro.logstore import ObservationRecord
+
+
+def request_record(ts, status=None, fault=None, rid="test-1", gremlin=False):
+    return ObservationRecord(
+        timestamp=ts,
+        kind="request",
+        src="A",
+        dst="B",
+        request_id=rid,
+        status=status,
+        fault_applied=fault,
+        gremlin_generated=gremlin,
+    )
+
+
+def reply_record(ts, status=200, latency=0.01, injected=0.0, gremlin=False):
+    return ObservationRecord(
+        timestamp=ts,
+        kind="reply",
+        src="A",
+        dst="B",
+        request_id="test-1",
+        status=status,
+        latency=latency,
+        injected_delay=injected,
+        gremlin_generated=gremlin,
+    )
+
+
+class TestObservedViews:
+    def test_caller_view_includes_gremlin_status(self):
+        record = request_record(1.0, status=503, fault="abort(503)")
+        assert observed_status(record, with_rule=True) == 503
+        assert observed_status(record, with_rule=False) is None
+
+    def test_callee_view_keeps_real_status(self):
+        record = request_record(1.0, status=503)  # real 503 from the callee
+        assert observed_status(record, with_rule=False) == 503
+
+    def test_delayed_but_delivered_status_counts_in_both_views(self):
+        record = request_record(1.0, status=200, fault="delay(3)")
+        assert observed_status(record, with_rule=True) == 200
+        assert observed_status(record, with_rule=False) == 200
+
+    def test_latency_views(self):
+        record = reply_record(1.0, latency=3.05, injected=3.0)
+        assert observed_latency(record, with_rule=True) == pytest.approx(3.05)
+        assert observed_latency(record, with_rule=False) == pytest.approx(0.05)
+
+    def test_synthesized_reply_excluded_from_callee_view(self):
+        record = reply_record(1.0, status=503, gremlin=True)
+        assert observed_latency(record, with_rule=False) is None
+        assert observed_status(record, with_rule=False) is None
+
+
+class TestNumRequests:
+    def test_counts_all(self):
+        rlist = [request_record(float(i)) for i in range(5)]
+        assert num_requests(rlist) == 5
+
+    def test_tdelta_window_from_first_record(self):
+        rlist = [request_record(t) for t in (0.0, 10.0, 30.0, 61.0)]
+        assert num_requests(rlist, tdelta="1min") == 3
+
+    def test_with_rule_false_excludes_synthesized(self):
+        rlist = [reply_record(0.0), reply_record(1.0, gremlin=True)]
+        assert num_requests(rlist, with_rule=True) == 2
+        assert num_requests(rlist, with_rule=False) == 1
+
+    def test_aborted_requests_still_count(self):
+        # The caller really sent them — both views count request records.
+        rlist = [request_record(0.0, status=503, fault="abort(503)")]
+        assert num_requests(rlist, with_rule=False) == 1
+
+    def test_empty_list(self):
+        assert num_requests([]) == 0
+
+
+class TestReplyLatency:
+    def test_observed_latencies(self):
+        rlist = [reply_record(0.0, latency=1.0), reply_record(1.0, latency=2.0)]
+        assert reply_latency(rlist) == [1.0, 2.0]
+
+    def test_untampered_latencies(self):
+        rlist = [
+            reply_record(0.0, latency=3.01, injected=3.0),
+            reply_record(1.0, latency=0.5, gremlin=True),
+        ]
+        assert reply_latency(rlist, with_rule=False) == [pytest.approx(0.01)]
+
+    def test_records_without_latency_skipped(self):
+        assert reply_latency([request_record(0.0)]) == []
+
+
+class TestRequestRate:
+    def test_rate_computed_over_span(self):
+        rlist = [request_record(float(i)) for i in range(11)]  # 10s span, 11 reqs
+        assert request_rate(rlist) == pytest.approx(1.0)
+
+    def test_degenerate_lists(self):
+        assert request_rate([]) == 0.0
+        assert request_rate([request_record(1.0)]) == 0.0
+        assert request_rate([request_record(1.0), request_record(1.0)]) == 0.0
+
+
+class TestCheckStatus:
+    def test_standalone_pass_fail(self):
+        rlist = [request_record(float(i), status=503, fault="abort(503)") for i in range(5)]
+        assert CheckStatus(503, 5, True)(rlist)
+        assert not CheckStatus(503, 6, True)(rlist)
+
+    def test_with_rule_false_ignores_synthesized(self):
+        rlist = [request_record(float(i), status=503, fault="abort(503)") for i in range(5)]
+        assert not CheckStatus(503, 1, False)(rlist)
+
+    def test_consumes_through_nth_match(self):
+        rlist = (
+            [request_record(0.0, status=200)]
+            + [request_record(float(i + 1), status=503) for i in range(3)]
+            + [request_record(10.0, status=200)]
+        )
+        outcome = CheckStatus(503, 3, True).evaluate(rlist, None)
+        assert outcome.passed
+        assert outcome.consumed == 4  # the leading 200 + three 503s
+        assert outcome.anchor == 3.0
+
+    def test_num_match_validated(self):
+        with pytest.raises(ValueError):
+            CheckStatus(503, 0)
+
+
+class TestWindowAssertions:
+    def test_at_most_requests(self):
+        rlist = [request_record(t) for t in (0.0, 1.0, 2.0, 100.0)]
+        assert AtMostRequests("1min", True, 3)(rlist)
+        assert not AtMostRequests("1min", True, 2)(rlist)
+
+    def test_at_least_requests(self):
+        rlist = [request_record(t) for t in (0.0, 1.0)]
+        assert AtLeastRequests("1min", True, 2)(rlist)
+        assert not AtLeastRequests("1min", True, 3)(rlist)
+
+    def test_no_requests_for(self):
+        assert NoRequestsFor("1min")([])
+        assert not NoRequestsFor("1min")([request_record(0.0)])
+
+    def test_anchor_shifts_window(self):
+        rlist = [request_record(t) for t in (10.0, 30.0)]
+        outcome = AtMostRequests("15s", True, 1).evaluate(rlist, anchor=0.0)
+        # Window [0, 15]: only the t=10 record falls inside.
+        assert outcome.passed
+        assert outcome.consumed == 1
+        assert outcome.anchor == 15.0
+
+    def test_num_validated(self):
+        with pytest.raises(ValueError):
+            AtMostRequests("1s", True, -1)
+
+
+class TestCombine:
+    def make_breaker_trace(self, silent=True):
+        """5 failures, then (optionally) silence, then recovery probes."""
+        records = [request_record(float(i), status=503, fault="abort(503)") for i in range(5)]
+        if not silent:
+            records += [request_record(5.0 + i * 0.1, status=503) for i in range(20)]
+        records += [request_record(70.0, status=200), request_record(71.0, status=200)]
+        return records
+
+    def test_paper_circuit_breaker_combination_passes(self):
+        rlist = self.make_breaker_trace(silent=True)
+        assert combine(
+            rlist,
+            (CheckStatus, 503, 5, True),
+            (AtMostRequests, "1min", False, 0),
+        )
+
+    def test_paper_circuit_breaker_combination_fails_without_silence(self):
+        rlist = self.make_breaker_trace(silent=False)
+        assert not combine(
+            rlist,
+            (CheckStatus, 503, 5, True),
+            (AtMostRequests, "1min", False, 0),
+        )
+
+    def test_consumed_records_not_double_counted(self):
+        # 5 failures then exactly MaxTries more requests in the window.
+        rlist = [request_record(float(i), status=503, fault="abort(503)") for i in range(5)]
+        rlist += [request_record(5.0 + i, status=503, fault="abort(503)") for i in range(3)]
+        assert combine(
+            rlist,
+            (CheckStatus, 503, 5, True),
+            (AtMostRequests, "1min", True, 3),
+        )
+        assert not combine(
+            rlist,
+            (CheckStatus, 503, 5, True),
+            (AtMostRequests, "1min", True, 2),
+        )
+
+    def test_accepts_instances_and_tuples(self):
+        rlist = [request_record(0.0, status=503)]
+        result = Combine(CheckStatus(503, 1, True), (AtMostRequests, "1s", True, 5)).evaluate(rlist)
+        assert result.passed
+        assert len(result.steps) == 2
+
+    def test_short_circuits_on_failure(self):
+        rlist = [request_record(0.0, status=200)]
+        result = Combine(
+            CheckStatus(503, 1, True), AtMostRequests("1s", True, 0)
+        ).evaluate(rlist)
+        assert not result.passed
+        assert len(result.steps) == 1  # second step never ran
+
+    def test_explain_mentions_each_step(self):
+        rlist = [request_record(0.0, status=503)]
+        result = Combine(CheckStatus(503, 1, True)).evaluate(rlist)
+        assert "step 1" in result.explain()
+        assert "PASS" in result.explain()
+
+    def test_empty_combine_rejected(self):
+        with pytest.raises(ValueError):
+            Combine()
+
+    def test_bad_step_type_rejected(self):
+        with pytest.raises(TypeError):
+            Combine("nonsense")
+
+    def test_three_stage_chain(self):
+        rlist = self.make_breaker_trace(silent=True)
+        result = Combine(
+            (CheckStatus, 503, 5, True),
+            (AtMostRequests, "1min", True, 0),
+            (AtLeastRequests, "30s", True, 2),
+        ).evaluate(rlist)
+        assert result.passed, result.explain()

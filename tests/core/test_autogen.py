@@ -1,0 +1,66 @@
+"""Tests for automatic recipe generation (paper Section 9 future work)."""
+
+from repro.apps import build_enterprise_app, build_twotier
+from repro.core import EdgeAnnotation, Gremlin, generate_recipes
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import ApplicationGraph
+
+
+class TestGeneration:
+    def test_generates_overload_recipe_per_called_service(self):
+        graph = ApplicationGraph.from_edges([("a", "b"), ("b", "c")])
+        recipes = generate_recipes(graph)
+        names = [recipe.name for recipe in recipes]
+        assert "auto/overload-b" in names
+        assert "auto/overload-c" in names
+        assert "auto/overload-a" not in names  # nothing calls a
+
+    def test_skip_annotation_respected(self):
+        graph = ApplicationGraph.from_edges([("a", "b")])
+        recipes = generate_recipes(graph, annotations={"b": EdgeAnnotation(skip=True)})
+        assert recipes == []
+
+    def test_high_criticality_adds_crash_recipe(self):
+        graph = ApplicationGraph.from_edges([("a", "b")])
+        default = generate_recipes(graph)
+        critical = generate_recipes(
+            graph, annotations={"b": EdgeAnnotation(criticality="high")}
+        )
+        assert not any("crash" in recipe.name for recipe in default)
+        assert any(recipe.name == "auto/crash-b" for recipe in critical)
+
+    def test_bulkhead_recipe_only_for_multi_dependency_callers(self):
+        single = ApplicationGraph.from_edges([("a", "b")])
+        multi = ApplicationGraph.from_edges([("a", "b"), ("a", "c")])
+        assert not any("degrade" in r.name for r in generate_recipes(single))
+        assert any(r.name == "auto/degrade-b" for r in generate_recipes(multi))
+
+    def test_enterprise_graph_coverage(self):
+        deployment = build_enterprise_app().deploy()
+        recipes = generate_recipes(deployment.graph)
+        faulted = {recipe.name.split("-", 1)[1] for recipe in recipes}
+        # Every called service gets at least one generated recipe.
+        for service in ("searchservice", "activityservice", "servicedb", "github"):
+            assert service in faulted
+
+
+class TestGeneratedRecipesExecute:
+    def test_generated_overload_recipe_runs_end_to_end(self):
+        deployment = build_twotier().deploy(seed=9)
+        source = deployment.add_traffic_source("ServiceA")
+        gremlin = Gremlin(deployment)
+        recipes = generate_recipes(deployment.graph)
+        overload = next(r for r in recipes if r.name == "auto/overload-ServiceB")
+
+        load = ClosedLoopLoad(num_requests=1)
+        from repro.core import Recipe
+
+        runnable = Recipe(
+            name=overload.name,
+            scenarios=overload.scenarios,
+            checks=overload.checks,
+            load=lambda deployment: load.driver(source),
+        )
+        result = gremlin.run_recipe(runnable)
+        # The default twotier client retries 5 times -> check passes.
+        assert result.checks, "generated recipe must carry checks"

@@ -1,0 +1,74 @@
+"""Tests for the Chaos-Monkey baseline injector."""
+
+import pytest
+
+from repro.apps import build_enterprise_app, build_twotier
+from repro.core.chaos import ChaosMonkey
+from repro.loadgen import ClosedLoopLoad
+
+
+class TestConstruction:
+    def test_defaults_to_all_services(self):
+        deployment = build_enterprise_app().deploy(seed=121)
+        monkey = ChaosMonkey(deployment)
+        assert set(monkey.candidates) == set(deployment.instances)
+
+    def test_validation(self):
+        deployment = build_twotier().deploy(seed=122)
+        with pytest.raises(ValueError):
+            ChaosMonkey(deployment, mean_interval=0)
+        with pytest.raises(ValueError):
+            ChaosMonkey(deployment, outage_duration=0)
+        with pytest.raises(ValueError):
+            ChaosMonkey(deployment, candidates=[])
+
+
+class TestKills:
+    def test_kill_once_stops_and_restarts(self):
+        deployment = build_twotier().deploy(seed=123)
+        sim = deployment.sim
+        monkey = ChaosMonkey(deployment, candidates=["ServiceB"], outage_duration=1.0)
+        event = monkey.kill_once()
+        assert event.service == "ServiceB"
+        assert not deployment.instances_of("ServiceB")[0].running
+        sim.run(until=1.5)
+        assert deployment.instances_of("ServiceB")[0].running
+
+    def test_killed_service_refuses_traffic(self):
+        deployment = build_twotier().deploy(seed=124)
+        source = deployment.add_traffic_source("ServiceA")
+        monkey = ChaosMonkey(deployment, candidates=["ServiceB"], outage_duration=30.0)
+        monkey.kill_once()
+        load = ClosedLoopLoad(num_requests=2)
+        load.run(source)
+        # ServiceA's bounded retries exhausted against the dead service.
+        assert all(status == 500 for status in load.result.statuses)
+
+    def test_rampage_records_events(self):
+        deployment = build_enterprise_app().deploy(seed=125)
+        source = deployment.add_traffic_source("webapp")
+        monkey = ChaosMonkey(deployment, mean_interval=2.0, outage_duration=1.0)
+        monkey.unleash(duration=30.0)
+        ClosedLoopLoad(num_requests=50, think_time=0.5).run(source)
+        assert monkey.events, "randomized injector should have killed something"
+        assert all(0 <= event.start <= 30.0 for event in monkey.events)
+
+    def test_double_unleash_rejected(self):
+        deployment = build_twotier().deploy(seed=126)
+        monkey = ChaosMonkey(deployment)
+        monkey.unleash(duration=5.0)
+        with pytest.raises(RuntimeError):
+            monkey.unleash(duration=5.0)
+        deployment.sim.run()
+
+    def test_deterministic_given_seed(self):
+        def kills(seed):
+            deployment = build_enterprise_app().deploy(seed=seed)
+            source = deployment.add_traffic_source("webapp")
+            monkey = ChaosMonkey(deployment, mean_interval=2.0, outage_duration=0.5)
+            monkey.unleash(duration=20.0)
+            ClosedLoopLoad(num_requests=30, think_time=0.5).run(source)
+            return [(event.service, round(event.start, 6)) for event in monkey.events]
+
+        assert kills(7) == kills(7)
+        assert kills(7) != kills(8)

@@ -1,0 +1,68 @@
+"""Direct unit tests for the query layer (GetRequests / GetReplies)."""
+
+import pytest
+
+from repro.core.queries import get_replies, get_requests, observed_latency, observed_status
+from repro.logstore import EventStore
+
+from tests.core.test_assertions import reply_record, request_record
+
+
+@pytest.fixture
+def store():
+    store = EventStore()
+    store.append(request_record(1.0, status=200, rid="test-1"))
+    store.append(reply_record(1.1))
+    store.append(request_record(2.0, status=503, fault="abort(503)", rid="test-2"))
+    store.append(reply_record(2.1, status=503, gremlin=True))
+    store.append(request_record(3.0, status=200, rid="user-7"))
+    store.append(reply_record(3.1))
+    return store
+
+
+class TestGetRequests:
+    def test_all_requests_sorted(self, store):
+        rlist = get_requests(store, "A", "B")
+        assert [record.timestamp for record in rlist] == [1.0, 2.0, 3.0]
+
+    def test_id_pattern_filter(self, store):
+        rlist = get_requests(store, "A", "B", id_pattern="test-*")
+        assert len(rlist) == 2
+
+    def test_time_window(self, store):
+        rlist = get_requests(store, "A", "B", since=1.5, until=2.5)
+        assert [record.timestamp for record in rlist] == [2.0]
+
+    def test_unknown_pair_empty(self, store):
+        assert get_requests(store, "X", "Y") == []
+
+
+class TestGetReplies:
+    def test_replies_only(self, store):
+        rlist = get_replies(store, "A", "B")
+        assert all(record.is_reply for record in rlist)
+        assert len(rlist) == 3
+
+    def test_window_and_pattern_compose(self, store):
+        rlist = get_replies(store, "A", "B", id_pattern="test-*", until=1.5)
+        assert len(rlist) == 1
+
+
+class TestObservedViews:
+    def test_status_none_stays_none(self):
+        record = request_record(1.0)
+        assert observed_status(record, True) is None
+        assert observed_status(record, False) is None
+
+    def test_latency_on_request_record_is_none(self):
+        record = request_record(1.0, status=200)
+        assert observed_latency(record, True) is None
+
+    def test_delay_fault_keeps_status_in_untampered_view(self):
+        # A delayed-but-delivered call's status is the callee's own.
+        record = request_record(1.0, status=200, fault="delay(1)")
+        assert observed_status(record, False) == 200
+
+    def test_abort_fault_blanks_status_in_untampered_view(self):
+        record = request_record(1.0, status=503, fault="delay(1)+abort(503)")
+        assert observed_status(record, False) is None

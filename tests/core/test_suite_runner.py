@@ -1,0 +1,55 @@
+"""Tests for the batch recipe runner and suite report."""
+
+from repro.apps import build_twotier
+from repro.core import Disconnect, Gremlin, HasBoundedRetries, Overload, Recipe
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import PolicySpec
+
+
+def build(max_retries=5):
+    deployment = build_twotier(
+        policy=PolicySpec(timeout=1.0, max_retries=max_retries, retry_backoff_base=0.02)
+    ).deploy(seed=191)
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source, Gremlin(deployment)
+
+
+def make_recipe(name, source, scenario):
+    load = ClosedLoopLoad(num_requests=1)
+    return Recipe(
+        name=name,
+        scenarios=[scenario],
+        checks=[HasBoundedRetries("ServiceA", "ServiceB", 5, window="30s")],
+        load=lambda deployment: load.driver(source),
+    )
+
+
+class TestRunRecipes:
+    def test_suite_runs_in_order(self):
+        _deployment, source, gremlin = build()
+        recipes = [
+            make_recipe("r1", source, Disconnect("ServiceA", "ServiceB")),
+            make_recipe("r2", source, Overload("ServiceB", abort_fraction=1.0)),
+        ]
+        results = gremlin.run_recipes(recipes, settle_between=1.0)
+        assert [result.recipe.name for result in results] == ["r1", "r2"]
+        assert all(result.passed for result in results)
+        # Windows must not overlap.
+        assert results[0].window[1] <= results[1].window[0]
+
+    def test_settle_between_advances_clock(self):
+        deployment, source, gremlin = build()
+        recipes = [
+            make_recipe("r1", source, Disconnect("ServiceA", "ServiceB")),
+            make_recipe("r2", source, Disconnect("ServiceA", "ServiceB")),
+        ]
+        results = gremlin.run_recipes(recipes, settle_between=10.0)
+        assert results[1].window[0] - results[0].window[1] >= 10.0
+
+    def test_suite_report_format(self):
+        _deployment, source, gremlin = build(max_retries=50)
+        recipes = [make_recipe("storm", source, Disconnect("ServiceA", "ServiceB"))]
+        results = gremlin.run_recipes(recipes)
+        text = Gremlin.suite_report(results)
+        assert "[FAIL] storm" in text
+        assert "0/1 recipes passed" in text

@@ -1,0 +1,98 @@
+"""Tests for the Recipe Translator and Failure Orchestrator."""
+
+import pytest
+
+from repro.apps import build_twotier
+from repro.core import Crash, Overload, RecipeTranslator
+from repro.core.orchestrator import FailureOrchestrator
+from repro.errors import OrchestrationError, RecipeError
+from repro.microservice import ApplicationGraph, PolicySpec
+
+
+@pytest.fixture
+def graph():
+    return ApplicationGraph.from_edges([("ServiceA", "ServiceB")])
+
+
+class TestTranslator:
+    def test_single_scenario(self, graph):
+        rules = RecipeTranslator(graph).translate(Overload("ServiceB"))
+        assert len(rules) == 2  # abort + delay
+
+    def test_scenario_sequence_preserves_order(self, graph):
+        translator = RecipeTranslator(graph)
+        rules = translator.translate([Overload("ServiceB"), Crash("ServiceB")])
+        assert [rule.fault_type for rule in rules] == ["abort", "delay", "abort"]
+
+    def test_empty_recipe_rejected(self, graph):
+        with pytest.raises(RecipeError):
+            RecipeTranslator(graph).translate([])
+
+    def test_non_scenario_rejected(self, graph):
+        with pytest.raises(RecipeError):
+            RecipeTranslator(graph).translate(["not a scenario"])
+
+    def test_affected_sources_deduplicated(self, graph):
+        translator = RecipeTranslator(graph)
+        rules = translator.translate([Overload("ServiceB"), Crash("ServiceB")])
+        assert translator.affected_sources(rules) == ["ServiceA"]
+
+
+class TestOrchestrator:
+    def test_rules_reach_every_instance_of_source(self):
+        deployment = build_twotier(instances_a=2).deploy()
+        orchestrator = FailureOrchestrator(deployment.agents)
+        rules = RecipeTranslator(deployment.graph).translate(Overload("ServiceB"))
+        report = orchestrator.apply(rules)
+        # Paper Fig 3: both ServiceA instances' agents get programmed.
+        assert report.agents_programmed == 2
+        assert report.rules_installed == 4  # 2 rules x 2 agents
+        assert report.wall_time > 0
+        for agent in deployment.agents_of("ServiceA"):
+            assert len(agent.list_rules()) == 2
+
+    def test_missing_agent_is_hard_error(self):
+        deployment = build_twotier().deploy()
+        orchestrator = FailureOrchestrator(deployment.agents)
+        from repro.agent import abort
+
+        with pytest.raises(OrchestrationError, match="no Gremlin agent"):
+            orchestrator.apply([abort("ServiceB", "ServiceA")])  # B has no sidecar
+
+    def test_clear_all(self):
+        deployment = build_twotier().deploy()
+        orchestrator = FailureOrchestrator(deployment.agents)
+        rules = RecipeTranslator(deployment.graph).translate(Overload("ServiceB"))
+        orchestrator.apply(rules)
+        orchestrator.clear_all()
+        for agent in deployment.agents:
+            assert agent.list_rules() == []
+
+    def test_channels_for(self):
+        deployment = build_twotier(instances_a=3).deploy()
+        orchestrator = FailureOrchestrator(deployment.agents)
+        assert len(orchestrator.channels_for("ServiceA")) == 3
+        assert orchestrator.channels_for("ServiceB") == []
+
+    def test_partial_failure_rolls_back(self):
+        """If rule 2 cannot be placed, rule 1 must not stay injected."""
+        deployment = build_twotier().deploy()
+        orchestrator = FailureOrchestrator(deployment.agents)
+        from repro.agent import abort
+
+        good = abort("ServiceA", "ServiceB")
+        bad = abort("ServiceB", "ServiceA")  # ServiceB has no sidecar
+        with pytest.raises(OrchestrationError):
+            orchestrator.apply([good, bad])
+        for agent in deployment.agents:
+            assert agent.list_rules() == [], "failed apply must roll back"
+
+    def test_rules_cross_wire_boundary(self):
+        """Installed rules are re-parsed copies, not shared objects."""
+        deployment = build_twotier().deploy()
+        orchestrator = FailureOrchestrator(deployment.agents)
+        rules = RecipeTranslator(deployment.graph).translate(Overload("ServiceB"))
+        orchestrator.apply(rules)
+        installed = deployment.agents_of("ServiceA")[0].list_rules()
+        assert installed[0] is not rules[0]
+        assert installed[0].fault_type == rules[0].fault_type

@@ -1,0 +1,92 @@
+"""Keep-alive behaviour: several exchanges over one connection."""
+
+import pytest
+
+from repro.http import HttpResponse, HttpServer, decode_response, encode_request, HttpRequest
+from repro.network import Address, Network
+
+from tests.conftest import run_to_completion
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, default_latency=0.001)
+
+
+class TestKeepAlive:
+    def test_sequential_requests_one_connection(self, sim, net):
+        host = net.add_host("server")
+        hits = []
+
+        def handler(request):
+            yield sim.timeout(0.001)
+            hits.append(request.uri)
+            return HttpResponse(200, body=request.uri.encode())
+
+        HttpServer(host, 80, handler).start()
+        client_host = net.add_host("client")
+
+        def scenario(sim):
+            conn = yield client_host.connect(Address("server", 80))
+            bodies = []
+            for index in range(3):
+                conn.send(encode_request(HttpRequest("GET", f"/req{index}")))
+                payload = yield conn.recv()
+                bodies.append(decode_response(payload).body)
+            conn.close()
+            return bodies
+
+        bodies = run_to_completion(sim, scenario(sim))
+        assert bodies == [b"/req0", b"/req1", b"/req2"]
+        assert hits == ["/req0", "/req1", "/req2"]
+
+    def test_interleaved_connections_do_not_cross_streams(self, sim, net):
+        host = net.add_host("server")
+
+        def handler(request):
+            # Slow down the first stream so replies would cross if the
+            # server mixed connections up.
+            delay = 0.05 if request.uri == "/slow" else 0.001
+            yield sim.timeout(delay)
+            return HttpResponse(200, body=request.uri.encode())
+
+        HttpServer(host, 80, handler).start()
+        client_host = net.add_host("client")
+        results = {}
+
+        def one(sim, uri):
+            conn = yield client_host.connect(Address("server", 80))
+            conn.send(encode_request(HttpRequest("GET", uri)))
+            payload = yield conn.recv()
+            results[uri] = decode_response(payload).body
+            conn.close()
+
+        sim.process(one(sim, "/slow"))
+        sim.process(one(sim, "/fast"))
+        sim.run()
+        assert results == {"/slow": b"/slow", "/fast": b"/fast"}
+
+    def test_pipelined_requests_answered_in_order(self, sim, net):
+        """Two requests sent before reading any reply: the per-connection
+        server loop answers them strictly in order."""
+        host = net.add_host("server")
+
+        def handler(request):
+            yield sim.timeout(0.01)
+            return HttpResponse(200, body=request.uri.encode())
+
+        HttpServer(host, 80, handler).start()
+        client_host = net.add_host("client")
+
+        def scenario(sim):
+            conn = yield client_host.connect(Address("server", 80))
+            conn.send(encode_request(HttpRequest("GET", "/first")))
+            conn.send(encode_request(HttpRequest("GET", "/second")))
+            replies = []
+            for _ in range(2):
+                payload = yield conn.recv()
+                replies.append(decode_response(payload).body)
+            conn.close()
+            return replies
+
+        assert run_to_completion(sim, scenario(sim)) == [b"/first", b"/second"]

@@ -1,0 +1,143 @@
+"""Canary routing (paper Section 9, the state-cleanup proposal).
+
+    "Even when faults are injected only on synthetic test requests,
+    implementation bugs could cause the microservice to crash,
+    affecting real users. ... One possible solution is the use of
+    canaries — copies of a microservice dedicated to handling test
+    requests."
+
+With ``canary_instances`` on a service definition, sidecars route
+test-tagged flows to the canary pool and everything else to the
+production pool — so destructive experiments exercise real code on
+isolated state.
+"""
+
+import pytest
+
+from repro.apps.outages import _billing_db_handler, _billing_gateway_handler
+from repro.core import AbortCalls, Disconnect, Gremlin
+from repro.http import HttpRequest
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import Application, PolicySpec, ServiceDefinition, fanout_handler
+from repro.tracing import RequestIdGenerator
+
+
+def build(canaries=1, instances_b=2):
+    app = Application("canary-demo")
+    app.add_service(
+        ServiceDefinition(
+            "ServiceA",
+            handler=fanout_handler(["ServiceB"]),
+            dependencies={"ServiceB": PolicySpec(timeout=1.0)},
+        )
+    )
+    app.add_service(
+        ServiceDefinition("ServiceB", instances=instances_b, canary_instances=canaries)
+    )
+    deployment = app.deploy(seed=101)
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source
+
+
+def served(instances):
+    return [instance.server.requests_served for instance in instances]
+
+
+class TestRouting:
+    def test_test_traffic_lands_on_canaries_only(self):
+        deployment, source = build()
+        ClosedLoopLoad(num_requests=4).run(source)  # test-* IDs
+        assert served(deployment.production_instances_of("ServiceB")) == [0, 0]
+        assert served(deployment.canaries_of("ServiceB")) == [4]
+
+    def test_production_traffic_never_touches_canaries(self):
+        deployment, source = build()
+        load = ClosedLoopLoad(num_requests=4, ids=RequestIdGenerator(prefix="user-"))
+        load.run(source)
+        assert sum(served(deployment.production_instances_of("ServiceB"))) == 4
+        assert served(deployment.canaries_of("ServiceB")) == [0]
+
+    def test_mixed_traffic_split_correctly(self):
+        deployment, source = build()
+        ClosedLoopLoad(num_requests=3).run(source)
+        ClosedLoopLoad(num_requests=5, ids=RequestIdGenerator(prefix="user-")).run(source)
+        assert sum(served(deployment.production_instances_of("ServiceB"))) == 5
+        assert sum(served(deployment.canaries_of("ServiceB"))) == 3
+
+    def test_untagged_traffic_goes_to_production(self):
+        deployment, source = build()
+        sim = deployment.sim
+
+        def one(sim):
+            yield from source.client.call(HttpRequest("GET", "/x"))  # no ID
+
+        sim.process(one(sim))
+        sim.run()
+        assert sum(served(deployment.production_instances_of("ServiceB"))) == 1
+
+    def test_no_canaries_falls_back_to_production(self):
+        deployment, source = build(canaries=0)
+        ClosedLoopLoad(num_requests=4).run(source)
+        assert sum(served(deployment.production_instances_of("ServiceB"))) == 4
+
+    def test_canary_pool_round_robins(self):
+        deployment, source = build(canaries=2)
+        ClosedLoopLoad(num_requests=6).run(source)
+        assert served(deployment.canaries_of("ServiceB")) == [3, 3]
+
+
+class TestFaultsStillApply:
+    def test_rules_fire_on_canary_bound_flows(self):
+        deployment, source = build()
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Disconnect("ServiceA", "ServiceB"))
+        load = ClosedLoopLoad(num_requests=3)
+        load.run(source)
+        # Aborted at the sidecar: neither pool saw anything.
+        assert load.result.statuses == [500] * 3
+        assert sum(served(deployment.instances_of("ServiceB"))) == 0
+
+
+class TestStateIsolation:
+    def test_destructive_experiment_spares_production_state(self):
+        """The Twilio double-charge experiment, run against a canary:
+        the duplicate charges land on the canary's ledger while the
+        production ledger stays clean."""
+        app = Application("billing-canary")
+        app.add_service(
+            ServiceDefinition(
+                "billinggateway",
+                handler=_billing_gateway_handler,
+                dependencies={
+                    "billingdb": PolicySpec(timeout=1.0, max_retries=4, retry_backoff_base=0.01)
+                },
+            )
+        )
+        app.add_service(
+            ServiceDefinition(
+                "billingdb",
+                handler=_billing_db_handler(idempotent=False),
+                canary_instances=1,
+            )
+        )
+        deployment = app.deploy(seed=102)
+        source = deployment.add_traffic_source("billinggateway")
+        gremlin = Gremlin(deployment)
+
+        # Background production traffic first.
+        ClosedLoopLoad(num_requests=3, ids=RequestIdGenerator(prefix="user-")).run(source)
+
+        # Now the destructive response-path experiment on test traffic.
+        gremlin.inject(AbortCalls("billinggateway", "billingdb", error=503, on="response"))
+        ClosedLoopLoad(num_requests=2).run(source)
+
+        production_db = deployment.production_instances_of("billingdb")[0]
+        canary_db = deployment.canaries_of("billingdb")[0]
+        production_charges = production_db.ctx.state.get("charges", {})
+        canary_charges = canary_db.ctx.state.get("charges", {})
+        # Production ledger: one clean charge per user request.
+        assert all(count == 1 for count in production_charges.values())
+        assert len(production_charges) == 3
+        # The double-billing bug reproduced — but only on the canary.
+        assert canary_charges
+        assert max(canary_charges.values()) > 1

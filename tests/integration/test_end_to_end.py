@@ -1,0 +1,202 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise complete operator workflows — deploy, inject,
+load, assert, clean — including the scenarios the unit layers cover
+only piecewise (partitions, FakeSuccess, withRule accounting across a
+multi-fault run, log-pipeline lag).
+"""
+
+import pytest
+
+from repro.apps import build_enterprise_app, build_twotier
+from repro.core import (
+    Crash,
+    DelayCalls,
+    Disconnect,
+    FakeSuccess,
+    Gremlin,
+    HasBoundedRetries,
+    NetworkPartition,
+    Overload,
+    num_requests,
+    reply_latency,
+)
+from repro.http import HttpRequest, HttpResponse
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import Application, PolicySpec, ServiceDefinition
+
+
+class TestNetworkPartitionScenario:
+    def test_partition_cuts_cross_group_edges_only(self):
+        deployment = build_enterprise_app().deploy(seed=41)
+        source = deployment.add_traffic_source("webapp")
+        gremlin = Gremlin(deployment)
+        # Partition the external services away from the rest.
+        gremlin.inject(
+            NetworkPartition(
+                ["webapp", "searchservice", "activityservice", "servicedb"],
+                ["github", "stackoverflow"],
+            )
+        )
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        # activity degrades (both externals reset) but the page holds.
+        assert all(sample.ok for sample in load.result.samples)
+        activity_replies = gremlin.get_replies("activityservice", "github")
+        assert activity_replies
+        assert all(reply.error == "reset" for reply in activity_replies)
+        # Internal edges untouched.
+        search_replies = gremlin.get_replies("searchservice", "servicedb")
+        assert all(reply.error is None for reply in search_replies)
+
+
+class TestFakeSuccessScenario:
+    def test_corrupted_reply_triggers_validation_gap(self):
+        """A service that trusts its dependency's payload blindly
+        propagates corruption — FakeSuccess makes that observable."""
+
+        def trusting_handler(ctx, request):
+            yield from ctx.work()
+            reply = yield from ctx.call("provider", HttpRequest("GET", "/kv"), parent=request)
+            # No input validation: blindly parse key=value.
+            key, _, value = reply.text().partition("=")
+            return HttpResponse(200, body=f"parsed:{key}".encode())
+
+        def provider_handler(ctx, request):
+            yield from ctx.work()
+            return HttpResponse(200, body=b"key=42")
+
+        app = Application("fake-success-demo")
+        app.add_service(
+            ServiceDefinition(
+                "consumer",
+                handler=trusting_handler,
+                dependencies={"provider": PolicySpec(timeout=1.0)},
+            )
+        )
+        app.add_service(ServiceDefinition("provider", handler=provider_handler))
+        deployment = app.deploy(seed=42)
+        source = deployment.add_traffic_source("consumer")
+        gremlin = Gremlin(deployment)
+
+        baseline = ClosedLoopLoad(num_requests=1)
+        baseline.run(source)
+        assert baseline.result.samples[0].ok
+
+        gremlin.inject(FakeSuccess("provider", pattern="key", replace_bytes="badkey"))
+        corrupted = ClosedLoopLoad(num_requests=1)
+        corrupted.run(source)
+        sample = corrupted.result.samples[0]
+        assert sample.ok  # still 200 — the bug is silent corruption
+        # The consumer passed the corrupted key through unvalidated.
+        records = gremlin.get_replies("consumer", "provider")
+        assert any(record.fault_applied == "modify" for record in records)
+
+
+class TestWithRuleAccountingEndToEnd:
+    def test_delay_plus_abort_accounting(self):
+        """Fig-style multi-fault run: delayed requests' untampered
+        latency recovers the callee's true timing; synthesized replies
+        vanish from the callee-actual view."""
+        deployment = build_twotier(
+            policy=PolicySpec(timeout=10.0), service_time_b=0.01
+        ).deploy(seed=43)
+        source = deployment.add_traffic_source("ServiceA")
+        gremlin = Gremlin(deployment)
+        gremlin.inject(
+            DelayCalls("ServiceA", "ServiceB", interval=1.0, max_matches=5),
+        )
+        ClosedLoopLoad(num_requests=5).run(source)
+
+        replies = gremlin.get_replies("ServiceA", "ServiceB")
+        observed = reply_latency(replies, with_rule=True)
+        actual = reply_latency(replies, with_rule=False)
+        assert all(latency >= 1.0 for latency in observed)
+        assert all(latency < 0.1 for latency in actual)
+        assert len(observed) == len(actual) == 5
+
+    def test_request_counts_same_in_both_views_for_aborts(self):
+        deployment = build_twotier(policy=PolicySpec(timeout=1.0)).deploy(seed=44)
+        source = deployment.add_traffic_source("ServiceA")
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Disconnect("ServiceA", "ServiceB"))
+        ClosedLoopLoad(num_requests=4).run(source)
+        requests = gremlin.get_requests("ServiceA", "ServiceB")
+        assert num_requests(requests, with_rule=True) == 4
+        assert num_requests(requests, with_rule=False) == 4  # really sent
+        replies = gremlin.get_replies("ServiceA", "ServiceB")
+        assert num_requests(replies, with_rule=True) == 4
+        assert num_requests(replies, with_rule=False) == 0  # all synthesized
+
+
+class TestLogPipelineLag:
+    def test_recipe_waits_for_shipped_logs(self):
+        app = build_twotier(policy=PolicySpec(timeout=1.0, max_retries=5,
+                                              retry_backoff_base=0.02))
+        deployment = app.deploy(seed=45, log_shipping_delay=0.5)
+        source = deployment.add_traffic_source("ServiceA")
+        gremlin = Gremlin(deployment)
+        from repro.core import Recipe
+
+        load = ClosedLoopLoad(num_requests=1)
+        result = gremlin.run_recipe(
+            Recipe(
+                name="with-lag",
+                scenarios=[Disconnect("ServiceA", "ServiceB")],
+                checks=[HasBoundedRetries("ServiceA", "ServiceB", 5, window="30s")],
+                load=lambda deployment: load.driver(source),
+            )
+        )
+        # Despite the 0.5s shipping lag, the checker saw every record.
+        assert result.passed, result.report()
+
+
+class TestEmulatedVsRealCrash:
+    def test_gremlin_crash_emulation_matches_real_stop(self):
+        """The paper's premise: an emulated crash elicits the same
+        caller-observable reaction as actually killing the service.
+        (Emulated reset vs. stopped listener differ only in the error
+        flavour: reset vs. refused — both are 'connection failed'.)"""
+
+        def run(crash_for_real):
+            deployment = build_twotier(policy=PolicySpec(timeout=1.0)).deploy(seed=46)
+            source = deployment.add_traffic_source("ServiceA")
+            gremlin = Gremlin(deployment)
+            if crash_for_real:
+                for instance in deployment.instances_of("ServiceB"):
+                    instance.stop()
+            else:
+                gremlin.inject(Crash("ServiceB"))
+            load = ClosedLoopLoad(num_requests=3)
+            load.run(source)
+            return load.result
+
+        emulated = run(crash_for_real=False)
+        real = run(crash_for_real=True)
+        assert [s.status for s in emulated.samples] == [s.status for s in real.samples]
+        assert emulated.success_rate == real.success_rate == 0.0
+
+
+class TestMultiInstanceFaultCoverage:
+    def test_rules_fire_on_every_caller_instance(self):
+        """Paper Fig 3: with two ServiceA instances, the orchestrator
+        must program both sidecars, or half the flows escape the test."""
+        deployment = build_twotier(
+            policy=PolicySpec(timeout=1.0), instances_a=2
+        ).deploy(seed=47)
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Overload("ServiceB", abort_fraction=1.0))
+
+        sim = deployment.sim
+        statuses = []
+
+        def call_via(instance, rid):
+            request = HttpRequest("GET", "/api")
+            request.request_id = rid
+            response = yield from instance.clients["ServiceB"].call(request)
+            statuses.append(response.status)
+
+        for index, instance in enumerate(deployment.instances_of("ServiceA")):
+            sim.process(call_via(instance, f"test-{index}"))
+        sim.run()
+        assert statuses == [503, 503]

@@ -1,0 +1,137 @@
+"""The paper's fault model (Section 3.1), observable by observable.
+
+    "From the perspective of a microservice making an API call,
+    failures in a remote microservice or the network manifests in the
+    form of delayed responses, error responses (e.g., HTTP 404, HTTP
+    503), invalid responses, connection timeouts and failure to
+    establish the connection."
+
+One test per manifestation: each is staged with a Gremlin primitive
+(or the transport, for the two connection-level cases) and asserted
+from the caller's perspective — the matrix that justifies the claim
+that Gremlin's three primitives cover the fault model.
+"""
+
+import pytest
+
+from repro.agent import TCP_RESET, abort, delay, modify
+from repro.apps import build_twotier
+from repro.errors import (
+    CodecError,
+    ConnectionRefusedError_,
+    ConnectionResetError_,
+    ConnectionTimeoutError,
+    RequestTimeoutError,
+)
+from repro.http import HttpRequest
+from repro.microservice import PolicySpec
+
+
+def deploy(policy=None, seed=211):
+    deployment = build_twotier(policy=policy or PolicySpec()).deploy(seed=seed)
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source
+
+
+def raw_call(deployment, instance, rid="test-1", timeout=None):
+    """One call from ServiceA's own dependency client, raw outcome."""
+    sim = deployment.sim
+    box = {}
+
+    def scenario(sim):
+        request = HttpRequest("GET", "/probe")
+        request.request_id = rid
+        start = sim.now
+        try:
+            response = yield from instance.clients["ServiceB"].call(request)
+            box["outcome"] = response.status
+        except Exception as exc:  # noqa: BLE001
+            box["outcome"] = type(exc)
+        box["elapsed"] = sim.now - start
+
+    sim.process(scenario(sim))
+    sim.run()
+    return box
+
+
+class TestFaultModelMatrix:
+    def test_delayed_responses(self):
+        """Manifestation 1: delayed responses (Delay primitive)."""
+        deployment, _source = deploy()
+        instance = deployment.instances_of("ServiceA")[0]
+        deployment.agents_of("ServiceA")[0].install_rule(
+            delay("ServiceA", "ServiceB", interval=1.5)
+        )
+        box = raw_call(deployment, instance)
+        assert box["outcome"] == 200
+        assert box["elapsed"] == pytest.approx(1.5, abs=0.1)
+
+    @pytest.mark.parametrize("status", [404, 503])
+    def test_error_responses(self, status):
+        """Manifestation 2: error responses (Abort with an HTTP code)."""
+        deployment, _source = deploy()
+        instance = deployment.instances_of("ServiceA")[0]
+        deployment.agents_of("ServiceA")[0].install_rule(
+            abort("ServiceA", "ServiceB", error=status)
+        )
+        box = raw_call(deployment, instance)
+        assert box["outcome"] == status
+
+    def test_invalid_responses(self):
+        """Manifestation 3: invalid responses (Modify corrupting the
+        payload the caller then fails to interpret)."""
+        deployment, _source = deploy()
+        instance = deployment.instances_of("ServiceA")[0]
+        # Corrupt the reply body so the caller's parse of its expected
+        # key=value shape fails (checked at the application layer here:
+        # the body no longer contains what the service sent).
+        deployment.agents_of("ServiceA")[0].install_rule(
+            modify("ServiceA", "ServiceB", pattern="ok", replace_bytes="\x00garbage\x00")
+        )
+        sim = deployment.sim
+        box = {}
+
+        def scenario(sim):
+            request = HttpRequest("GET", "/probe")
+            request.request_id = "test-1"
+            response = yield from instance.clients["ServiceB"].call(request)
+            box["body"] = response.body
+
+        sim.process(scenario(sim))
+        sim.run()
+        assert b"\x00garbage\x00" in box["body"]
+        assert b"ok" not in box["body"]
+
+    def test_connection_reset(self):
+        """Manifestation 4a: abrupt connection termination
+        (Abort with Error=-1 — the paper's crash emulation)."""
+        deployment, _source = deploy()
+        instance = deployment.instances_of("ServiceA")[0]
+        deployment.agents_of("ServiceA")[0].install_rule(
+            abort("ServiceA", "ServiceB", error=TCP_RESET)
+        )
+        box = raw_call(deployment, instance)
+        assert box["outcome"] is ConnectionResetError_
+
+    def test_connection_timeout(self):
+        """Manifestation 4b: connection timeout (network partition —
+        SYN blackholed; the caller's own deadline is the only signal)."""
+        deployment, _source = deploy(policy=PolicySpec(timeout=0.5))
+        instance = deployment.instances_of("ServiceA")[0]
+        host = instance.host
+        for target in deployment.instances_of("ServiceB"):
+            deployment.network.partition(host.name, target.host.name)
+        box = raw_call(deployment, instance)
+        assert box["outcome"] is RequestTimeoutError
+        assert box["elapsed"] == pytest.approx(0.5, abs=0.05)
+
+    def test_failure_to_establish_connection(self):
+        """Manifestation 5: connection refused (the destination process
+        is gone — here: really stopped, not emulated)."""
+        deployment, _source = deploy()
+        instance = deployment.instances_of("ServiceA")[0]
+        for target in deployment.instances_of("ServiceB"):
+            target.stop()
+        box = raw_call(deployment, instance)
+        # The sidecar translates upstream refusal into 503 (Envoy-style).
+        assert box["outcome"] == 503

@@ -1,0 +1,90 @@
+"""Robustness under observation loss: checks degrade safely.
+
+If the log-shipping pipeline drops records (lossy collector), the
+assertion checker sees fewer observations.  The safety property: a
+check must degrade toward *inconclusive* ("fault not exercised") or
+keep its verdict — never flip a FAIL into a PASS merely because the
+evidence vanished in transit.
+"""
+
+import pytest
+
+from repro.apps import build_twotier
+from repro.core import Disconnect, Gremlin, HasBoundedRetries
+from repro.loadgen import ClosedLoopLoad
+from repro.logstore import EventStore, LogPipeline
+from repro.microservice import PolicySpec
+from repro.simulation import Simulator
+
+from tests.logstore.test_record import make_record
+
+
+class TestPipelineLoss:
+    def test_loss_probability_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LogPipeline(sim, EventStore(), loss_probability=1.0)
+        with pytest.raises(ValueError):
+            LogPipeline(sim, EventStore(), loss_probability=-0.1)
+
+    def test_loss_counter(self):
+        sim = Simulator(seed=5)
+        store = EventStore()
+        pipeline = LogPipeline(sim, store, loss_probability=0.5)
+        for _ in range(200):
+            pipeline.emit(make_record())
+        assert pipeline.emitted == 200
+        assert 60 <= pipeline.lost <= 140
+        assert len(store) == 200 - pipeline.lost
+
+    def test_zero_loss_is_lossless(self):
+        sim = Simulator()
+        store = EventStore()
+        pipeline = LogPipeline(sim, store)
+        for _ in range(50):
+            pipeline.emit(make_record())
+        assert pipeline.lost == 0
+        assert len(store) == 50
+
+    def test_loss_is_deterministic_per_seed(self):
+        def lost(seed):
+            sim = Simulator(seed=seed)
+            pipeline = LogPipeline(sim, EventStore(), loss_probability=0.3)
+            for _ in range(100):
+                pipeline.emit(make_record())
+            return pipeline.lost
+
+        assert lost(9) == lost(9)
+
+
+class TestChecksDegradeSafely:
+    def run_unbounded_retry_case(self, loss):
+        """A client with a genuine retry-storm bug, observed through a
+        pipeline losing ``loss`` of all records."""
+        deployment = build_twotier(
+            policy=PolicySpec(timeout=1.0, max_retries=50, retry_backoff_base=0.001,
+                              retry_backoff_factor=1.0)
+        ).deploy(seed=181, log_loss_probability=loss)
+        source = deployment.add_traffic_source("ServiceA")
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Disconnect("ServiceA", "ServiceB"))
+        ClosedLoopLoad(num_requests=1).run(source)
+        return gremlin.check(HasBoundedRetries("ServiceA", "ServiceB", 5, window="30s"))
+
+    def test_bug_detected_without_loss(self):
+        result = self.run_unbounded_retry_case(loss=0.0)
+        assert not result.passed and not result.inconclusive
+
+    def test_moderate_loss_still_detects_the_storm(self):
+        # Half the evidence gone; 51 wire requests leave plenty.
+        result = self.run_unbounded_retry_case(loss=0.5)
+        assert not result.passed and not result.inconclusive
+
+    def test_extreme_loss_goes_inconclusive_not_pass(self):
+        # With ~99% of records lost the trigger failures are no longer
+        # observable.  The check must say "fault not exercised", not
+        # certify the pattern.
+        result = self.run_unbounded_retry_case(loss=0.99)
+        assert not result.passed
+        if result.inconclusive:
+            assert "observed" in result.detail

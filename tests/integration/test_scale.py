@@ -1,0 +1,63 @@
+"""Scale smoke tests: deployments beyond the paper's largest (31).
+
+The Fig 7 benchmark stops at 31 services, like the paper; these tests
+push to 63 and exercise a full recipe there, guarding against
+accidental O(n^2) blowups in deployment assembly, orchestration or the
+assertion checker.
+"""
+
+import pytest
+
+from repro.apps import TREE_ROOT, build_tree_app, tree_service_names
+from repro.core import DelayCalls, Gremlin, HasTimeouts, Recipe
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import PolicySpec
+
+
+class TestLargeTree:
+    def test_63_service_deployment_and_recipe(self):
+        depth = 5  # 63 services
+        deployment = build_tree_app(depth, client_policy=PolicySpec(timeout=30.0)).deploy(
+            seed=231
+        )
+        names = tree_service_names(depth)
+        assert len(deployment.registry) == 63
+        assert len(deployment.agents) == 31  # internal nodes only
+
+        source = deployment.add_traffic_source(TREE_ROOT)
+        gremlin = Gremlin(deployment)
+        load = ClosedLoopLoad(num_requests=20)
+        recipe = Recipe(
+            name="scale-63",
+            scenarios=[
+                DelayCalls(caller, callee, interval="2ms")
+                for caller, callee in deployment.graph.edges()
+                if caller in names and callee in names
+            ],
+            checks=[HasTimeouts(TREE_ROOT, "5s")],
+            load=lambda deployment: load.driver(source),
+        )
+        result = gremlin.run_recipe(recipe)
+        assert result.passed, result.report()
+        assert load.result.success_rate == 1.0
+        # 62 edges x (request+reply) x 20 calls, plus the source edge.
+        assert len(deployment.store) == (62 * 20 + 20) * 2
+        # Control-plane work stays fast even at twice the paper's size.
+        assert result.orchestration_time < 1.0
+        assert result.assertion_time < 1.0
+
+    def test_deep_chain_latency_accumulates_linearly(self):
+        """A request through depth d of the tree pays ~d sequential
+        service times + hops; sanity-checks the simulated call fan-out."""
+        shallow = build_tree_app(1, service_time=0.01).deploy(seed=232)
+        deep = build_tree_app(4, service_time=0.01).deploy(seed=232)
+
+        def one_latency(deployment):
+            source = deployment.add_traffic_source(TREE_ROOT)
+            load = ClosedLoopLoad(num_requests=1)
+            load.run(source)
+            return load.result.latencies[0]
+
+        shallow_latency = one_latency(shallow)
+        deep_latency = one_latency(deep)
+        assert deep_latency > shallow_latency * 3

@@ -1,0 +1,141 @@
+"""Tests for the load generators."""
+
+import pytest
+
+from repro.apps import build_twotier
+from repro.core import Disconnect, Gremlin
+from repro.loadgen import ApacheBench, ClosedLoopLoad, OpenLoopLoad
+from repro.microservice import PolicySpec
+from repro.tracing import RequestIdGenerator
+
+
+def deploy(seed=17, service_time_b=0.001):
+    deployment = build_twotier(
+        policy=PolicySpec(timeout=5.0), service_time_b=service_time_b
+    ).deploy(seed=seed)
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source
+
+
+class TestClosedLoop:
+    def test_issues_exact_count(self):
+        _deployment, source = deploy()
+        result = ClosedLoopLoad(num_requests=7).run(source)
+        assert len(result) == 7
+        assert result.success_rate == 1.0
+
+    def test_requests_are_sequential(self):
+        _deployment, source = deploy()
+        load = ClosedLoopLoad(num_requests=3, think_time=0.5)
+        load.run(source)
+        starts = [sample.start for sample in load.result.samples]
+        assert starts == sorted(starts)
+        assert starts[1] - starts[0] >= 0.5
+
+    def test_unique_test_ids(self):
+        _deployment, source = deploy()
+        load = ClosedLoopLoad(num_requests=5)
+        load.run(source)
+        ids = [sample.request_id for sample in load.result.samples]
+        assert len(set(ids)) == 5
+        assert all(request_id.startswith("test-") for request_id in ids)
+
+    def test_errors_recorded_not_raised(self):
+        deployment, source = deploy()
+        gremlin = Gremlin(deployment)
+        from repro.core import Crash
+
+        gremlin.inject(Crash("ServiceA"))  # reset between user and A
+        result = ClosedLoopLoad(num_requests=3).run(source)
+        assert result.error_count == 3
+        assert result.success_rate == 0.0
+        assert all(s.error == "ConnectionResetError_" for s in result.samples)
+
+    def test_custom_id_generator(self):
+        _deployment, source = deploy()
+        load = ClosedLoopLoad(num_requests=2, ids=RequestIdGenerator(prefix="user-"))
+        load.run(source)
+        assert load.result.samples[0].request_id == "user-1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(num_requests=0)
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(num_requests=1, think_time=-1)
+
+
+class TestOpenLoop:
+    def test_rate_approximately_honored(self):
+        _deployment, source = deploy()
+        load = OpenLoopLoad(rate=50.0, duration=4.0)
+        load.run(source)
+        assert 120 <= len(load.result) <= 280  # ~200 expected
+
+    def test_arrivals_do_not_wait_for_responses(self):
+        # Slow backend (1s); open-loop arrivals at 10/s keep coming.
+        _deployment, source = deploy(service_time_b=1.0)
+        load = OpenLoopLoad(rate=10.0, duration=2.0)
+        load.run(source)
+        starts = sorted(sample.start for sample in load.result.samples)
+        assert starts[-1] - starts[0] < 3.0  # all arrived during window
+        assert len(load.result) >= 10
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            _deployment, source = deploy(seed=77)
+            load = OpenLoopLoad(rate=20.0, duration=3.0)
+            load.run(source)
+            counts.append(len(load.result))
+        assert counts[0] == counts[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenLoopLoad(rate=0, duration=1)
+        with pytest.raises(ValueError):
+            OpenLoopLoad(rate=1, duration=0)
+
+
+class TestApacheBench:
+    def test_completes_total_requests(self):
+        _deployment, source = deploy()
+        bench = ApacheBench(total_requests=20, concurrency=4)
+        result = bench.run(source)
+        assert len(result) == 20
+        assert result.success_rate == 1.0
+
+    def test_concurrency_shortens_wall_time(self):
+        _deployment, source = deploy(service_time_b=0.1)
+        serial_deployment, serial_source = deploy(seed=18, service_time_b=0.1)
+
+        bench = ApacheBench(total_requests=10, concurrency=5)
+        bench.run(source)
+        parallel_span = max(s.start + s.elapsed for s in bench.result.samples)
+
+        serial = ApacheBench(total_requests=10, concurrency=1)
+        serial.run(serial_source)
+        serial_span = max(s.start + s.elapsed for s in serial.result.samples)
+        assert parallel_span < serial_span / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApacheBench(total_requests=0)
+        with pytest.raises(ValueError):
+            ApacheBench(total_requests=1, concurrency=0)
+
+
+class TestLoadResult:
+    def test_summary_fields(self):
+        _deployment, source = deploy()
+        result = ClosedLoopLoad(num_requests=4).run(source)
+        assert len(result.latencies) == 4
+        assert all(latency > 0 for latency in result.latencies)
+        assert result.statuses == [200] * 4
+        assert result.error_count == 0
+
+    def test_empty_result(self):
+        from repro.loadgen import LoadResult
+
+        result = LoadResult()
+        assert result.success_rate == 0.0
+        assert len(result) == 0

@@ -1,0 +1,85 @@
+"""Tests for JSON-lines export/import of observation logs."""
+
+import pytest
+
+from repro.errors import AssertionQueryError
+from repro.logstore import EventStore, Query, dump_jsonl, dumps, load_jsonl, loads
+
+from tests.logstore.test_record import make_record
+
+
+def populated_store():
+    store = EventStore()
+    store.append(make_record(timestamp=1.0, status=200))
+    store.append(
+        make_record(
+            timestamp=2.0,
+            kind="reply",
+            status=503,
+            latency=0.5,
+            injected_delay=0.4,
+            fault_applied="delay(0.4)",
+            gremlin_generated=True,
+        )
+    )
+    return store
+
+
+class TestTextRoundTrip:
+    def test_dumps_loads_identity(self):
+        original = populated_store()
+        restored = loads(dumps(original))
+        assert restored.all_records() == original.all_records()
+
+    def test_empty_store(self):
+        assert dumps(EventStore()) == ""
+        assert len(loads("")) == 0
+
+    def test_blank_lines_skipped(self):
+        text = dumps(populated_store()) + "\n\n"
+        assert len(loads(text)) == 2
+
+    def test_malformed_line_fails_loudly(self):
+        with pytest.raises(AssertionQueryError, match="line 1"):
+            loads("{not json")
+
+    def test_wrong_schema_fails_loudly(self):
+        with pytest.raises(AssertionQueryError):
+            loads('{"unexpected": "fields"}')
+
+    def test_queries_work_on_restored_store(self):
+        restored = loads(dumps(populated_store()))
+        assert restored.count(Query(status=503)) == 1
+        reply = restored.search(Query(kind="reply"))[0]
+        assert reply.actual_latency == pytest.approx(0.1)
+
+
+class TestFileRoundTrip:
+    def test_dump_and_load_file(self, tmp_path):
+        store = populated_store()
+        path = tmp_path / "observations.jsonl"
+        written = dump_jsonl(store, path)
+        assert written == 2
+        restored = load_jsonl(path)
+        assert restored.all_records() == store.all_records()
+
+    def test_end_to_end_offline_assertions(self, tmp_path):
+        """Dump a live deployment's logs and re-run a check offline."""
+        from repro.apps import build_twotier
+        from repro.core import Disconnect, Gremlin, HasBoundedRetries
+        from repro.loadgen import ClosedLoopLoad
+        from repro.microservice import PolicySpec
+
+        deployment = build_twotier(
+            policy=PolicySpec(timeout=1.0, max_retries=5, retry_backoff_base=0.02)
+        ).deploy(seed=151)
+        source = deployment.add_traffic_source("ServiceA")
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Disconnect("ServiceA", "ServiceB"))
+        ClosedLoopLoad(num_requests=1).run(source)
+
+        path = tmp_path / "run.jsonl"
+        dump_jsonl(deployment.store, path)
+        offline_store = load_jsonl(path)
+        result = HasBoundedRetries("ServiceA", "ServiceB", 5, window="30s").run(offline_store)
+        assert result.passed, result.detail

@@ -1,0 +1,54 @@
+"""Unit tests for the observation-record schema."""
+
+import pytest
+
+from repro.logstore import ObservationKind, ObservationRecord
+
+
+def make_record(**overrides):
+    defaults = dict(
+        timestamp=1.0,
+        kind=ObservationKind.REQUEST,
+        src="ServiceA",
+        dst="ServiceB",
+        src_instance="servicea-0",
+        request_id="test-1",
+        method="GET",
+        uri="/x",
+    )
+    defaults.update(overrides)
+    return ObservationRecord(**defaults)
+
+
+class TestObservationRecord:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            make_record(kind="sideways")
+
+    def test_direction_helpers(self):
+        assert make_record(kind="request").is_request
+        assert make_record(kind="reply").is_reply
+
+    def test_actual_latency_subtracts_injected_delay(self):
+        record = make_record(kind="reply", latency=3.05, injected_delay=3.0)
+        assert record.actual_latency == pytest.approx(0.05)
+
+    def test_actual_latency_clamped_at_zero(self):
+        record = make_record(kind="reply", latency=0.9, injected_delay=1.0)
+        assert record.actual_latency == 0.0
+
+    def test_actual_latency_none_without_latency(self):
+        assert make_record().actual_latency is None
+
+    def test_mutation_models_es_document_update(self):
+        record = make_record()
+        assert record.status is None
+        record.status = 503  # outcome learned later
+        assert record.status == 503
+
+    def test_to_dict_round_trip_fields(self):
+        record = make_record(status=200, latency=0.01)
+        doc = record.to_dict()
+        assert doc["src"] == "ServiceA"
+        assert doc["status"] == 200
+        assert ObservationRecord(**doc) == record

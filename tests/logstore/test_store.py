@@ -1,0 +1,65 @@
+"""Unit tests for the event store."""
+
+from repro.logstore import EventStore, Query
+
+from tests.logstore.test_record import make_record
+
+
+class TestEventStore:
+    def test_append_and_len(self):
+        store = EventStore()
+        store.append(make_record())
+        assert len(store) == 1
+
+    def test_extend(self):
+        store = EventStore()
+        store.extend(make_record(timestamp=float(i)) for i in range(5))
+        assert len(store) == 5
+
+    def test_all_records_sorted(self):
+        store = EventStore()
+        for ts in (3.0, 1.0, 2.0):
+            store.append(make_record(timestamp=ts))
+        assert [r.timestamp for r in store.all_records()] == [1.0, 2.0, 3.0]
+
+    def test_search_by_pair_uses_index(self):
+        store = EventStore()
+        store.append(make_record(src="A", dst="B", timestamp=1.0))
+        store.append(make_record(src="A", dst="C", timestamp=2.0))
+        store.append(make_record(src="A", dst="B", timestamp=3.0))
+        results = store.search(Query(src="A", dst="B"))
+        assert [r.timestamp for r in results] == [1.0, 3.0]
+
+    def test_search_time_range_without_pair(self):
+        store = EventStore()
+        for ts in range(10):
+            store.append(make_record(timestamp=float(ts)))
+        results = store.search(Query(since=3.0, until=6.0))
+        assert [r.timestamp for r in results] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_search_pair_with_out_of_order_ingest(self):
+        store = EventStore()
+        store.append(make_record(timestamp=5.0))
+        store.append(make_record(timestamp=1.0))
+        results = store.search(Query(src="ServiceA", dst="ServiceB"))
+        assert [r.timestamp for r in results] == [1.0, 5.0]
+
+    def test_count(self):
+        store = EventStore()
+        store.append(make_record(status=503))
+        store.append(make_record(status=200))
+        assert store.count(Query(status=503)) == 1
+
+    def test_clear(self):
+        store = EventStore()
+        store.append(make_record())
+        store.clear()
+        assert len(store) == 0
+        assert store.search(Query()) == []
+
+    def test_mutated_record_visible_in_search(self):
+        store = EventStore()
+        record = make_record()
+        store.append(record)
+        record.status = 503
+        assert store.count(Query(status=503)) == 1

@@ -1,0 +1,126 @@
+"""Unit tests for the reusable handler factories."""
+
+import pytest
+
+from repro.core import Crash, Gremlin, Hang
+from repro.loadgen import ClosedLoopLoad
+from repro.microservice import (
+    Application,
+    PolicySpec,
+    ServiceDefinition,
+    chain_handler,
+    fanout_handler,
+    proxy_handler,
+    static_handler,
+)
+
+
+def deploy_single(handler, extra_services=(), dependencies=None, seed=241):
+    app = Application("handlers-demo")
+    app.add_service(
+        ServiceDefinition(
+            "front", handler=handler, dependencies=dependencies or {}
+        )
+    )
+    for definition in extra_services:
+        app.add_service(definition)
+    deployment = app.deploy(seed=seed)
+    source = deployment.add_traffic_source("front")
+    return deployment, source
+
+
+class TestStaticHandler:
+    def test_fixed_status_and_body(self):
+        _deployment, source = deploy_single(static_handler(status=204, body=b""))
+        load = ClosedLoopLoad(num_requests=2)
+        load.run(source)
+        assert load.result.statuses == [204, 204]
+
+
+class TestChainHandler:
+    def make_chain(self, length=3, seed=242):
+        app = Application("chain")
+        names = [f"hop-{index}" for index in range(length)]
+        for index, name in enumerate(names):
+            next_name = names[index + 1] if index + 1 < length else None
+            dependencies = (
+                {next_name: PolicySpec(timeout=2.0)} if next_name else {}
+            )
+            app.add_service(
+                ServiceDefinition(
+                    name, handler=chain_handler(next_name), dependencies=dependencies
+                )
+            )
+        deployment = app.deploy(seed=seed)
+        source = deployment.add_traffic_source("hop-0")
+        return deployment, source
+
+    def test_chain_relays_success(self):
+        _deployment, source = self.make_chain()
+        load = ClosedLoopLoad(num_requests=2)
+        load.run(source)
+        assert load.result.statuses == [200, 200]
+
+    def test_broken_link_becomes_502(self):
+        deployment, source = self.make_chain()
+        gremlin = Gremlin(deployment)
+        gremlin.inject(Crash("hop-2"))
+        load = ClosedLoopLoad(num_requests=2)
+        load.run(source)
+        # hop-1 reports the broken chain; hop-0 relays its status.
+        assert load.result.statuses == [502, 502]
+
+    def test_terminator_is_static(self):
+        deployment, source = self.make_chain(length=1)
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        assert load.result.statuses == [200]
+
+
+class TestProxyHandler:
+    def test_forwards_verbatim(self):
+        backend = ServiceDefinition("backend", handler=static_handler(body=b"from-backend"))
+        _deployment, source = deploy_single(
+            proxy_handler("backend"),
+            extra_services=[backend],
+            dependencies={"backend": PolicySpec(timeout=2.0)},
+        )
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        assert load.result.samples[0].status == 200
+
+
+class TestFanoutHandler:
+    def make_fanout(self, partial_ok, seed=243):
+        deps = [ServiceDefinition("left"), ServiceDefinition("right")]
+        deployment, source = deploy_single(
+            fanout_handler(["left", "right"], partial_ok=partial_ok),
+            extra_services=deps,
+            dependencies={
+                "left": PolicySpec(timeout=0.5),
+                "right": PolicySpec(timeout=0.5),
+            },
+            seed=seed,
+        )
+        return deployment, source
+
+    def test_strict_mode_degrades_on_first_failure(self):
+        deployment, source = self.make_fanout(partial_ok=False)
+        Gremlin(deployment).inject(Hang("left", interval="1h"))
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        assert load.result.statuses == [500]
+
+    def test_partial_ok_mode_reports_degraded_200(self):
+        deployment, source = self.make_fanout(partial_ok=True)
+        Gremlin(deployment).inject(Hang("left", interval="1h"))
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        sample = load.result.samples[0]
+        assert sample.status == 200
+
+    def test_all_healthy_is_plain_ok(self):
+        _deployment, source = self.make_fanout(partial_ok=True)
+        load = ClosedLoopLoad(num_requests=1)
+        load.run(source)
+        assert load.result.samples[0].ok

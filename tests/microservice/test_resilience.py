@@ -1,0 +1,223 @@
+"""Unit tests for the four resilience patterns."""
+
+import pytest
+
+from repro.errors import BulkheadFullError
+from repro.microservice import (
+    BreakerState,
+    Bulkhead,
+    CircuitBreaker,
+    PolicySpec,
+    RetryPolicy,
+    TimeoutPolicy,
+)
+
+
+class TestTimeoutPolicy:
+    def test_holds_value(self):
+        assert TimeoutPolicy(1.5).timeout == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            TimeoutPolicy(bad)
+
+
+class TestRetryPolicy:
+    def test_attempt_accounting(self):
+        policy = RetryPolicy(max_retries=5)
+        assert policy.max_attempts == 6
+
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(3, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.4)
+
+    def test_backoff_clamped(self):
+        policy = RetryPolicy(10, backoff_base=1.0, backoff_factor=10.0, max_backoff=5.0)
+        assert policy.backoff(5) == 5.0
+
+    def test_zero_retries_allowed(self):
+        assert RetryPolicy(0).max_attempts == 1
+
+    def test_jitter_adds_bounded_noise(self):
+        import random
+
+        policy = RetryPolicy(1, backoff_base=1.0, jitter=0.5)
+        rng = random.Random(0)
+        for _ in range(20):
+            value = policy.backoff(0, rng=rng)
+            assert 1.0 <= value <= 1.5
+
+    def test_no_jitter_is_deterministic_without_rng(self):
+        policy = RetryPolicy(1, backoff_base=1.0)
+        assert policy.backoff(0) == policy.backoff(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(max_retries=1, backoff_base=-1),
+            dict(max_retries=1, backoff_factor=0.5),
+            dict(max_retries=1, jitter=2.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(1).backoff(-1)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self, sim):
+        assert CircuitBreaker(sim).state == BreakerState.CLOSED
+
+    def test_trips_after_threshold(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow_request()
+
+    def test_success_resets_consecutive_count(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_after_recovery_timeout(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=1, recovery_timeout=10.0)
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        sim.run(until=10.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow_request()
+
+    def test_half_open_limits_trial_calls(self, sim):
+        breaker = CircuitBreaker(
+            sim, failure_threshold=1, recovery_timeout=1.0, half_open_max_calls=1
+        )
+        breaker.record_failure()
+        sim.run(until=1.0)
+        assert breaker.allow_request()
+        assert not breaker.allow_request()  # trial slot taken
+
+    def test_half_open_success_closes(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=1, recovery_timeout=1.0)
+        breaker.record_failure()
+        sim.run(until=1.0)
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_needs_success_threshold(self, sim):
+        breaker = CircuitBreaker(
+            sim,
+            failure_threshold=1,
+            recovery_timeout=1.0,
+            success_threshold=2,
+            half_open_max_calls=2,
+        )
+        breaker.record_failure()
+        sim.run(until=1.0)
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=1, recovery_timeout=1.0)
+        breaker.record_failure()
+        sim.run(until=1.0)
+        assert breaker.allow_request()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        # Timer restarted: still open shortly after.
+        sim.run(until=1.5)
+        assert breaker.state == BreakerState.OPEN
+        sim.run(until=2.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_transition_log(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=1, recovery_timeout=1.0)
+        breaker.record_failure()
+        sim.run(until=1.0)
+        _ = breaker.state
+        states = [state for _t, state in breaker.transitions]
+        assert states == [BreakerState.OPEN, BreakerState.HALF_OPEN]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_threshold=0),
+            dict(recovery_timeout=0),
+            dict(success_threshold=0),
+            dict(half_open_max_calls=0),
+        ],
+    )
+    def test_validation(self, sim, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(sim, **kwargs)
+
+
+class TestBulkhead:
+    def test_acquire_release(self, sim):
+        bulkhead = Bulkhead(sim, 2)
+        bulkhead.acquire()
+        bulkhead.acquire()
+        assert bulkhead.in_use == 2
+        bulkhead.release()
+        assert bulkhead.available == 1
+
+    def test_rejects_when_full(self, sim):
+        bulkhead = Bulkhead(sim, 1)
+        bulkhead.acquire()
+        with pytest.raises(BulkheadFullError):
+            bulkhead.acquire()
+        assert bulkhead.rejected == 1
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Bulkhead(sim, 0)
+
+
+class TestPolicySpec:
+    def test_naive_builds_empty_policy(self, sim):
+        policy = PolicySpec.naive().build(sim)
+        assert policy.timeout is None
+        assert policy.retry is None
+        assert policy.breaker is None
+        assert policy.bulkhead is None
+        assert policy.max_attempts == 1
+        assert policy.attempt_timeout is None
+        assert policy.describe() == "naive"
+
+    def test_hardened_builds_all_patterns(self, sim):
+        policy = PolicySpec.hardened().build(sim)
+        assert policy.timeout is not None
+        assert policy.retry is not None
+        assert policy.breaker is not None
+        assert policy.bulkhead is not None
+        assert "timeout" in policy.describe()
+
+    def test_partial_spec(self, sim):
+        policy = PolicySpec(timeout=2.0, max_retries=3).build(sim)
+        assert policy.attempt_timeout == 2.0
+        assert policy.max_attempts == 4
+        assert policy.breaker is None
+
+    def test_fallback_carried(self, sim):
+        fallback = lambda request: None  # noqa: E731
+        policy = PolicySpec(fallback=fallback).build(sim)
+        assert policy.fallback is fallback

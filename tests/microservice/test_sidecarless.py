@@ -1,0 +1,41 @@
+"""Sidecar-less deployments: the proxy-overhead ablation baseline."""
+
+import pytest
+
+from repro.apps import build_twotier
+from repro.core import Gremlin, Overload
+from repro.errors import OrchestrationError
+from repro.loadgen import ClosedLoopLoad
+
+
+def deploy(instances_b=2):
+    deployment = build_twotier(instances_b=instances_b).deploy(seed=55, sidecars=False)
+    source = deployment.add_traffic_source("ServiceA")
+    return deployment, source
+
+
+class TestDirectWiring:
+    def test_calls_work_without_agents(self):
+        deployment, source = deploy()
+        result = ClosedLoopLoad(num_requests=4).run(source)
+        assert result.success_rate == 1.0
+        assert deployment.agents == []
+
+    def test_client_side_round_robin(self):
+        deployment, source = deploy(instances_b=2)
+        ClosedLoopLoad(num_requests=6).run(source)
+        served = [i.server.requests_served for i in deployment.instances_of("ServiceB")]
+        assert served == [3, 3]
+
+    def test_nothing_is_observed(self):
+        deployment, source = deploy()
+        ClosedLoopLoad(num_requests=3).run(source)
+        # No agents -> no observation records: the deployment is blind,
+        # which is exactly why the paper deploys sidecars.
+        assert len(deployment.store) == 0
+
+    def test_fault_injection_impossible(self):
+        deployment, _source = deploy()
+        gremlin = Gremlin(deployment)
+        with pytest.raises(OrchestrationError, match="no Gremlin agent"):
+            gremlin.inject(Overload("ServiceB"))

@@ -1,0 +1,49 @@
+"""Unit tests for Address parsing and validation."""
+
+import pytest
+
+from repro.network import LOOPBACK, Address
+
+
+class TestAddress:
+    def test_basic_fields(self):
+        address = Address("10.1.1.1", 8080)
+        assert address.host == "10.1.1.1"
+        assert address.port == 8080
+
+    def test_str_round_trip(self):
+        address = Address("db", 5432)
+        assert str(address) == "db:5432"
+        assert Address.parse(str(address)) == address
+
+    def test_parse_with_default_port(self):
+        assert Address.parse("cache", default_port=6379) == Address("cache", 6379)
+
+    def test_parse_missing_port_no_default_raises(self):
+        with pytest.raises(ValueError):
+            Address.parse("nohost")
+
+    def test_parse_bad_port_raises(self):
+        with pytest.raises(ValueError):
+            Address.parse("host:notaport")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            Address("", 80)
+
+    @pytest.mark.parametrize("port", [0, -1, 65536, 100000])
+    def test_port_range_enforced(self, port):
+        with pytest.raises(ValueError):
+            Address("h", port)
+
+    def test_loopback_detection(self):
+        assert Address(LOOPBACK, 9000).is_loopback
+        assert not Address("10.0.0.1", 9000).is_loopback
+
+    def test_equality_and_hash(self):
+        assert Address("a", 1) == Address("a", 1)
+        assert Address("a", 1) != Address("a", 2)
+        assert len({Address("a", 1), Address("a", 1)}) == 1
+
+    def test_ordering(self):
+        assert Address("a", 1) < Address("a", 2) < Address("b", 1)

@@ -1,0 +1,69 @@
+"""Unit tests for latency models."""
+
+import pytest
+
+from repro.network import (
+    FixedLatency,
+    LognormalLatency,
+    NoLatency,
+    UniformLatency,
+    as_latency,
+)
+from repro.simulation import Simulator
+
+
+class TestModels:
+    def test_no_latency(self, sim):
+        assert NoLatency().sample(sim) == 0.0
+
+    def test_fixed_latency(self, sim):
+        assert FixedLatency(0.25).sample(sim) == 0.25
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-0.1)
+
+    def test_uniform_bounds(self, sim):
+        model = UniformLatency(0.001, 0.002)
+        for _ in range(100):
+            assert 0.001 <= model.sample(sim) <= 0.002
+
+    def test_uniform_validates_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.2)
+
+    def test_lognormal_floor(self, sim):
+        model = LognormalLatency(mu=-10, sigma=0.1, floor=0.005)
+        for _ in range(50):
+            assert model.sample(sim) >= 0.005
+
+    def test_lognormal_validates(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(0, -1)
+        with pytest.raises(ValueError):
+            LognormalLatency(0, 1, floor=-1)
+
+    def test_determinism_across_runs(self):
+        def draws(seed):
+            sim = Simulator(seed=seed)
+            model = UniformLatency(0, 1)
+            return [model.sample(sim) for _ in range(10)]
+
+        assert draws(3) == draws(3)
+        assert draws(3) != draws(4)
+
+
+class TestCoercion:
+    def test_none_becomes_no_latency(self):
+        assert isinstance(as_latency(None), NoLatency)
+
+    def test_float_becomes_fixed(self):
+        model = as_latency(0.004)
+        assert isinstance(model, FixedLatency)
+        assert model.delay == 0.004
+
+    def test_model_passes_through(self):
+        model = FixedLatency(0.1)
+        assert as_latency(model) is model

@@ -1,0 +1,308 @@
+"""Unit tests for the simulated transport: connect, send/recv, faults."""
+
+import pytest
+
+from repro.errors import (
+    ConnectionRefusedError_,
+    ConnectionResetError_,
+    ConnectionTimeoutError,
+    HostUnreachableError,
+    NetworkError,
+)
+from repro.network import Address, Network
+from repro.simulation import ChannelClosed
+
+from tests.conftest import run_to_completion
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, default_latency=0.001)
+
+
+@pytest.fixture
+def two_hosts(net):
+    return net.add_host("alpha"), net.add_host("beta")
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, net):
+        net.add_host("x")
+        with pytest.raises(NetworkError):
+            net.add_host("x")
+
+    def test_unknown_host_lookup_raises(self, net):
+        with pytest.raises(HostUnreachableError):
+            net.host("ghost")
+
+    def test_has_host(self, net):
+        net.add_host("x")
+        assert net.has_host("x")
+        assert not net.has_host("y")
+
+    def test_duplicate_port_bind_rejected(self, net):
+        host = net.add_host("x")
+        host.listen(80)
+        with pytest.raises(NetworkError):
+            host.listen(80)
+
+    def test_rebind_after_close(self, net):
+        host = net.add_host("x")
+        listener = host.listen(80)
+        listener.close()
+        host.listen(80)  # must not raise
+
+
+class TestConnect:
+    def test_connect_and_exchange(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        listener = beta.listen(80)
+        exchanges = []
+
+        def server(sim):
+            conn = yield listener.accept()
+            data = yield conn.recv()
+            conn.send(b"pong:" + data)
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.send(b"ping")
+            reply = yield conn.recv()
+            exchanges.append((reply, sim.now))
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        # 1 RTT handshake + 1 RTT exchange = 4 x 1ms one-way latency.
+        assert exchanges == [(b"pong:ping", pytest.approx(0.004))]
+
+    def test_connect_refused_when_no_listener(self, sim, net, two_hosts):
+        alpha, _beta = two_hosts
+
+        def client(sim):
+            try:
+                yield alpha.connect(Address("beta", 81))
+            except ConnectionRefusedError_:
+                return sim.now
+
+        # Refusal arrives after one RTT, not after the full timeout.
+        assert run_to_completion(sim, client(sim)) == pytest.approx(0.002)
+
+    def test_connect_unknown_host_times_out(self, sim, net, two_hosts):
+        alpha, _ = two_hosts
+
+        def client(sim):
+            try:
+                yield alpha.connect(Address("ghost", 80), timeout=2.0)
+            except HostUnreachableError:
+                return sim.now
+
+        assert run_to_completion(sim, client(sim)) == pytest.approx(2.0)
+
+    def test_connect_to_closed_listener_refused(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        listener = beta.listen(80)
+        listener.close()
+
+        def client(sim):
+            try:
+                yield alpha.connect(Address("beta", 80))
+            except ConnectionRefusedError_:
+                return "refused"
+
+        assert run_to_completion(sim, client(sim)) == "refused"
+
+    def test_loopback_connect(self, sim, net):
+        host = net.add_host("solo")
+        listener = host.listen(9000)
+        results = []
+
+        def server(sim):
+            conn = yield listener.accept()
+            data = yield conn.recv()
+            conn.send(data.upper())
+
+        def client(sim):
+            conn = yield host.connect(Address("localhost", 9000))
+            conn.send(b"hi")
+            results.append((yield conn.recv()))
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert results == [b"HI"]
+
+
+class TestPartition:
+    def test_connect_blackholed_by_partition(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        beta.listen(80)
+        net.partition("alpha", "beta")
+
+        def client(sim):
+            try:
+                yield alpha.connect(Address("beta", 80), timeout=1.5)
+            except ConnectionTimeoutError:
+                return sim.now
+
+        assert run_to_completion(sim, client(sim)) == pytest.approx(1.5)
+
+    def test_in_flight_messages_dropped(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        listener = beta.listen(80)
+        received = []
+
+        def server(sim):
+            conn = yield listener.accept()
+            while True:
+                try:
+                    received.append((yield conn.recv()))
+                except (ChannelClosed, ConnectionResetError_):
+                    return
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.send(b"before")
+            yield sim.timeout(0.01)
+            net.partition("alpha", "beta")
+            conn.send(b"during")  # dropped silently
+            yield sim.timeout(0.01)
+            net.heal("alpha", "beta")
+            conn.send(b"after")
+            yield sim.timeout(0.01)
+            conn.close()
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert received == [b"before", b"after"]
+
+    def test_heal_all(self, net):
+        net.partition("a", "b")
+        net.partition("c", "d")
+        net.heal_all()
+        assert not net.is_partitioned("a", "b")
+        assert not net.is_partitioned("c", "d")
+
+    def test_partition_is_symmetric(self, net):
+        net.partition("a", "b")
+        assert net.is_partitioned("b", "a")
+
+
+class TestCloseAndReset:
+    def test_orderly_close_delivers_channel_closed(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        listener = beta.listen(80)
+
+        def server(sim):
+            conn = yield listener.accept()
+            try:
+                yield conn.recv()
+            except ChannelClosed:
+                return "orderly"
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.close()
+
+        server_proc = sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert server_proc.value == "orderly"
+
+    def test_reset_delivers_reset_error(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        listener = beta.listen(80)
+
+        def server(sim):
+            conn = yield listener.accept()
+            try:
+                yield conn.recv()
+            except ConnectionResetError_:
+                return "reset"
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.reset()
+
+        server_proc = sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert server_proc.value == "reset"
+
+    def test_send_on_closed_end_raises(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        beta.listen(80)
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.close()
+            try:
+                conn.send(b"too late")
+            except ConnectionResetError_:
+                return "rejected"
+
+        assert run_to_completion(sim, client(sim)) == "rejected"
+
+    def test_send_requires_bytes(self, sim, net, two_hosts):
+        alpha, beta = two_hosts
+        beta.listen(80)
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            try:
+                conn.send("text")
+            except TypeError:
+                return "typeerror"
+
+        assert run_to_completion(sim, client(sim)) == "typeerror"
+
+    def test_send_after_peer_departed_raises_epipe_style(self, sim, net, two_hosts):
+        """Writing after the peer closed surfaces as a reset (EPIPE)."""
+        alpha, beta = two_hosts
+        listener = beta.listen(80)
+
+        def server(sim):
+            conn = yield listener.accept()
+            yield conn.recv()
+            yield sim.timeout(0.5)  # client closes while we think
+            try:
+                conn.send(b"late reply")
+            except ConnectionResetError_:
+                return "epipe"
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.send(b"req")
+            yield sim.timeout(0.1)
+            conn.close()
+
+        server_proc = sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert server_proc.value == "epipe"
+
+
+class TestLatencyOverrides:
+    def test_per_pair_override(self, sim, net):
+        alpha = net.add_host("alpha")
+        beta = net.add_host("beta")
+        net.set_latency("alpha", "beta", 0.5)
+        listener = beta.listen(80)
+        times = []
+
+        def server(sim):
+            conn = yield listener.accept()
+            data = yield conn.recv()
+            conn.send(data)
+
+        def client(sim):
+            conn = yield alpha.connect(Address("beta", 80))
+            conn.send(b"x")
+            yield conn.recv()
+            times.append(sim.now)
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert times == [pytest.approx(2.0)]  # 4 one-way hops x 0.5s

@@ -1,0 +1,51 @@
+"""Property-based tests for CDF / percentile invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Cdf, percentile
+
+_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestPercentileInvariants:
+    @given(samples=_samples, q=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200)
+    def test_within_sample_bounds(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+
+    @given(samples=_samples,
+           q1=st.floats(min_value=0, max_value=100),
+           q2=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200)
+    def test_monotone_in_q(self, samples, q1, q2):
+        low, high = sorted((q1, q2))
+        assert percentile(samples, low) <= percentile(samples, high)
+
+
+class TestCdfInvariants:
+    @given(samples=_samples)
+    @settings(max_examples=100)
+    def test_fraction_below_max_is_one(self, samples):
+        cdf = Cdf(samples)
+        assert cdf.fraction_below(cdf.max) == 1.0
+
+    @given(samples=_samples, value=st.floats(allow_nan=False, min_value=-1e6, max_value=1e6))
+    @settings(max_examples=200)
+    def test_fraction_below_matches_manual_count(self, samples, value):
+        cdf = Cdf(samples)
+        expected = sum(1 for sample in samples if sample <= value) / len(samples)
+        assert cdf.fraction_below(value) == expected
+
+    @given(samples=_samples)
+    @settings(max_examples=100)
+    def test_inverse_cdf_round_trip(self, samples):
+        # Linear-interpolated percentiles can undershoot the empirical
+        # step function by up to one sample's worth of mass.
+        cdf = Cdf(samples)
+        slack = 1.0 / len(samples) + 1e-9
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = cdf.value_at(fraction)
+            assert cdf.fraction_below(value) >= fraction - slack

@@ -1,0 +1,119 @@
+"""Stateful property-based testing of the circuit breaker.
+
+A hypothesis rule-based state machine drives the breaker through
+random sequences of successes, failures, time advances and gate
+checks, verifying the safety invariants that the pattern's whole
+purpose rests on:
+
+* OPEN always rejects;
+* the breaker only opens through failures, never through successes;
+* once open, it stays closed to traffic until ``recovery_timeout`` has
+  fully elapsed;
+* trial traffic in HALF_OPEN is bounded by ``half_open_max_calls``.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+import hypothesis.strategies as st
+
+from repro.microservice.resilience.circuit_breaker import BreakerState, CircuitBreaker
+from repro.simulation import Simulator
+
+FAILURE_THRESHOLD = 3
+RECOVERY_TIMEOUT = 10.0
+HALF_OPEN_MAX = 2
+
+
+class BreakerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator(seed=0)
+        self.breaker = CircuitBreaker(
+            self.sim,
+            failure_threshold=FAILURE_THRESHOLD,
+            recovery_timeout=RECOVERY_TIMEOUT,
+            success_threshold=1,
+            half_open_max_calls=HALF_OPEN_MAX,
+        )
+        #: Permits currently held (allow_request() True without outcome yet).
+        self.outstanding = 0
+        self.last_open_time = None
+        self.consecutive_failures_closed = 0
+
+    # -- actions ---------------------------------------------------------
+
+    @rule()
+    def gate(self):
+        state_before = self.breaker.state
+        allowed = self.breaker.allow_request()
+        if state_before == BreakerState.OPEN:
+            assert not allowed, "OPEN must reject every request"
+        if allowed and self.breaker._state == BreakerState.HALF_OPEN:
+            self.outstanding += 1
+            assert self.outstanding <= HALF_OPEN_MAX, "half-open trial budget exceeded"
+
+    @precondition(lambda self: self.outstanding > 0 or self.breaker.state == BreakerState.CLOSED)
+    @rule()
+    def report_success(self):
+        if self.breaker._state == BreakerState.HALF_OPEN and self.outstanding == 0:
+            return
+        was_half_open = self.breaker._state == BreakerState.HALF_OPEN
+        self.breaker.record_success()
+        if was_half_open:
+            if self.breaker._state == BreakerState.HALF_OPEN:
+                self.outstanding = max(0, self.outstanding - 1)
+            else:
+                # Transitioned (closed): trial bookkeeping resets.
+                self.outstanding = 0
+        self.consecutive_failures_closed = 0
+        assert self.breaker._state != BreakerState.OPEN or self.last_open_time is not None
+
+    @precondition(lambda self: self.outstanding > 0 or self.breaker.state == BreakerState.CLOSED)
+    @rule()
+    def report_failure(self):
+        if self.breaker._state == BreakerState.HALF_OPEN and self.outstanding == 0:
+            return
+        state_before = self.breaker._state
+        self.breaker.record_failure()
+        if state_before == BreakerState.HALF_OPEN:
+            assert self.breaker._state == BreakerState.OPEN, (
+                "any half-open failure must re-open"
+            )
+            # Re-opening resets the trial-slot bookkeeping entirely
+            # (Hystrix semantics): outcomes of other still-in-flight
+            # trials no longer consume slots of the next half-open phase.
+            self.outstanding = 0
+        if self.breaker._state == BreakerState.OPEN and state_before != BreakerState.OPEN:
+            self.last_open_time = self.sim.now
+
+    @rule(delta=st.floats(min_value=0.1, max_value=30.0))
+    def advance_time(self, delta):
+        self.sim.run(until=self.sim.now + delta)
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def open_respects_recovery_timeout(self):
+        if self.breaker._state == BreakerState.OPEN and self.last_open_time is not None:
+            # Still reporting OPEN implies the window has not elapsed...
+            # unless nobody has poked state since it elapsed (the lazy
+            # transition).  Poking must then move it to HALF_OPEN:
+            if self.sim.now - self.last_open_time >= RECOVERY_TIMEOUT:
+                assert self.breaker.state == BreakerState.HALF_OPEN
+            else:
+                assert self.breaker.state == BreakerState.OPEN
+                assert not self.breaker.allow_request()
+
+    @invariant()
+    def state_is_always_valid(self):
+        assert self.breaker.state in (
+            BreakerState.CLOSED,
+            BreakerState.OPEN,
+            BreakerState.HALF_OPEN,
+        )
+
+
+BreakerMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestBreakerStateMachine = BreakerMachine.TestCase

@@ -1,0 +1,71 @@
+"""Property-based tests for the Combine state machine's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AtLeastRequests, AtMostRequests, CheckStatus, Combine
+from repro.logstore import ObservationRecord
+
+
+@st.composite
+def rlists(draw):
+    count = draw(st.integers(min_value=0, max_value=40))
+    records = []
+    ts = 0.0
+    for index in range(count):
+        ts += draw(st.floats(min_value=0.01, max_value=5.0, allow_nan=False))
+        status = draw(st.sampled_from([200, 503]))
+        records.append(
+            ObservationRecord(
+                timestamp=ts,
+                kind="request",
+                src="A",
+                dst="B",
+                request_id=f"test-{index}",
+                status=status,
+            )
+        )
+    return records
+
+
+class TestCombineInvariants:
+    @given(rlist=rlists(), threshold=st.integers(1, 10))
+    @settings(max_examples=150, deadline=None)
+    def test_consumed_never_exceeds_input(self, rlist, threshold):
+        result = Combine(
+            CheckStatus(503, threshold, True),
+            AtMostRequests("1min", True, 10**9),
+        ).evaluate(rlist)
+        # Only *passing* steps consume; a failing step short-circuits
+        # and leaves the remainder untouched.
+        consumed = sum(step.consumed for step in result.steps if step.passed)
+        assert consumed <= len(rlist)
+        assert len(result.remainder) == len(rlist) - consumed
+
+    @given(rlist=rlists(), threshold=st.integers(1, 10))
+    @settings(max_examples=150, deadline=None)
+    def test_checkstatus_pass_iff_enough_matches(self, rlist, threshold):
+        matches = sum(1 for record in rlist if record.status == 503)
+        outcome = CheckStatus(503, threshold, True).evaluate(rlist, None)
+        assert outcome.passed == (matches >= threshold)
+
+    @given(rlist=rlists(), window=st.floats(min_value=0.1, max_value=100, allow_nan=False),
+           limit=st.integers(0, 40))
+    @settings(max_examples=150, deadline=None)
+    def test_atmost_atleast_duality(self, rlist, window, limit):
+        """AtMost(n) and AtLeast(n+1) over the same window partition
+        every outcome: exactly one of them passes."""
+        at_most = AtMostRequests(window, True, limit).evaluate(list(rlist), None)
+        at_least = AtLeastRequests(window, True, limit + 1).evaluate(list(rlist), None)
+        assert at_most.passed != at_least.passed
+
+    @given(rlist=rlists())
+    @settings(max_examples=100, deadline=None)
+    def test_anchor_monotonically_advances(self, rlist):
+        """Each passing step's anchor never moves backwards in time."""
+        result = Combine(
+            AtMostRequests("10s", True, 10**9),
+            AtMostRequests("10s", True, 10**9),
+            AtMostRequests("10s", True, 10**9),
+        ).evaluate(rlist)
+        anchors = [step.anchor for step in result.steps if step.anchor is not None]
+        assert anchors == sorted(anchors)

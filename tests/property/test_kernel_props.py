@@ -1,0 +1,71 @@
+"""Property-based tests for the simulation kernel's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation import Simulator
+
+
+class TestClockMonotonicity:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_events_observed_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.timeout(delay).add_callback(lambda _e: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0.001, max_value=50, allow_nan=False),
+                           min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_final_time_is_max_delay(self, delays):
+        sim = Simulator()
+        for delay in delays:
+            sim.timeout(delay)
+        sim.run()
+        assert sim.now == max(delays)
+
+
+class TestProcessCompleteness:
+    @given(sleeps=st.lists(st.floats(min_value=0, max_value=5, allow_nan=False),
+                           min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_sequential_sleeps_sum(self, sleeps):
+        sim = Simulator()
+
+        def sleeper(sim):
+            for duration in sleeps:
+                yield sim.timeout(duration)
+            return sim.now
+
+        process = sim.process(sleeper(sim))
+        sim.run()
+        assert process.value == sum(sleeps)
+
+    @given(count=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_all_spawned_processes_finish(self, count):
+        sim = Simulator()
+        finished = []
+
+        def worker(sim, tag):
+            yield sim.timeout(tag * 0.1)
+            finished.append(tag)
+
+        for tag in range(count):
+            sim.process(worker(sim, tag))
+        sim.run()
+        assert sorted(finished) == list(range(count))
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31), draws=st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_rng_streams_reproducible(self, seed, draws):
+        def sample(seed):
+            sim = Simulator(seed=seed)
+            return [sim.rng("stream").random() for _ in range(draws)]
+
+        assert sample(seed) == sample(seed)

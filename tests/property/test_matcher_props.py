@@ -1,0 +1,81 @@
+"""Property-based tests: the two matcher strategies are equivalent."""
+
+import random
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.agent import LinearMatcher, PrefixIndexMatcher, abort, delay
+
+_service = st.sampled_from(["B", "C", "D"])
+_direction = st.sampled_from(["request", "response"])
+_prefix = st.sampled_from(["test-", "user-", "canary-"])
+_pattern = st.one_of(
+    _prefix.map(lambda p: p + "*"),
+    st.just("*"),
+    st.sampled_from(["test-1", "test-1?", "re-match"]),
+)
+
+
+@st.composite
+def rule_specs(draw):
+    dst = draw(_service)
+    direction = draw(_direction)
+    pattern = draw(_pattern)
+    kind = draw(st.sampled_from(["abort", "delay"]))
+    if kind == "abort":
+        return abort("A", dst, pattern=pattern, on=direction)
+    return delay("A", dst, interval=0.1, pattern=pattern, on=direction)
+
+
+@st.composite
+def probes(draw):
+    dst = draw(_service)
+    direction = draw(_direction)
+    request_id = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(_prefix, st.integers(0, 99)).map(lambda t: f"{t[0]}{t[1]}"),
+            st.text(alphabet=string.ascii_lowercase + "-", min_size=1, max_size=12),
+        )
+    )
+    return dst, direction, request_id
+
+
+class TestStrategyEquivalence:
+    @given(rules=st.lists(rule_specs(), max_size=8), queries=st.lists(probes(), max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_linear_and_prefix_agree(self, rules, queries):
+        linear = LinearMatcher(random.Random(0))
+        prefix = PrefixIndexMatcher(random.Random(0))
+        for rule in rules:
+            linear.install(rule)
+            prefix.install(rule)
+        for dst, direction, request_id in queries:
+            left = linear.match(dst, direction, request_id)
+            right = prefix.match(dst, direction, request_id)
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert left.rule.rule_id == right.rule.rule_id
+            # Keep budgets in sync for the next probe.
+            if left is not None:
+                left.consume()
+                right.consume()
+
+    @given(rules=st.lists(rule_specs(), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_budget_never_oversubscribed(self, rules):
+        matcher = LinearMatcher(random.Random(1))
+        for rule in rules:
+            installed = matcher.install(
+                abort(rule.src, rule.dst, pattern=rule.flow_pattern, max_matches=3)
+            )
+        total_applied = 0
+        for _ in range(100):
+            hit = matcher.match("B", "request", "test-5")
+            if hit is None:
+                break
+            hit.consume()
+            total_applied += 1
+        for installed in matcher.rules:
+            assert installed.applied <= 3

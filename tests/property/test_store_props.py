@@ -1,0 +1,64 @@
+"""Property-based tests for event-store query invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logstore import EventStore, ObservationRecord, Query
+
+_kinds = st.sampled_from(["request", "reply"])
+_services = st.sampled_from(["A", "B", "C"])
+_ids = st.one_of(st.none(), st.sampled_from(["test-1", "test-2", "user-1"]))
+
+
+@st.composite
+def records(draw):
+    return ObservationRecord(
+        timestamp=draw(st.floats(min_value=0, max_value=1000, allow_nan=False)),
+        kind=draw(_kinds),
+        src=draw(_services),
+        dst=draw(_services),
+        request_id=draw(_ids),
+        status=draw(st.one_of(st.none(), st.sampled_from([200, 404, 503]))),
+    )
+
+
+class TestStoreInvariants:
+    @given(batch=st.lists(records(), max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_search_results_always_time_sorted(self, batch):
+        store = EventStore()
+        store.extend(batch)
+        results = store.search(Query())
+        timestamps = [record.timestamp for record in results]
+        assert timestamps == sorted(timestamps)
+        assert len(results) == len(batch)
+
+    @given(batch=st.lists(records(), max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_pair_index_agrees_with_linear_filter(self, batch):
+        store = EventStore()
+        store.extend(batch)
+        query = Query(src="A", dst="B")
+        indexed = store.search(query)
+        linear = [record for record in store.all_records() if query.matches(record)]
+        assert indexed == linear
+
+    @given(batch=st.lists(records(), max_size=60),
+           since=st.floats(min_value=0, max_value=1000, allow_nan=False),
+           width=st.floats(min_value=0, max_value=500, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_window_query_is_subset_filter(self, batch, since, width):
+        store = EventStore()
+        store.extend(batch)
+        query = Query(since=since, until=since + width)
+        results = store.search(query)
+        assert all(since <= record.timestamp <= since + width for record in results)
+        expected = sum(1 for record in batch if since <= record.timestamp <= since + width)
+        assert len(results) == expected
+
+    @given(batch=st.lists(records(), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_query_partition_by_kind(self, batch):
+        store = EventStore()
+        store.extend(batch)
+        total = store.count(Query(kind="request")) + store.count(Query(kind="reply"))
+        assert total == len(batch)

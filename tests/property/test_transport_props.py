@@ -1,0 +1,77 @@
+"""Property-based tests for transport-level ordering guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network import Address, Network
+from repro.simulation import Simulator
+
+
+class TestFifoDelivery:
+    @given(
+        payload_count=st.integers(min_value=1, max_value=30),
+        latency=st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_messages_arrive_in_send_order(self, payload_count, latency):
+        """One connection delivers payloads strictly in send order,
+        regardless of link latency — the property HTTP pipelining and
+        the Fig 6 phased rules both depend on."""
+        sim = Simulator(seed=3)
+        net = Network(sim, default_latency=latency)
+        server_host = net.add_host("server")
+        client_host = net.add_host("client")
+        listener = server_host.listen(80)
+        received = []
+
+        def server(sim):
+            conn = yield listener.accept()
+            for _ in range(payload_count):
+                received.append((yield conn.recv()))
+
+        def client(sim):
+            conn = yield client_host.connect(Address("server", 80))
+            for index in range(payload_count):
+                conn.send(f"m{index}".encode())
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert received == [f"m{index}".encode() for index in range(payload_count)]
+
+    @given(counts=st.lists(st.integers(min_value=1, max_value=10), min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_independent_connections_each_fifo(self, counts):
+        sim = Simulator(seed=4)
+        net = Network(sim, default_latency=0.001)
+        server_host = net.add_host("server")
+        listener = server_host.listen(80)
+        per_connection: dict[int, list[bytes]] = {}
+
+        def server_loop(sim):
+            for _ in range(len(counts)):
+                conn = yield listener.accept()
+                sim.process(reader(sim, conn))
+
+        def reader(sim, conn):
+            while True:
+                try:
+                    payload = yield conn.recv()
+                except Exception:  # noqa: BLE001 - closed
+                    return
+                tag, _, seq = payload.partition(b":")
+                per_connection.setdefault(int(tag), []).append(int(seq))
+
+        def one_client(sim, tag, count):
+            host = net.add_host(f"client-{tag}")
+            conn = yield host.connect(Address("server", 80))
+            for index in range(count):
+                conn.send(b"%d:%d" % (tag, index))
+                yield sim.timeout(0.0005)
+            conn.close()
+
+        sim.process(server_loop(sim))
+        for tag, count in enumerate(counts):
+            sim.process(one_client(sim, tag, count))
+        sim.run()
+        for tag, count in enumerate(counts):
+            assert per_connection[tag] == list(range(count))

@@ -1,0 +1,103 @@
+"""Unit tests for the service registry."""
+
+import pytest
+
+from repro.errors import RegistryError, ServiceNotFoundError
+from repro.network import Address
+from repro.registry import InstanceRecord, ServiceRegistry
+
+
+def record(service, index=0, host=None):
+    return InstanceRecord(
+        service=service,
+        instance_id=f"{service.lower()}-{index}",
+        address=Address(host or f"{service.lower()}-{index}", 8080),
+    )
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = ServiceRegistry()
+        registry.register(record("ServiceB", 0))
+        registry.register(record("ServiceB", 1))
+        assert len(registry.instances("ServiceB")) == 2
+        assert len(registry) == 2
+
+    def test_duplicate_instance_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(record("A"))
+        with pytest.raises(RegistryError):
+            registry.register(record("A"))
+
+    def test_unknown_service_raises(self):
+        with pytest.raises(ServiceNotFoundError):
+            ServiceRegistry().instances("ghost")
+
+    def test_try_instances_returns_empty(self):
+        assert ServiceRegistry().try_instances("ghost") == []
+
+    def test_addresses(self):
+        registry = ServiceRegistry()
+        registry.register(record("B", 0))
+        registry.register(record("B", 1))
+        assert registry.addresses("B") == [Address("b-0", 8080), Address("b-1", 8080)]
+
+    def test_deregister(self):
+        registry = ServiceRegistry()
+        registry.register(record("A", 0))
+        registry.deregister("A", "a-0")
+        assert not registry.has_service("A")
+        assert "A" not in registry.services()
+
+    def test_deregister_unknown_is_noop(self):
+        ServiceRegistry().deregister("ghost", "ghost-0")
+
+    def test_services_listing(self):
+        registry = ServiceRegistry()
+        registry.register(record("A"))
+        registry.register(record("B"))
+        assert registry.services() == ["A", "B"]
+
+    def test_has_service(self):
+        registry = ServiceRegistry()
+        registry.register(record("A"))
+        assert registry.has_service("A")
+        assert not registry.has_service("B")
+
+    def test_record_str(self):
+        rec = record("A")
+        assert "A/a-0@a-0:8080" == str(rec)
+
+
+class TestCanaryRecords:
+    def canary(self, service, index=0):
+        return InstanceRecord(
+            service=service,
+            instance_id=f"{service.lower()}-canary-{index}",
+            address=Address(f"{service.lower()}-canary-{index}", 8080),
+            canary=True,
+        )
+
+    def test_addresses_exclude_canaries(self):
+        registry = ServiceRegistry()
+        registry.register(record("B", 0))
+        registry.register(self.canary("B"))
+        assert registry.addresses("B") == [Address("b-0", 8080)]
+
+    def test_canary_addresses(self):
+        registry = ServiceRegistry()
+        registry.register(record("B", 0))
+        registry.register(self.canary("B"))
+        assert registry.canary_addresses("B") == [Address("b-canary-0", 8080)]
+
+    def test_canary_addresses_empty_without_canaries(self):
+        registry = ServiceRegistry()
+        registry.register(record("B", 0))
+        assert registry.canary_addresses("B") == []
+
+    def test_all_canary_service_still_resolvable(self):
+        registry = ServiceRegistry()
+        registry.register(self.canary("B"))
+        # Test-only deployment: ordinary lookups fall back to canaries
+        # rather than failing.
+        assert registry.addresses("B") == [Address("b-canary-0", 8080)]

@@ -1,0 +1,192 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.simulation import Interrupt, Simulator
+
+from tests.conftest import run_to_completion
+
+
+class TestProcessLifecycle:
+    def test_return_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+            return "result"
+
+        assert run_to_completion(sim, proc(sim)) == "result"
+
+    def test_process_is_alive_until_done(self, sim):
+        def proc(sim):
+            yield sim.timeout(5)
+
+        process = sim.process(proc(sim))
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+        assert process.ok
+
+    def test_exception_fails_process(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        with pytest.raises(ValueError, match="inner"):
+            run_to_completion(sim, proc(sim))
+
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(2)
+            return 21
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value * 2
+
+        assert run_to_completion(sim, parent(sim)) == 42
+
+    def test_child_failure_propagates_to_parent(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            raise KeyError("gone")
+
+        def parent(sim):
+            try:
+                yield sim.process(child(sim))
+            except KeyError:
+                return "handled"
+
+        assert run_to_completion(sim, parent(sim)) == "handled"
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def proc(sim):
+            yield 42
+
+        process = sim.process(proc(sim))
+        process.defused = True
+        sim.run()
+        assert not process.ok
+        assert isinstance(process.value, SimulationError)
+
+    def test_yielding_foreign_event_fails_process(self, sim):
+        other = Simulator()
+
+        def proc(sim):
+            yield other.event()
+
+        process = sim.process(proc(sim))
+        process.defused = True
+        sim.run()
+        assert not process.ok
+        assert isinstance(process.value, SimulationError)
+
+    def test_failed_event_throws_at_yield_site(self, sim):
+        def proc(sim):
+            ev = sim.event()
+            sim.timeout(1).add_callback(lambda _e: ev.fail(OSError("io")))
+            try:
+                yield ev
+            except OSError:
+                return "caught at yield"
+
+        assert run_to_completion(sim, proc(sim)) == "caught at yield"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        process = sim.process(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(3)
+            process.interrupt("deadline")
+
+        sim.process(interrupter(sim))
+        sim.run()
+        assert process.value == ("interrupted", "deadline", 3)
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def sleeper(sim):
+            yield sim.timeout(100)
+
+        process = sim.process(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(1)
+            process.interrupt()
+
+        sim.process(interrupter(sim))
+        process.defused = True
+        sim.run()
+        assert not process.ok
+        assert isinstance(process.value, Interrupt)
+
+    def test_interrupt_dead_process_raises(self, sim):
+        def quick(sim):
+            yield sim.timeout(1)
+
+        process = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_can_continue(self, sim):
+        def resilient(sim):
+            total = 0.0
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(2)
+            return sim.now
+
+        process = sim.process(resilient(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(5)
+            process.interrupt()
+
+        sim.process(interrupter(sim))
+        sim.run()
+        assert process.value == 7  # interrupted at 5, then slept 2 more
+
+
+class TestKill:
+    def test_kill_stops_process(self, sim):
+        cleanup = []
+
+        def stubborn(sim):
+            try:
+                yield sim.timeout(100)
+            finally:
+                cleanup.append("finally ran")
+
+        process = sim.process(stubborn(sim))
+
+        def killer(sim):
+            yield sim.timeout(1)
+            process.kill()
+
+        sim.process(killer(sim))
+        sim.run()
+        assert cleanup == ["finally ran"]
+        assert not process.ok
+        assert isinstance(process.value, ProcessKilled)
+
+    def test_kill_dead_process_is_noop(self, sim):
+        def quick(sim):
+            yield sim.timeout(1)
+
+        process = sim.process(quick(sim))
+        sim.run()
+        process.kill()  # should not raise
+        assert process.ok

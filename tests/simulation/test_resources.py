@@ -1,0 +1,196 @@
+"""Unit tests for Channel and Semaphore."""
+
+import pytest
+
+from repro.errors import ConnectionResetError_
+from repro.simulation import Channel, ChannelClosed, Semaphore
+
+from tests.conftest import run_to_completion
+
+
+class TestChannel:
+    def test_put_then_get(self, sim):
+        channel = Channel(sim)
+        channel.put("a")
+
+        def proc(sim):
+            value = yield channel.get()
+            return value
+
+        assert run_to_completion(sim, proc(sim)) == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        channel = Channel(sim)
+
+        def getter(sim):
+            value = yield channel.get()
+            return (value, sim.now)
+
+        def putter(sim):
+            yield sim.timeout(3)
+            channel.put("late")
+
+        process = sim.process(getter(sim))
+        sim.process(putter(sim))
+        sim.run()
+        assert process.value == ("late", 3)
+
+    def test_fifo_ordering(self, sim):
+        channel = Channel(sim)
+        for item in (1, 2, 3):
+            channel.put(item)
+
+        def proc(sim):
+            out = []
+            for _ in range(3):
+                out.append((yield channel.get()))
+            return out
+
+        assert run_to_completion(sim, proc(sim)) == [1, 2, 3]
+
+    def test_multiple_getters_fifo(self, sim):
+        channel = Channel(sim)
+        results = []
+
+        def getter(sim, tag):
+            value = yield channel.get()
+            results.append((tag, value))
+
+        sim.process(getter(sim, "g1"))
+        sim.process(getter(sim, "g2"))
+
+        def putter(sim):
+            yield sim.timeout(1)
+            channel.put("x")
+            channel.put("y")
+
+        sim.process(putter(sim))
+        sim.run()
+        assert results == [("g1", "x"), ("g2", "y")]
+
+    def test_close_fails_waiting_getters(self, sim):
+        channel = Channel(sim)
+
+        def getter(sim):
+            try:
+                yield channel.get()
+            except ChannelClosed:
+                return "closed"
+
+        process = sim.process(getter(sim))
+
+        def closer(sim):
+            yield sim.timeout(1)
+            channel.close()
+
+        sim.process(closer(sim))
+        sim.run()
+        assert process.value == "closed"
+
+    def test_close_with_custom_reason(self, sim):
+        channel = Channel(sim)
+
+        def getter(sim):
+            try:
+                yield channel.get()
+            except ConnectionResetError_:
+                return "reset"
+
+        process = sim.process(getter(sim))
+        channel.close(ConnectionResetError_("rst"))
+        sim.run()
+        assert process.value == "reset"
+
+    def test_put_on_closed_raises(self, sim):
+        channel = Channel(sim)
+        channel.close()
+        with pytest.raises(ChannelClosed):
+            channel.put("x")
+
+    def test_get_drains_before_close_error(self, sim):
+        channel = Channel(sim)
+        channel.put("buffered")
+        channel.close()
+
+        def proc(sim):
+            first = yield channel.get()
+            try:
+                yield channel.get()
+            except ChannelClosed:
+                return (first, "then closed")
+
+        assert run_to_completion(sim, proc(sim)) == ("buffered", "then closed")
+
+    def test_close_idempotent(self, sim):
+        channel = Channel(sim)
+        channel.close()
+        channel.close()
+
+
+class TestSemaphore:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, 0)
+
+    def test_acquire_release_counts(self, sim):
+        semaphore = Semaphore(sim, 2)
+
+        def proc(sim):
+            yield semaphore.acquire()
+            yield semaphore.acquire()
+            return (semaphore.available, semaphore.in_use)
+
+        assert run_to_completion(sim, proc(sim)) == (0, 2)
+
+    def test_acquire_blocks_at_capacity(self, sim):
+        semaphore = Semaphore(sim, 1)
+        timeline = []
+
+        def holder(sim):
+            yield semaphore.acquire()
+            yield sim.timeout(5)
+            semaphore.release()
+
+        def waiter(sim):
+            yield sim.timeout(1)
+            yield semaphore.acquire()
+            timeline.append(sim.now)
+
+        sim.process(holder(sim))
+        sim.process(waiter(sim))
+        sim.run()
+        assert timeline == [5]
+
+    def test_try_acquire_never_blocks(self, sim):
+        semaphore = Semaphore(sim, 1)
+        assert semaphore.try_acquire()
+        assert not semaphore.try_acquire()
+        semaphore.release()
+        assert semaphore.try_acquire()
+
+    def test_release_wakes_fifo(self, sim):
+        semaphore = Semaphore(sim, 1)
+        order = []
+
+        def worker(sim, tag, hold):
+            yield semaphore.acquire()
+            order.append(tag)
+            yield sim.timeout(hold)
+            semaphore.release()
+
+        sim.process(worker(sim, "a", 1))
+        sim.process(worker(sim, "b", 1))
+        sim.process(worker(sim, "c", 1))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_over_release_raises(self, sim):
+        semaphore = Semaphore(sim, 1)
+        with pytest.raises(ValueError):
+            semaphore.release()
+
+    def test_queued_counter(self, sim):
+        semaphore = Semaphore(sim, 1)
+        assert semaphore.try_acquire()
+        semaphore.acquire()  # queued
+        assert semaphore.queued == 1

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import APPS, main
+
+
+class TestApps:
+    def test_lists_all_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in APPS:
+            assert name in out
+
+
+class TestGraph:
+    def test_prints_edges(self, capsys):
+        assert main(["graph", "twotier"]) == 0
+        out = capsys.readouterr().out
+        assert "ServiceA -> ServiceB" in out
+        assert "entry services: ServiceA" in out
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit):
+            main(["graph", "nope"])
+
+
+class TestRecipes:
+    def test_generates_for_enterprise(self, capsys):
+        assert main(["recipes", "enterprise"]) == 0
+        out = capsys.readouterr().out
+        assert "auto/overload-servicedb" in out
+
+
+class TestTest:
+    def test_finds_issue_in_wordpress(self, capsys):
+        code = main(
+            ["test", "wordpress", "--target", "elasticsearch", "--scenario", "degrade"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ISSUES FOUND" in out
+        assert "HasTimeouts(wordpress" in out
+
+    def test_healthy_edge_passes(self, capsys):
+        code = main(
+            ["test", "twotier", "--target", "ServiceB", "--scenario", "overload"]
+        )
+        out = capsys.readouterr().out
+        # The default twotier client absorbs a 25% abort / 100ms delay
+        # overload within its answer budget -> no conclusive failures.
+        assert code == 0
+        assert "no conclusive failures" in out
+
+    def test_retry_amplification_detected_under_degrade(self, capsys):
+        code = main(
+            ["test", "twotier", "--target", "ServiceB", "--scenario", "degrade"]
+        )
+        out = capsys.readouterr().out
+        # A 2s degrade makes the 1s-timeout, 5-retry client spend ~6s
+        # per call — the retry-amplification anti-pattern HasTimeouts
+        # correctly flags even though each single attempt is bounded.
+        assert code == 1
+        assert "HasTimeouts(ServiceA" in out
+
+    def test_unknown_target_exits(self):
+        with pytest.raises(SystemExit, match="unknown target"):
+            main(["test", "twotier", "--target", "ghost"])

@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example must run cleanly.
+
+Examples are the first thing a downstream user executes; a broken one
+is a broken front door.  Each runs in-process (same interpreter) via
+``runpy`` so failures carry full tracebacks.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script, capsys, monkeypatch, tmp_path):
+    # Examples are plain scripts: run with __name__ == "__main__".
+    # Scripts that write output files (generate_figures) get a tmp dir.
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    monkeypatch.setattr(sys, "argv", [script, str(tmp_path)])
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    except SystemExit as exc:  # an example may exit(0) explicitly
+        assert exc.code in (None, 0), f"{script} exited with {exc.code}"
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    names = set(EXAMPLES)
+    for expected in (
+        "quickstart.py",
+        "wordpress_elasticpress.py",
+        "enterprise_case_study.py",
+        "outage_recreations.py",
+        "chained_failures.py",
+        "auto_recipes.py",
+        "pubsub_kafkapocalypse.py",
+    ):
+        assert expected in names

@@ -1,0 +1,60 @@
+"""Unit tests for shared utilities (duration parsing)."""
+
+import pytest
+
+from repro.util import format_duration, parse_duration
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("100ms", 0.1),
+            ("1s", 1.0),
+            ("2sec", 2.0),
+            ("1min", 60.0),
+            ("2m", 120.0),
+            ("1h", 3600.0),
+            ("1.5h", 5400.0),
+            ("0.5s", 0.5),
+            ("250us", 0.00025),
+            ("3", 3.0),
+        ],
+    )
+    def test_string_forms(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through(self):
+        assert parse_duration(2.5) == 2.5
+        assert parse_duration(4) == 4.0
+
+    @pytest.mark.parametrize("bad", ["", "fast", "10 parsecs", "ms", "-1s"])
+    def test_unparseable_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration(-1)
+
+    def test_whitespace_tolerated(self):
+        assert parse_duration(" 100 ms ") == pytest.approx(0.1)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.1, "100ms"),
+            (1.0, "1s"),
+            (90.0, "1.5min"),
+            (3600.0, "1h"),
+            (0.00025, "250us"),
+        ],
+    )
+    def test_compact_forms(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_round_trips_through_parse(self):
+        for seconds in (0.0005, 0.25, 3.0, 120.0, 7200.0):
+            assert parse_duration(format_duration(seconds)) == pytest.approx(seconds)

@@ -1,0 +1,59 @@
+"""Unit tests for request-ID generation and propagation."""
+
+from repro.http import HttpRequest, REQUEST_ID_HEADER
+from repro.tracing import (
+    RequestIdGenerator,
+    TEST_ID_PREFIX,
+    is_test_request_id,
+    propagate,
+)
+
+
+class TestRequestIdGenerator:
+    def test_ids_are_unique_and_sequential(self):
+        ids = RequestIdGenerator()
+        assert ids.next_id() == "test-1"
+        assert ids.next_id() == "test-2"
+
+    def test_custom_prefix(self):
+        ids = RequestIdGenerator(prefix="user-")
+        assert ids.next_id() == "user-1"
+
+    def test_custom_start(self):
+        ids = RequestIdGenerator(start=100)
+        assert ids.next_id() == "test-100"
+
+    def test_independent_generators(self):
+        a = RequestIdGenerator()
+        b = RequestIdGenerator()
+        assert a.next_id() == b.next_id() == "test-1"
+
+
+class TestClassification:
+    def test_test_traffic_detected(self):
+        assert is_test_request_id("test-42")
+
+    def test_production_traffic_not_test(self):
+        assert not is_test_request_id("user-42")
+
+    def test_none_is_not_test(self):
+        assert not is_test_request_id(None)
+
+    def test_prefix_constant_matches_paper(self):
+        assert TEST_ID_PREFIX == "test-"
+
+
+class TestPropagation:
+    def test_id_copied_downstream(self):
+        incoming = HttpRequest("GET", "/in")
+        incoming.request_id = "test-9"
+        outgoing = HttpRequest("GET", "/out")
+        returned = propagate(incoming, outgoing)
+        assert returned is outgoing
+        assert outgoing.request_id == "test-9"
+
+    def test_untagged_incoming_leaves_outgoing_untouched(self):
+        incoming = HttpRequest("GET", "/in")
+        outgoing = HttpRequest("GET", "/out")
+        propagate(incoming, outgoing)
+        assert REQUEST_ID_HEADER not in outgoing.headers
