@@ -10,7 +10,12 @@ and the paper-shaped data.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
+
+BENCH_LOGSTORE_PATH = pathlib.Path(__file__).parent / "BENCH_logstore.json"
 
 
 class ExperimentReport:
@@ -26,6 +31,11 @@ class ExperimentReport:
 
 _REPORT = ExperimentReport()
 
+# Machine-readable log-store numbers (ingest rate, query rate,
+# assertion-suite latency per store size and strategy).  Populated by
+# the scaling benchmark; flushed to BENCH_logstore.json at session end.
+_BENCH_LOGSTORE: dict = {}
+
 
 @pytest.fixture(scope="session")
 def report() -> ExperimentReport:
@@ -33,7 +43,24 @@ def report() -> ExperimentReport:
     return _REPORT
 
 
+@pytest.fixture(scope="session")
+def bench_logstore() -> dict:
+    """Mutable dict the log-store benchmarks record their numbers into."""
+    return _BENCH_LOGSTORE
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_LOGSTORE:
+        payload = dict(_BENCH_LOGSTORE)
+        payload.setdefault("source", "benchmarks/test_bench_table3_assertions.py")
+        BENCH_LOGSTORE_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _BENCH_LOGSTORE:
+        terminalreporter.write_line(f"log-store numbers written to {BENCH_LOGSTORE_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

@@ -82,28 +82,42 @@ class RuleMatcher:
     def __init__(self, rng: _t.Optional[_random.Random] = None) -> None:
         self._rng = rng if rng is not None else _random.Random(0)
         self._installed: list[InstalledRule] = []
+        # Monotonic install counter: orders must stay unique across
+        # remove/install cycles so first-match-wins never ties (reusing
+        # len(installed) would hand a re-installed rule an existing
+        # order after a removal).
+        self._order_counter = 0
 
     # -- rule management ----------------------------------------------------
 
     def install(self, rule: FaultRule) -> InstalledRule:
         """Install a rule; returns its runtime handle."""
         installed = InstalledRule(rule)
-        installed.order = len(self._installed)
+        installed.order = self._order_counter
+        self._order_counter += 1
         self._installed.append(installed)
         self._index(installed)
         return installed
 
     def remove(self, rule_id: int) -> bool:
-        """Remove by rule ID; True if something was removed."""
-        before = len(self._installed)
+        """Remove by rule ID; True if something was removed.
+
+        Surgical: only the removed rules' own index entries are
+        deleted — the rest of the index (and every surviving rule's
+        install order) is untouched.
+        """
+        removed = [ir for ir in self._installed if ir.rule.rule_id == rule_id]
+        if not removed:
+            return False
         self._installed = [ir for ir in self._installed if ir.rule.rule_id != rule_id]
-        self._reindex()
-        return len(self._installed) != before
+        for installed in removed:
+            self._unindex(installed)
+        return True
 
     def clear(self) -> None:
         """Remove every rule."""
         self._installed.clear()
-        self._reindex()
+        self._clear_index()
 
     @property
     def rules(self) -> list[InstalledRule]:
@@ -154,7 +168,10 @@ class RuleMatcher:
     def _index(self, installed: InstalledRule) -> None:
         raise NotImplementedError
 
-    def _reindex(self) -> None:
+    def _unindex(self, installed: InstalledRule) -> None:
+        raise NotImplementedError
+
+    def _clear_index(self) -> None:
         raise NotImplementedError
 
 
@@ -175,7 +192,10 @@ class LinearMatcher(RuleMatcher):
     def _index(self, installed: InstalledRule) -> None:  # no index to maintain
         pass
 
-    def _reindex(self) -> None:  # no index to maintain
+    def _unindex(self, installed: InstalledRule) -> None:  # no index to maintain
+        pass
+
+    def _clear_index(self) -> None:  # no index to maintain
         pass
 
 
@@ -195,6 +215,31 @@ class _PrefixBucket:
             self.prefix_lengths.add(len(prefix))
         else:
             self.unprefixed.append(installed)
+
+    def discard(self, installed: InstalledRule) -> None:
+        """Drop one rule's entry, pruning emptied prefix groups.
+
+        Only the affected group is touched; surviving entries keep
+        their list positions (and hence their install order).
+        """
+        prefix = _literal_prefix(installed.rule.flow_pattern)
+        if not prefix:
+            if installed in self.unprefixed:
+                self.unprefixed.remove(installed)
+            return
+        group = self.by_prefix.get(prefix)
+        if group is None or installed not in group:
+            return
+        group.remove(installed)
+        if not group:
+            del self.by_prefix[prefix]
+            # Another prefix of the same length may still exist.
+            self.prefix_lengths = {len(p) for p in self.by_prefix}
+
+    @property
+    def empty(self) -> bool:
+        """True once no rule is indexed here."""
+        return not self.by_prefix and not self.unprefixed
 
     def candidates(self, request_id: str | None) -> list[InstalledRule]:
         """Rules that could match ``request_id``, in install order."""
@@ -270,10 +315,17 @@ class PrefixIndexMatcher(RuleMatcher):
         key = (installed.rule.dst, installed.rule.on)
         self._buckets.setdefault(key, _PrefixBucket()).add(installed)
 
-    def _reindex(self) -> None:
+    def _unindex(self, installed: InstalledRule) -> None:
+        key = (installed.rule.dst, installed.rule.on)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(installed)
+        if bucket.empty:
+            del self._buckets[key]
+
+    def _clear_index(self) -> None:
         self._buckets.clear()
-        for installed in self._installed:
-            self._index(installed)
 
 
 def _literal_prefix(pattern: str) -> str:

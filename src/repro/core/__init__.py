@@ -34,7 +34,14 @@ from repro.core.patterns import (
     HasTimeouts,
     PatternCheck,
 )
-from repro.core.queries import get_replies, get_requests, observed_latency, observed_status
+from repro.core.queries import (
+    QueryCache,
+    StoreLike,
+    get_replies,
+    get_requests,
+    observed_latency,
+    observed_status,
+)
 from repro.core.recipe import Recipe, RecipeResult
 from repro.core.scenarios import (
     AbortCalls,
@@ -83,10 +90,12 @@ __all__ = [
     "NoRequestsFor",
     "Overload",
     "PatternCheck",
+    "QueryCache",
     "Recipe",
     "RecipeResult",
     "RecipeTranslator",
     "StepOutcome",
+    "StoreLike",
     "combine",
     "generate_recipes",
     "get_replies",

@@ -101,6 +101,35 @@ def request_rate(rlist: RList) -> float:
     return (len(rlist) - 1) / span
 
 
+def _window_end(rlist: RList, start: int, horizon: float) -> int:
+    """First index >= ``start`` whose record is past ``horizon``.
+
+    RLists are time-sorted by contract, so the records inside a window
+    form a contiguous prefix of the unconsumed suffix and two-pointer
+    bisection finds its end without materializing anything.  (Manual
+    bisect: :func:`bisect.bisect_right` only grew ``key=`` in 3.10.)
+    """
+    lo, hi = start, len(rlist)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if rlist[mid].timestamp <= horizon:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _count_in_window(rlist: RList, start: int, end: int, with_rule: bool) -> int:
+    """Request count of ``rlist[start:end]`` under the accounting view."""
+    if with_rule:
+        return end - start
+    count = 0
+    for index in range(start, end):
+        if not rlist[index].gremlin_generated:
+            count += 1
+    return count
+
+
 # -- assertion classes -----------------------------------------------------------
 
 
@@ -122,10 +151,32 @@ class BaseAssertion:
     timestamp established by the previous step (None on the first
     step), and reports pass/fail, how many leading records it consumed,
     and the next anchor.
+
+    ``evaluate_from`` is the zero-copy variant :class:`Combine` uses:
+    it sees the *full* RList plus a start offset, so chaining steps
+    never slices the list.  Subclasses may implement either method; the
+    default implementations delegate to each other (``consumed`` is
+    always relative to the unconsumed suffix).
     """
 
     def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
-        raise NotImplementedError
+        return self.evaluate_from(rlist, 0, anchor)
+
+    def evaluate_from(
+        self, rlist: RList, start: int, anchor: _t.Optional[float]
+    ) -> StepOutcome:
+        """Evaluate over ``rlist[start:]`` without copying it.
+
+        The fallback slices for compatibility with assertions that only
+        implement :meth:`evaluate`; the built-ins all override this
+        with offset-based scans so a Combine chain is one pass over one
+        shared list.
+        """
+        if type(self).evaluate is BaseAssertion.evaluate:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement evaluate() or evaluate_from()"
+            )
+        return self.evaluate(rlist[start:] if start else rlist, anchor)
 
     def __call__(self, rlist: RList) -> bool:
         """Standalone evaluation over a full RList."""
@@ -147,21 +198,24 @@ class CheckStatus(BaseAssertion):
         self.num_match = num_match
         self.with_rule = with_rule
 
-    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+    def evaluate_from(
+        self, rlist: RList, start: int, anchor: _t.Optional[float]
+    ) -> StepOutcome:
         matches = 0
-        for index, record in enumerate(rlist):
+        for index in range(start, len(rlist)):
+            record = rlist[index]
             if observed_status(record, self.with_rule) == self.status:
                 matches += 1
                 if matches >= self.num_match:
                     return StepOutcome(
                         passed=True,
-                        consumed=index + 1,
+                        consumed=index - start + 1,
                         detail=f"found {matches} replies with status {self.status}",
                         anchor=record.timestamp,
                     )
         return StepOutcome(
             passed=False,
-            consumed=len(rlist),
+            consumed=len(rlist) - start,
             detail=(
                 f"only {matches}/{self.num_match} records returned status"
                 f" {self.status} (withRule={self.with_rule})"
@@ -187,16 +241,18 @@ class AtMostRequests(BaseAssertion):
         self.with_rule = with_rule
         self.num = num
 
-    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+    def evaluate_from(
+        self, rlist: RList, start: int, anchor: _t.Optional[float]
+    ) -> StepOutcome:
         if anchor is None:
-            anchor = rlist[0].timestamp if rlist else 0.0
+            anchor = rlist[start].timestamp if start < len(rlist) else 0.0
         horizon = anchor + self.tdelta
-        in_window = [r for r in rlist if r.timestamp <= horizon]
-        count = num_requests(in_window, with_rule=self.with_rule)
+        end = _window_end(rlist, start, horizon)
+        count = _count_in_window(rlist, start, end, self.with_rule)
         passed = count <= self.num
         return StepOutcome(
             passed=passed,
-            consumed=len(in_window),
+            consumed=end - start,
             detail=(
                 f"{count} requests within {self.tdelta:g}s window"
                 f" (limit {self.num}, withRule={self.with_rule})"
@@ -223,16 +279,18 @@ class AtLeastRequests(BaseAssertion):
         self.with_rule = with_rule
         self.num = num
 
-    def evaluate(self, rlist: RList, anchor: _t.Optional[float]) -> StepOutcome:
+    def evaluate_from(
+        self, rlist: RList, start: int, anchor: _t.Optional[float]
+    ) -> StepOutcome:
         if anchor is None:
-            anchor = rlist[0].timestamp if rlist else 0.0
+            anchor = rlist[start].timestamp if start < len(rlist) else 0.0
         horizon = anchor + self.tdelta
-        in_window = [r for r in rlist if r.timestamp <= horizon]
-        count = num_requests(in_window, with_rule=self.with_rule)
+        end = _window_end(rlist, start, horizon)
+        count = _count_in_window(rlist, start, end, self.with_rule)
         passed = count >= self.num
         return StepOutcome(
             passed=passed,
-            consumed=len(in_window),
+            consumed=end - start,
             detail=(
                 f"{count} requests within {self.tdelta:g}s window"
                 f" (minimum {self.num}, withRule={self.with_rule})"
@@ -306,19 +364,24 @@ class Combine:
         raise TypeError(f"Combine step must be a BaseAssertion or (Class, args...), got {step!r}")
 
     def evaluate(self, rlist: RList) -> CombineResult:
-        """Run the state machine over ``rlist``."""
-        remaining = list(rlist)
+        """Run the state machine over ``rlist``.
+
+        Single pass over one shared list: consumption advances an
+        offset instead of re-slicing the RList per step, so an
+        N-step chain over K records costs O(K + steps), not O(K·steps).
+        """
+        offset = 0
         anchor: _t.Optional[float] = None
         outcomes: list[StepOutcome] = []
         for assertion in self.steps:
-            outcome = assertion.evaluate(remaining, anchor)
+            outcome = assertion.evaluate_from(rlist, offset, anchor)
             outcomes.append(outcome)
             if not outcome.passed:
-                return CombineResult(passed=False, steps=outcomes, remainder=remaining)
-            remaining = remaining[outcome.consumed :]
+                return CombineResult(passed=False, steps=outcomes, remainder=rlist[offset:])
+            offset += outcome.consumed
             if outcome.anchor is not None:
                 anchor = outcome.anchor
-        return CombineResult(passed=True, steps=outcomes, remainder=remaining)
+        return CombineResult(passed=True, steps=outcomes, remainder=rlist[offset:])
 
     def __call__(self, rlist: RList) -> bool:
         return self.evaluate(rlist).passed

@@ -20,7 +20,7 @@ import typing as _t
 
 from repro.core.orchestrator import FailureOrchestrator, InstallationReport
 from repro.core.patterns import CheckResult, PatternCheck
-from repro.core.queries import RList, get_replies, get_requests
+from repro.core.queries import QueryCache, RList, get_replies, get_requests
 from repro.core.recipe import Recipe, RecipeResult
 from repro.core.scenarios import FailureScenario
 from repro.core.translator import RecipeTranslator
@@ -67,14 +67,17 @@ class Gremlin:
         until: _t.Optional[float] = None,
     ) -> CheckResult:
         """Evaluate one pattern check against the current logs."""
+        self.deployment.pipeline.flush()
         return pattern_check.run(self.store, since=since, until=until)
 
     def get_requests(self, src: str, dst: str, id_pattern: str = "*", **kwargs) -> RList:
         """Table 3's ``GetRequests`` bound to this deployment's store."""
+        self.deployment.pipeline.flush()
         return get_requests(self.store, src, dst, id_pattern, **kwargs)
 
     def get_replies(self, src: str, dst: str, id_pattern: str = "*", **kwargs) -> RList:
         """Table 3's ``GetReplies`` bound to this deployment's store."""
+        self.deployment.pipeline.flush()
         return get_replies(self.store, src, dst, id_pattern, **kwargs)
 
     # -- declarative API ------------------------------------------------------------
@@ -109,8 +112,16 @@ class Gremlin:
         window_end = sim.now
 
         assert_start = time.perf_counter()
+        # One scan per distinct scope: the suite's checks are grouped by
+        # the (src, dst, kind) slices they declare, each slice is
+        # fetched once through a shared cache, and every assertion step
+        # evaluates against the shared RList.
+        cache = QueryCache(self.store)
+        for check in recipe.checks:
+            for scope in check.scopes(since=window_start, until=window_end):
+                cache.search(scope)
         outcomes = [
-            check.run(self.store, since=window_start, until=window_end)
+            check.run(cache, since=window_start, until=window_end)
             for check in recipe.checks
         ]
         assertion_time = time.perf_counter() - assert_start
@@ -123,6 +134,8 @@ class Gremlin:
             orchestration_time=orchestration_time,
             assertion_time=assertion_time,
             window=(window_start, window_end),
+            distinct_scopes=cache.misses,
+            shared_fetches=cache.hits,
         )
 
     def run_recipes(

@@ -32,10 +32,9 @@ from repro.core.assertions import (
     StepOutcome,
     request_rate,
 )
-from repro.core.queries import get_requests, observed_status
+from repro.core.queries import StoreLike, get_requests, observed_status
 from repro.logstore.query import Query
 from repro.logstore.record import ObservationKind
-from repro.logstore.store import EventStore
 from repro.util import parse_duration
 
 __all__ = [
@@ -47,6 +46,23 @@ __all__ = [
     "HasCircuitBreaker",
     "HasBulkhead",
 ]
+
+
+def _requests_scope(src, dst, id_pattern, since, until) -> Query:
+    """The ``GetRequests`` query a (src, dst)-scoped check evaluates over.
+
+    Kept in one place so every check's :meth:`PatternCheck.scopes`
+    builds exactly the Query that :func:`~repro.core.queries.get_requests`
+    issues — equality is what lets the QueryCache share the fetch.
+    """
+    return Query(
+        kind=ObservationKind.REQUEST,
+        src=src,
+        dst=dst,
+        id_pattern=id_pattern,
+        since=since,
+        until=until,
+    )
 
 
 @dataclasses.dataclass
@@ -71,19 +87,38 @@ class CheckResult:
 
 
 class PatternCheck:
-    """Base class: a named, store-evaluable resiliency-pattern check."""
+    """Base class: a named, store-evaluable resiliency-pattern check.
+
+    ``run`` accepts either a raw :class:`~repro.logstore.store.EventStore`
+    or a :class:`~repro.core.queries.QueryCache`; the Gremlin facade
+    passes a cache shared across a recipe's whole check suite so
+    assertion steps scoped to the same ``(src, dst, kind)`` slice fetch
+    it once.
+    """
 
     #: Human-readable check name, set by subclasses.
     name = "pattern"
 
     def run(
         self,
-        store: EventStore,
+        store: StoreLike,
         since: _t.Optional[float] = None,
         until: _t.Optional[float] = None,
     ) -> CheckResult:
         """Evaluate against the event store, optionally time-scoped."""
         raise NotImplementedError
+
+    def scopes(
+        self, since: _t.Optional[float] = None, until: _t.Optional[float] = None
+    ) -> list[Query]:
+        """The store queries this check will issue, when statically known.
+
+        The facade groups the suite's scopes through a shared
+        :class:`~repro.core.queries.QueryCache` so overlapping checks
+        share one fetch.  Checks whose queries depend on prior results
+        (e.g. dependency discovery) may return a partial list.
+        """
+        return []
 
     def _no_data(self, detail: str) -> CheckResult:
         return CheckResult(self.name, passed=False, detail=detail, inconclusive=True)
@@ -104,9 +139,10 @@ class CheckFailures(BaseAssertion):
         self.num_match = num_match
         self.with_rule = with_rule
 
-    def evaluate(self, rlist, anchor):
+    def evaluate_from(self, rlist, start, anchor):
         matches = 0
-        for index, record in enumerate(rlist):
+        for index in range(start, len(rlist)):
+            record = rlist[index]
             status = observed_status(record, self.with_rule)
             failed = (status is not None and status >= 500) or record.error is not None
             if failed:
@@ -114,13 +150,13 @@ class CheckFailures(BaseAssertion):
                 if matches >= self.num_match:
                     return StepOutcome(
                         passed=True,
-                        consumed=index + 1,
+                        consumed=index - start + 1,
                         detail=f"found {matches} failed calls",
                         anchor=record.timestamp,
                     )
         return StepOutcome(
             passed=False,
-            consumed=len(rlist),
+            consumed=len(rlist) - start,
             detail=f"only {matches}/{self.num_match} failed calls observed",
         )
 
@@ -145,25 +181,17 @@ class HasTimeouts(PatternCheck):
         self.id_pattern = id_pattern
         self.name = f"HasTimeouts({src}, {self.max_latency:g}s)"
 
+    def scopes(self, since=None, until=None):
+        shared = dict(dst=self.src, id_pattern=self.id_pattern, since=since, until=until)
+        return [
+            Query(kind=ObservationKind.REPLY, **shared),
+            Query(kind=ObservationKind.REQUEST, **shared),
+        ]
+
     def run(self, store, since=None, until=None):
-        replies = store.search(
-            Query(
-                kind=ObservationKind.REPLY,
-                dst=self.src,
-                id_pattern=self.id_pattern,
-                since=since,
-                until=until,
-            )
-        )
-        requests = store.search(
-            Query(
-                kind=ObservationKind.REQUEST,
-                dst=self.src,
-                id_pattern=self.id_pattern,
-                since=since,
-                until=until,
-            )
-        )
+        reply_scope, request_scope = self.scopes(since, until)
+        replies = store.search(reply_scope)
+        requests = store.search(request_scope)
         if not requests:
             return self._no_data(f"no upstream calls to {self.src!r} observed")
         slow = [r for r in replies if r.latency is not None and r.latency > self.max_latency]
@@ -221,6 +249,9 @@ class HasBoundedRetries(PatternCheck):
         self.window = window
         self.id_pattern = id_pattern
         self.name = f"HasBoundedRetries({src}, {dst}, {max_tries})"
+
+    def scopes(self, since=None, until=None):
+        return [_requests_scope(self.src, self.dst, self.id_pattern, since, until)]
 
     def run(self, store, since=None, until=None):
         rlist = get_requests(store, self.src, self.dst, self.id_pattern, since, until)
@@ -293,6 +324,9 @@ class HasCircuitBreaker(PatternCheck):
         self.id_pattern = id_pattern
         self.name = f"HasCircuitBreaker({src}, {dst}, {threshold}, {self.tdelta:g}s)"
 
+    def scopes(self, since=None, until=None):
+        return [_requests_scope(self.src, self.dst, self.id_pattern, since, until)]
+
     def run(self, store, since=None, until=None):
         rlist = get_requests(store, self.src, self.dst, self.id_pattern, since, until)
         if not rlist:
@@ -344,6 +378,16 @@ class HasBulkhead(PatternCheck):
         self.other_dsts = list(other_dsts) if other_dsts is not None else None
         self.id_pattern = id_pattern
         self.name = f"HasBulkhead({src}, slow={slow_dst}, rate>={rate:g}/s)"
+
+    def scopes(self, since=None, until=None):
+        if self.other_dsts is None:
+            # Dependents are discovered from the trace; only the
+            # discovery scan is statically known.
+            return [Query(kind=ObservationKind.REQUEST, src=self.src, since=since, until=until)]
+        return [
+            _requests_scope(self.src, dst, self.id_pattern, since, until)
+            for dst in self.other_dsts
+        ]
 
     def run(self, store, since=None, until=None):
         others = self.other_dsts

@@ -19,14 +19,71 @@ from repro.logstore.query import Query
 from repro.logstore.record import ObservationKind, ObservationRecord
 from repro.logstore.store import EventStore
 
-__all__ = ["RList", "get_requests", "get_replies", "observed_status", "observed_latency"]
+__all__ = [
+    "RList",
+    "StoreLike",
+    "QueryCache",
+    "get_requests",
+    "get_replies",
+    "observed_status",
+    "observed_latency",
+]
 
-#: An RList is a time-sorted list of observation records.
+#: An RList is a time-sorted list of observation records.  RLists are
+#: read-only by convention: assertion code never mutates one, which is
+#: what lets :class:`QueryCache` hand the same list to every consumer.
 RList = _t.List[ObservationRecord]
 
 
+class QueryCache:
+    """Memoizing read-through façade over an event store.
+
+    The paper's checker issues one Elasticsearch query per assertion
+    step; a recipe's checks typically scope to the same few
+    ``(src, dst, kind)`` slices, so the checker used to re-fetch the
+    same records once per step.  Wrapping the store in a ``QueryCache``
+    for the duration of one evaluation batch fetches each distinct
+    :class:`~repro.logstore.query.Query` exactly once (``Query`` is a
+    frozen dataclass, hence hashable) and evaluates every step against
+    the shared slice.
+
+    A cache is only valid while the underlying store is quiescent:
+    create one after the log pipeline has drained, run the checks, and
+    drop it.  ``hits``/``misses`` expose the sharing for reports and
+    tests — ``misses`` is the number of distinct scopes actually
+    fetched.
+    """
+
+    def __init__(self, store: EventStore) -> None:
+        self.store = store
+        self._results: dict[Query, RList] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def search(self, query: Query) -> RList:
+        """Matching records, fetched once per distinct query."""
+        cached = self._results.get(query)
+        if cached is None:
+            cached = self._results[query] = self.store.search(query)
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def count(self, query: Query) -> int:
+        """Number of matching records (cached alongside search)."""
+        return len(self.search(query))
+
+    def __repr__(self) -> str:
+        return f"<QueryCache scopes={self.misses} hits={self.hits}>"
+
+
+#: Anything the assertion layer can query: a raw store or a cache.
+StoreLike = _t.Union[EventStore, QueryCache]
+
+
 def get_requests(
-    store: EventStore,
+    store: StoreLike,
     src: str,
     dst: str,
     id_pattern: str = "*",
@@ -51,7 +108,7 @@ def get_requests(
 
 
 def get_replies(
-    store: EventStore,
+    store: StoreLike,
     src: str,
     dst: str,
     id_pattern: str = "*",

@@ -6,17 +6,21 @@ them back.
 """
 
 from repro.logstore.export import dump_jsonl, dumps, load_jsonl, loads
+from repro.logstore.index import PostingList
 from repro.logstore.pipeline import LogPipeline
 from repro.logstore.query import Query, compile_id_pattern
 from repro.logstore.record import ObservationKind, ObservationRecord
-from repro.logstore.store import EventStore
+from repro.logstore.store import STORE_STRATEGIES, EventStore, QueryPlan
 
 __all__ = [
     "EventStore",
     "LogPipeline",
     "ObservationKind",
     "ObservationRecord",
+    "PostingList",
     "Query",
+    "QueryPlan",
+    "STORE_STRATEGIES",
     "compile_id_pattern",
     "dump_jsonl",
     "dumps",

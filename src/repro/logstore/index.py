@@ -1,0 +1,102 @@
+"""Secondary-index structures for the event store.
+
+The paper's Assertion Checker answers Table 3 queries against
+Elasticsearch, which keeps an inverted index per field so a scoped
+query never scans the whole trace.  This module provides the
+in-process analogue: :class:`PostingList` — a lazily-sorted list of
+record *positions* (offsets into the store's time-ordered record
+array) — plus the position-space binary searches the query planner
+uses to apply ``since``/``until`` bounds to a posting list without
+touching the records themselves.
+
+Two invariants make the design fast and mutation-tolerant:
+
+* positions in a clean posting list are ascending, and the record
+  array is time-sorted, so the timestamps along a posting list are
+  non-decreasing — time bounds become two bisects;
+* posting lists for *mutable* fields (``status``, ``fault_applied``)
+  are maintained additively: an in-place record update appends the
+  position to the new value's bucket and leaves the old entry behind
+  as a harmless false positive (the store post-filters every candidate
+  with :meth:`~repro.logstore.query.Query.matches`).  Buckets only
+  ever miss nothing; they may over-approximate until the next rebuild.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["PostingList", "bisect_left_by", "bisect_right_by"]
+
+
+def bisect_left_by(
+    positions: _t.Sequence[int], timestamps: _t.Sequence[float], bound: float
+) -> int:
+    """First index into ``positions`` whose timestamp is >= ``bound``.
+
+    ``positions`` must be ascending and ``timestamps`` time-sorted, so
+    ``timestamps[positions[i]]`` is non-decreasing.  (A hand-rolled
+    bisect because :func:`bisect.bisect_left` only grew ``key=`` in
+    Python 3.10 and we support 3.9.)
+    """
+    lo, hi = 0, len(positions)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if timestamps[positions[mid]] < bound:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def bisect_right_by(
+    positions: _t.Sequence[int], timestamps: _t.Sequence[float], bound: float
+) -> int:
+    """First index into ``positions`` whose timestamp is > ``bound``."""
+    lo, hi = 0, len(positions)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if timestamps[positions[mid]] <= bound:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class PostingList:
+    """Ascending list of record positions with deferred re-sorting.
+
+    Normal ingest appends monotonically increasing positions, which
+    keeps the list sorted for free.  Additive mutation updates and
+    re-sort remaps may insert arbitrary positions; those mark the list
+    dirty, and the next read pays one sort + dedupe (amortized — reads
+    between writes reuse the clean list).
+    """
+
+    __slots__ = ("_positions", "_dirty")
+
+    def __init__(self, positions: _t.Optional[list[int]] = None) -> None:
+        self._positions: list[int] = positions if positions is not None else []
+        self._dirty = False
+
+    def append(self, position: int) -> None:
+        """Add a position known to be >= every existing entry."""
+        self._positions.append(position)
+
+    def add(self, position: int) -> None:
+        """Add an arbitrary position (mutation update); defers the sort."""
+        self._positions.append(position)
+        self._dirty = True
+
+    def get(self) -> list[int]:
+        """The clean, ascending, duplicate-free position list."""
+        if self._dirty:
+            self._positions = sorted(set(self._positions))
+            self._dirty = False
+        return self._positions
+
+    def __len__(self) -> int:
+        return len(self.get())
+
+    def __repr__(self) -> str:
+        return f"<PostingList n={len(self._positions)} dirty={self._dirty}>"

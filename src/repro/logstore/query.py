@@ -63,32 +63,49 @@ class Query:
         if self.since is not None and self.until is not None and self.since > self.until:
             raise AssertionQueryError(f"empty time range: since={self.since} > until={self.until}")
         # Validate the pattern eagerly so malformed queries fail fast,
-        # and cache the compiled regex: matches() runs once per record
-        # and must not pay a compile per call.  (object.__setattr__
+        # and cache the compiled regex: the predicate runs once per
+        # record and must not pay a compile per call.  (object.__setattr__
         # because the dataclass is frozen.)
         object.__setattr__(self, "_id_regex", compile_id_pattern(self.id_pattern))
+        object.__setattr__(self, "predicate", self._compile_predicate())
+
+    def _compile_predicate(self) -> _t.Callable[[ObservationRecord], bool]:
+        """Bind the constraints into a closure over locals.
+
+        The store evaluates the predicate once per candidate record;
+        capturing the bound values here avoids eight ``self`` attribute
+        lookups per call on that hot path.
+        """
+        kind, src, dst = self.kind, self.src, self.dst
+        status, since, until = self.status, self.since, self.until
+        faults_only = self.with_faults_only
+        regex: _t.Optional[re.Pattern] = self._id_regex  # type: ignore[attr-defined]
+
+        def predicate(record: ObservationRecord) -> bool:
+            if kind is not None and record.kind != kind:
+                return False
+            if src is not None and record.src != src:
+                return False
+            if dst is not None and record.dst != dst:
+                return False
+            if status is not None and record.status != status:
+                return False
+            if since is not None and record.timestamp < since:
+                return False
+            if until is not None and record.timestamp > until:
+                return False
+            if faults_only and record.fault_applied is None:
+                return False
+            if regex is not None:
+                if record.request_id is None or not regex.match(record.request_id):
+                    return False
+            return True
+
+        return predicate
 
     def matches(self, record: ObservationRecord) -> bool:
         """True if ``record`` satisfies every constraint."""
-        if self.kind is not None and record.kind != self.kind:
-            return False
-        if self.src is not None and record.src != self.src:
-            return False
-        if self.dst is not None and record.dst != self.dst:
-            return False
-        if self.status is not None and record.status != self.status:
-            return False
-        if self.since is not None and record.timestamp < self.since:
-            return False
-        if self.until is not None and record.timestamp > self.until:
-            return False
-        if self.with_faults_only and record.fault_applied is None:
-            return False
-        regex: _t.Optional[re.Pattern] = getattr(self, "_id_regex", None)
-        if regex is not None:
-            if record.request_id is None or not regex.match(record.request_id):
-                return False
-        return True
+        return self.predicate(record)
 
     # -- fluent refinement --------------------------------------------------
 

@@ -89,6 +89,8 @@ class Application:
         matcher_strategy: str = "linear",
         log_shipping_delay: float = 0.0,
         log_loss_probability: float = 0.0,
+        log_flush_size: int = 1,
+        store_strategy: str = "indexed",
         default_link_latency: _t.Union[float, LatencyModel, None] = 0.0005,
         sidecars: bool = True,
     ) -> "Deployment":
@@ -106,6 +108,8 @@ class Application:
             matcher_strategy=matcher_strategy,
             log_shipping_delay=log_shipping_delay,
             log_loss_probability=log_loss_probability,
+            log_flush_size=log_flush_size,
+            store_strategy=store_strategy,
             default_link_latency=default_link_latency,
             sidecars=sidecars,
         )
@@ -124,6 +128,8 @@ class Deployment:
         matcher_strategy: str = "linear",
         log_shipping_delay: float = 0.0,
         log_loss_probability: float = 0.0,
+        log_flush_size: int = 1,
+        store_strategy: str = "indexed",
         default_link_latency: _t.Union[float, LatencyModel, None] = 0.0005,
         sidecars: bool = True,
     ) -> None:
@@ -131,12 +137,13 @@ class Deployment:
         self.sim = sim
         self.network = Network(sim, default_latency=default_link_latency)
         self.registry = ServiceRegistry()
-        self.store = EventStore()
+        self.store = EventStore(strategy=store_strategy)
         self.pipeline = LogPipeline(
             sim,
             self.store,
             shipping_delay=log_shipping_delay,
             loss_probability=log_loss_probability,
+            flush_size=log_flush_size,
         )
         self.graph = application.logical_graph()
         self.matcher_strategy = matcher_strategy

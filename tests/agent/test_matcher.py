@@ -38,6 +38,46 @@ class TestInstallRemove:
         with pytest.raises(RuleValidationError):
             make_matcher("quantum")
 
+    def test_removal_preserves_first_match_wins_order(self, matcher):
+        """Surgical unindexing must not disturb surviving rules' order."""
+        doomed = abort("A", "B", pattern="test-*", error=500)
+        first = abort("A", "B", pattern="test-*", error=503)
+        second = abort("A", "B", pattern="test-*", error=404)
+        matcher.install(doomed)
+        matcher.install(first)
+        matcher.install(second)
+        assert matcher.remove(doomed.rule_id)
+        hit = matcher.match("B", "request", "test-1")
+        assert hit.rule.rule_id == first.rule_id
+
+    def test_reinstall_after_removal_ranks_last(self, matcher):
+        """A re-installed rule gets a fresh (higher) order — it must not
+        inherit the removed slot and jump ahead of older rules."""
+        removed = abort("A", "B", pattern="test-*", error=500)
+        survivor = abort("A", "B", pattern="test-*", error=503)
+        matcher.install(removed)
+        matcher.install(survivor)
+        assert matcher.remove(removed.rule_id)
+        latecomer = abort("A", "B", pattern="test-*", error=404)
+        matcher.install(latecomer)
+        hit = matcher.match("B", "request", "test-1")
+        assert hit.rule.rule_id == survivor.rule_id
+
+    def test_removal_prunes_only_affected_prefix_group(self):
+        """Other prefix groups (and lengths) survive a removal intact."""
+        matcher = PrefixIndexMatcher(random.Random(3))
+        short = abort("A", "B", pattern="ab*")
+        long_ = abort("A", "B", pattern="abcdef*")
+        matcher.install(short)
+        matcher.install(long_)
+        assert matcher.remove(long_.rule_id)
+        assert matcher.match("B", "request", "abzzz") is not None
+        assert matcher.match("B", "request", "abcdef-1") is not None  # short still covers
+        matcher.install(abort("A", "B", pattern="abcdef*", error=404))
+        hit = matcher.match("B", "request", "abcdef-1")
+        # first-match-wins: the older short-prefix rule still wins.
+        assert hit.rule.rule_id == short.rule_id
+
 
 class TestStructuralMatch:
     def test_matches_dst_direction_and_id(self, matcher):

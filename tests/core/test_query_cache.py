@@ -1,0 +1,112 @@
+"""Unit tests for the memoizing QueryCache and check scope grouping."""
+
+from repro.core import (
+    HasBoundedRetries,
+    HasCircuitBreaker,
+    HasTimeouts,
+    QueryCache,
+)
+from repro.core.queries import get_requests
+from repro.logstore import EventStore, ObservationKind, Query
+
+from tests.core.test_assertions import request_record
+
+
+class _CountingStore(EventStore):
+    """EventStore that counts how many scans it actually performs."""
+
+    def __init__(self):
+        super().__init__()
+        self.searches = 0
+
+    def search(self, query):
+        self.searches += 1
+        return super().search(query)
+
+
+def _store_with_failures():
+    store = _CountingStore()
+    for index in range(8):
+        store.append(
+            request_record(float(index), status=503 if index < 5 else 200, rid=f"test-{index}")
+        )
+    return store
+
+
+class TestQueryCache:
+    def test_distinct_query_fetched_once(self):
+        store = _store_with_failures()
+        cache = QueryCache(store)
+        query = Query(kind=ObservationKind.REQUEST, src="A", dst="B")
+        first = cache.search(query)
+        second = cache.search(query)
+        assert first is second  # the shared slice, not a refetch
+        assert store.searches == 1
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_empty_result_is_cached_too(self):
+        store = _store_with_failures()
+        cache = QueryCache(store)
+        query = Query(src="X", dst="Y")
+        assert cache.search(query) == []
+        assert cache.search(query) == []
+        assert store.searches == 1
+
+    def test_count_shares_the_cached_fetch(self):
+        store = _store_with_failures()
+        cache = QueryCache(store)
+        query = Query(kind=ObservationKind.REQUEST, src="A", dst="B")
+        assert cache.count(query) == 8
+        cache.search(query)
+        assert store.searches == 1
+
+    def test_get_requests_accepts_cache(self):
+        store = _store_with_failures()
+        cache = QueryCache(store)
+        via_cache = get_requests(cache, "A", "B")
+        via_store = get_requests(store, "A", "B")
+        assert via_cache == via_store
+
+
+class TestScopeGrouping:
+    def test_same_edge_checks_share_one_fetch(self):
+        """HasBoundedRetries and HasCircuitBreaker on one edge declare
+        the same (src, dst, kind) scope and must share a single scan."""
+        store = _store_with_failures()
+        cache = QueryCache(store)
+        retries = HasBoundedRetries("A", "B", max_tries=10, window="10s")
+        breaker = HasCircuitBreaker("A", "B", tdelta="1s", check_recovery=False)
+        assert retries.scopes() == breaker.scopes()
+        retries.run(cache)
+        breaker.run(cache)
+        assert store.searches == 1
+        assert cache.hits >= 1
+
+    def test_scopes_match_the_queries_run_issues(self):
+        """Every check's declared scopes are exactly what run() fetches
+        — required for the facade's prefetch to dedupe correctly."""
+        checks = [
+            HasBoundedRetries("A", "B", max_tries=10, window="10s"),
+            HasCircuitBreaker("A", "B", tdelta="1s", check_recovery=False),
+            HasTimeouts("B", "1s"),
+        ]
+        for check in checks:
+            store = _store_with_failures()
+            cache = QueryCache(store)
+            for scope in check.scopes(since=None, until=None):
+                cache.search(scope)
+            warmed = store.searches
+            check.run(cache)
+            assert store.searches == warmed, check.name
+
+    def test_results_identical_through_cache_and_store(self):
+        checks = [
+            HasBoundedRetries("A", "B", max_tries=10, window="10s"),
+            HasCircuitBreaker("A", "B", tdelta="1s", check_recovery=False),
+            HasTimeouts("B", "1s"),
+        ]
+        for check in checks:
+            direct = check.run(_store_with_failures())
+            cached = check.run(QueryCache(_store_with_failures()))
+            assert direct.passed == cached.passed
+            assert direct.detail == cached.detail

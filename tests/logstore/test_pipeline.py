@@ -53,3 +53,50 @@ class TestDelayedPipeline:
     def test_negative_delay_rejected(self, sim):
         with pytest.raises(ValueError):
             LogPipeline(sim, EventStore(), shipping_delay=-1)
+
+
+class TestBatchedPipeline:
+    def test_records_buffer_until_flush_size(self, sim):
+        store = EventStore()
+        pipeline = LogPipeline(sim, store, flush_size=3)
+        pipeline.emit(make_record())
+        pipeline.emit(make_record())
+        assert len(store) == 0
+        assert pipeline.in_flight == 2
+        pipeline.emit(make_record())
+        assert len(store) == 3
+        assert pipeline.in_flight == 0
+        assert pipeline.flushes == 1
+
+    def test_explicit_flush_lands_partial_batch(self, sim):
+        store = EventStore()
+        pipeline = LogPipeline(sim, store, flush_size=10)
+        pipeline.emit(make_record())
+        assert pipeline.flush() == 1
+        assert len(store) == 1
+        assert pipeline.flush() == 0  # idempotent when empty
+
+    def test_drained_flushes_buffer(self, sim):
+        store = EventStore()
+        pipeline = LogPipeline(sim, store, flush_size=10)
+        pipeline.emit(make_record())
+        pipeline.emit(make_record())
+        assert pipeline.drained().triggered
+        assert len(store) == 2
+        assert pipeline.in_flight == 0
+
+    def test_shipping_delay_composes_with_batching(self, sim):
+        store = EventStore()
+        pipeline = LogPipeline(sim, store, shipping_delay=0.5, flush_size=100)
+
+        def scenario(sim):
+            for _ in range(4):
+                pipeline.emit(make_record())
+            yield pipeline.drained()
+            return len(store)
+
+        assert run_to_completion(sim, scenario(sim)) == 4
+
+    def test_bad_flush_size_rejected(self, sim):
+        with pytest.raises(ValueError):
+            LogPipeline(sim, EventStore(), flush_size=0)

@@ -1,65 +1,194 @@
-"""Unit tests for the event store."""
+"""Unit tests for the event store (both evaluation strategies)."""
 
-from repro.logstore import EventStore, Query
+import pytest
+
+from repro.logstore import STORE_STRATEGIES, EventStore, ObservationRecord, Query
 
 from tests.logstore.test_record import make_record
 
 
+@pytest.fixture(params=STORE_STRATEGIES)
+def store(request):
+    return EventStore(strategy=request.param)
+
+
 class TestEventStore:
-    def test_append_and_len(self):
-        store = EventStore()
+    def test_append_and_len(self, store):
         store.append(make_record())
         assert len(store) == 1
 
-    def test_extend(self):
-        store = EventStore()
+    def test_extend(self, store):
         store.extend(make_record(timestamp=float(i)) for i in range(5))
         assert len(store) == 5
 
-    def test_all_records_sorted(self):
-        store = EventStore()
+    def test_all_records_sorted(self, store):
         for ts in (3.0, 1.0, 2.0):
             store.append(make_record(timestamp=ts))
         assert [r.timestamp for r in store.all_records()] == [1.0, 2.0, 3.0]
 
-    def test_search_by_pair_uses_index(self):
-        store = EventStore()
+    def test_search_by_pair_uses_index(self, store):
         store.append(make_record(src="A", dst="B", timestamp=1.0))
         store.append(make_record(src="A", dst="C", timestamp=2.0))
         store.append(make_record(src="A", dst="B", timestamp=3.0))
         results = store.search(Query(src="A", dst="B"))
         assert [r.timestamp for r in results] == [1.0, 3.0]
 
-    def test_search_time_range_without_pair(self):
-        store = EventStore()
+    def test_search_time_range_without_pair(self, store):
         for ts in range(10):
             store.append(make_record(timestamp=float(ts)))
         results = store.search(Query(since=3.0, until=6.0))
         assert [r.timestamp for r in results] == [3.0, 4.0, 5.0, 6.0]
 
-    def test_search_pair_with_out_of_order_ingest(self):
-        store = EventStore()
+    def test_search_pair_with_out_of_order_ingest(self, store):
         store.append(make_record(timestamp=5.0))
         store.append(make_record(timestamp=1.0))
         results = store.search(Query(src="ServiceA", dst="ServiceB"))
         assert [r.timestamp for r in results] == [1.0, 5.0]
 
-    def test_count(self):
-        store = EventStore()
+    def test_count(self, store):
         store.append(make_record(status=503))
         store.append(make_record(status=200))
         assert store.count(Query(status=503)) == 1
 
-    def test_clear(self):
-        store = EventStore()
+    def test_clear(self, store):
         store.append(make_record())
         store.clear()
         assert len(store) == 0
         assert store.search(Query()) == []
 
-    def test_mutated_record_visible_in_search(self):
-        store = EventStore()
+    def test_mutated_record_visible_in_search(self, store):
         record = make_record()
         store.append(record)
         record.status = 503
         assert store.count(Query(status=503)) == 1
+
+    def test_mutation_after_prior_status_query_still_visible(self, store):
+        """The hard case for secondary indexes: the status index is
+        consulted, *then* a record's status changes in place — the
+        additive update must keep the index a superset of the truth."""
+        record = make_record(status=200)
+        other = make_record(status=200, timestamp=2.0)
+        store.append(record)
+        store.append(other)
+        assert store.count(Query(status=503)) == 0  # index now warm
+        record.status = 503
+        assert store.count(Query(status=503)) == 1
+        assert store.count(Query(status=200)) == 1  # stale entry filtered out
+
+    def test_fault_mutation_visible_to_faults_only_query(self, store):
+        record = make_record()
+        store.append(record)
+        assert store.count(Query(with_faults_only=True)) == 0
+        record.fault_applied = "abort(503)"
+        assert store.count(Query(with_faults_only=True)) == 1
+
+    def test_search_iter_is_lazy(self, store):
+        for ts in range(10):
+            store.append(make_record(timestamp=float(ts)))
+        iterator = store.search_iter(Query())
+        assert next(iterator).timestamp == 0.0  # no list materialized
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            EventStore(strategy="quantum")
+
+
+class TestQueryPlanner:
+    def test_pair_query_prunes_time_range_in_candidates(self):
+        """Regression: with src+dst bound, since/until must narrow the
+        candidate set (bisect on the pair posting list), not merely be
+        post-filtered after walking the whole pair bucket."""
+        store = EventStore()
+        for ts in range(100):
+            store.append(make_record(timestamp=float(ts)))
+        plan = store.plan(Query(src="ServiceA", dst="ServiceB", since=10.0, until=19.0))
+        assert plan.driver == "pair"
+        assert plan.candidates == 10
+
+    def test_most_selective_index_wins(self):
+        store = EventStore()
+        for index in range(50):
+            store.append(
+                make_record(
+                    timestamp=float(index),
+                    kind="request" if index % 2 else "reply",
+                    status=503 if index == 7 else 200,
+                )
+            )
+        plan = store.plan(Query(kind="request", status=503))
+        assert plan.driver == "status"
+        assert plan.candidates == 1
+
+    def test_unbound_query_scans_time_range(self):
+        store = EventStore()
+        for ts in range(20):
+            store.append(make_record(timestamp=float(ts)))
+        plan = store.plan(Query(since=5.0, until=9.0))
+        assert plan.driver == "time"
+        assert plan.candidates == 5
+
+    def test_linear_strategy_always_scans(self):
+        store = EventStore(strategy="linear")
+        for ts in range(20):
+            store.append(make_record(timestamp=float(ts)))
+        plan = store.plan(Query(src="ServiceA", dst="ServiceB"))
+        assert plan.driver == "scan"
+        assert plan.candidates == 20
+
+    def test_empty_bucket_yields_empty_plan(self):
+        store = EventStore()
+        store.append(make_record())
+        plan = store.plan(Query(src="Nobody", dst="Nowhere"))
+        assert plan.candidates == 0
+        assert store.search(Query(src="Nobody", dst="Nowhere")) == []
+
+
+class TestStrategyEquivalence:
+    """Acceptance: indexed search/count must match the linear scan
+    exactly (same records, same order) across representative queries."""
+
+    QUERIES = [
+        Query(),
+        Query(kind="request"),
+        Query(src="A", dst="B"),
+        Query(src="A"),
+        Query(dst="C"),
+        Query(status=503),
+        Query(with_faults_only=True),
+        Query(kind="reply", src="A", dst="B", since=2.0, until=8.0),
+        Query(id_pattern="test-*", status=200),
+        Query(since=3.5),
+        Query(until=4.5),
+    ]
+
+    @staticmethod
+    def _populate(store):
+        for index in range(40):
+            record = ObservationRecord(
+                timestamp=float(index % 10) + index * 0.01,
+                kind="request" if index % 2 else "reply",
+                src="A" if index % 3 else "X",
+                dst="B" if index % 4 else "C",
+                request_id=f"test-{index}" if index % 5 else None,
+                status=[None, 200, 503][index % 3],
+                fault_applied="abort(503)" if index % 7 == 0 else None,
+            )
+            store.append(record)
+        # In-place outcome updates, as the agent performs them.
+        for record in store.all_records()[::6]:
+            record.status = 500
+
+    @pytest.mark.parametrize("query_index", range(len(QUERIES)))
+    def test_search_and_count_identical(self, query_index):
+        indexed = EventStore(strategy="indexed")
+        linear = EventStore(strategy="linear")
+        self._populate(indexed)
+        self._populate(linear)
+        query = self.QUERIES[query_index]
+        indexed_results = indexed.search(query)
+        linear_results = linear.search(query)
+        assert indexed_results == linear_results
+        assert [id(r) for r in indexed.search(query)] == [
+            id(r) for r in indexed.search(query)
+        ]  # stable across repeated evaluation
+        assert indexed.count(query) == len(linear_results)

@@ -4,6 +4,17 @@ from hypothesis import given, settings, strategies as st
 
 from repro.logstore import EventStore, ObservationRecord, Query
 
+_queries = st.builds(
+    Query,
+    kind=st.one_of(st.none(), st.sampled_from(["request", "reply"])),
+    src=st.one_of(st.none(), st.sampled_from(["A", "B", "C"])),
+    dst=st.one_of(st.none(), st.sampled_from(["A", "B", "C"])),
+    id_pattern=st.sampled_from(["*", "test-*", "re:.*-1"]),
+    since=st.one_of(st.none(), st.floats(min_value=0, max_value=1000, allow_nan=False)),
+    status=st.one_of(st.none(), st.sampled_from([200, 404, 503])),
+    with_faults_only=st.booleans(),
+)
+
 _kinds = st.sampled_from(["request", "reply"])
 _services = st.sampled_from(["A", "B", "C"])
 _ids = st.one_of(st.none(), st.sampled_from(["test-1", "test-2", "user-1"]))
@@ -62,3 +73,83 @@ class TestStoreInvariants:
         store.extend(batch)
         total = store.count(Query(kind="request")) + store.count(Query(kind="reply"))
         assert total == len(batch)
+
+    @given(batch=st.lists(records(), max_size=60), query=_queries)
+    @settings(max_examples=150, deadline=None)
+    def test_indexed_equals_linear_for_any_query(self, batch, query):
+        """Acceptance invariant: the planner's index-driven evaluation
+        is byte-identical to the linear full scan for every query."""
+        indexed = EventStore(strategy="indexed")
+        linear = EventStore(strategy="linear")
+        indexed.extend(batch)
+        linear.extend(batch)
+        assert indexed.search(query) == linear.search(query)
+        assert indexed.count(query) == linear.count(query)
+
+    @given(
+        batch=st.lists(records(), min_size=1, max_size=40),
+        new_statuses=st.lists(st.sampled_from([200, 404, 503, None]), max_size=10),
+        query=_queries,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equivalence_survives_in_place_mutation(self, batch, new_statuses, query):
+        """In-place outcome updates (the agent's document-update
+        analogue) must keep the secondary indexes truthful."""
+        indexed = EventStore(strategy="indexed")
+        indexed.extend(batch)
+        # Warm every index the query will consult, then mutate.
+        indexed.search(query)
+        for offset, status in enumerate(new_statuses):
+            record = batch[offset % len(batch)]
+            record.status = status
+            if status == 503:
+                record.fault_applied = "abort(503)"
+        linear = EventStore(strategy="linear")
+        linear.extend(batch)
+        assert indexed.search(query) == linear.search(query)
+
+    @given(batch=st.lists(records(), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_out_of_order_ingest_keeps_pair_index_consistent(self, batch):
+        """_ensure_sorted re-sorts the primary array; every index must
+        be remapped so pair queries agree with a fresh store built from
+        the already-sorted records."""
+        store = EventStore()
+        store.extend(batch)
+        resorted = store.all_records()  # forces the re-sort + remap
+        fresh = EventStore()
+        fresh.extend(resorted)
+        for src in ("A", "B", "C"):
+            for dst in ("A", "B", "C"):
+                query = Query(src=src, dst=dst)
+                assert store.search(query) == fresh.search(query)
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("append"), records()),
+                st.tuples(st.just("search"), _queries),
+                st.tuples(st.just("clear"), st.none()),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_indexes_survive_interleaved_append_search_clear(self, ops):
+        """Arbitrary interleavings of ingest, queries (which trigger
+        lazy re-sorts) and clears never desync indexed from linear."""
+        indexed = EventStore(strategy="indexed")
+        linear = EventStore(strategy="linear")
+        for op, payload in ops:
+            if op == "append":
+                # Distinct objects per store: the index hook binds a
+                # record to the store that ingested it.
+                indexed.append(ObservationRecord(**payload.to_dict()))
+                linear.append(ObservationRecord(**payload.to_dict()))
+            elif op == "search":
+                assert indexed.search(payload) == linear.search(payload)
+                assert indexed.count(payload) == linear.count(payload)
+            else:
+                indexed.clear()
+                linear.clear()
+        assert indexed.search(Query()) == linear.search(Query())
