@@ -16,6 +16,7 @@ import pathlib
 import pytest
 
 BENCH_LOGSTORE_PATH = pathlib.Path(__file__).parent / "BENCH_logstore.json"
+BENCH_CAMPAIGN_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
 
 
 class ExperimentReport:
@@ -36,6 +37,20 @@ _REPORT = ExperimentReport()
 # the scaling benchmark; flushed to BENCH_logstore.json at session end.
 _BENCH_LOGSTORE: dict = {}
 
+# Machine-readable campaign-engine numbers (serial vs fleet wall clock,
+# speedup).  Populated by the campaign benchmark; flushed to
+# BENCH_campaign.json at session end.
+_BENCH_CAMPAIGN: dict = {}
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark is ``bench`` (and therefore ``slow``); the tier-1
+    suite under tests/ never collects this directory (``testpaths``),
+    and ``-m "not bench"`` now also works when running everything."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture(scope="session")
 def report() -> ExperimentReport:
@@ -49,6 +64,12 @@ def bench_logstore() -> dict:
     return _BENCH_LOGSTORE
 
 
+@pytest.fixture(scope="session")
+def bench_campaign() -> dict:
+    """Mutable dict the campaign benchmark records its numbers into."""
+    return _BENCH_CAMPAIGN
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _BENCH_LOGSTORE:
         payload = dict(_BENCH_LOGSTORE)
@@ -56,11 +77,19 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_LOGSTORE_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+    if _BENCH_CAMPAIGN:
+        payload = dict(_BENCH_CAMPAIGN)
+        payload.setdefault("source", "benchmarks/test_bench_campaign.py")
+        BENCH_CAMPAIGN_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _BENCH_LOGSTORE:
         terminalreporter.write_line(f"log-store numbers written to {BENCH_LOGSTORE_PATH}")
+    if _BENCH_CAMPAIGN:
+        terminalreporter.write_line(f"campaign numbers written to {BENCH_CAMPAIGN_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

@@ -1,0 +1,96 @@
+"""Campaign engine: fleet speedup over serial execution.
+
+The campaign runner's claim is operational, not algorithmic: when each
+experiment occupies a test slot for real wall-clock time (the
+live-deployment regime the paper's Gremlin operates in — faults stay
+staged while traffic flows, logs settle before assertions), a fleet of
+N workers should finish a recipe suite close to N times faster than a
+serial loop.  This benchmark pins that claim on the 42-recipe
+auto-generated campaign for the depth-3 service tree (Fig 7's largest
+multi-level topology):
+
+* **paced** runs model the live regime with a 0.3 s wall-clock floor
+  per recipe (``pacing``) — the fleet must be >= 2x faster at 4 workers;
+* **unpaced** runs are recorded for transparency: the simulated data
+  plane is pure CPU under the GIL, so on this container (``cpus`` in
+  the JSON) thread workers cannot speed up compute-bound campaigns.
+
+The benchmark also re-asserts the determinism contract where it
+matters most: the paced fleet and the serial loop must produce
+identical per-recipe statuses.
+
+Numbers land in ``BENCH_campaign.json`` via the session-finish hook in
+``conftest.py``.
+"""
+
+import os
+import time
+
+from repro.apps import build_tree_app
+from repro.campaign import CampaignRunner, plan_campaign
+
+FLEET_WORKERS = 4
+PACING = 0.3
+REQUESTS = 10
+
+
+def tree3():
+    return build_tree_app(3)
+
+
+def run_campaign(plan, *, workers, pacing):
+    runner = CampaignRunner(tree3, workers=workers, pacing=pacing, timeout=120.0)
+    start = time.perf_counter()
+    result = runner.run(plan)
+    return result, time.perf_counter() - start
+
+
+def test_fleet_speedup_on_paced_campaign(report, bench_campaign):
+    plan = plan_campaign(tree3, seed=20, requests=REQUESTS)
+    assert len(plan) >= 40, "speedup claim is about campaign-sized suites"
+
+    serial_result, serial_s = run_campaign(plan, workers=1, pacing=PACING)
+    fleet_result, fleet_s = run_campaign(plan, workers=FLEET_WORKERS, pacing=PACING)
+
+    # Determinism contract: the fleet changes wall-clock time, nothing else.
+    assert [o.status for o in serial_result.outcomes] == [
+        o.status for o in fleet_result.outcomes
+    ]
+
+    _, unpaced_serial_s = run_campaign(plan, workers=1, pacing=0.0)
+    _, unpaced_fleet_s = run_campaign(plan, workers=FLEET_WORKERS, pacing=0.0)
+
+    speedup = serial_s / fleet_s
+    bench_campaign.update(
+        {
+            "app": "tree3",
+            "recipes": len(plan),
+            "requests_per_recipe": REQUESTS,
+            "workers": FLEET_WORKERS,
+            "pacing_s": PACING,
+            "cpus": os.cpu_count(),
+            "paced": {
+                "serial_s": round(serial_s, 3),
+                "fleet_s": round(fleet_s, 3),
+                "speedup": round(speedup, 2),
+            },
+            "unpaced": {
+                "serial_s": round(unpaced_serial_s, 3),
+                "fleet_s": round(unpaced_fleet_s, 3),
+                "speedup": round(unpaced_serial_s / unpaced_fleet_s, 2),
+            },
+        }
+    )
+    report.add(
+        "Campaign engine — fleet speedup on the 42-recipe tree3 suite",
+        f"  paced ({PACING:.1f}s/recipe floor): serial {serial_s:6.2f}s,"
+        f" {FLEET_WORKERS} workers {fleet_s:6.2f}s -> {speedup:.2f}x\n"
+        f"  unpaced (CPU-bound, {os.cpu_count()} cpu): serial {unpaced_serial_s:6.2f}s,"
+        f" {FLEET_WORKERS} workers {unpaced_fleet_s:6.2f}s"
+        f" -> {unpaced_serial_s / unpaced_fleet_s:.2f}x",
+    )
+
+    assert speedup >= 2.0, (
+        f"fleet of {FLEET_WORKERS} should halve a paced campaign:"
+        f" serial {serial_s:.2f}s vs fleet {fleet_s:.2f}s ({speedup:.2f}x)"
+    )

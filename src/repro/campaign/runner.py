@@ -1,0 +1,343 @@
+"""Parallel fleet execution of a campaign plan.
+
+Execution model
+---------------
+Every planned recipe runs on its **own freshly-built deployment**,
+materialized inside the worker from the campaign's deployment factory
+and seeded with the entry's :func:`~repro.campaign.plan.derive_seed`
+value.  Nothing is shared between recipes — no simulator, no event
+store, no agent state — so an outcome depends only on
+``(factory, recipe, seed)`` and never on which worker executed it,
+how many workers ran, or in what order the queue drained.  That is the
+determinism contract the campaign tests pin.
+
+Workers are threads pulling from a shared queue.  The simulated
+control/data plane is pure CPU under the GIL, so thread workers pay no
+serialization cost versus processes while still overlapping everything
+that *does* wait on the wall clock: the per-recipe ``pacing`` floor
+(modeling campaigns against live deployments, where an experiment
+occupies a test slot for real time — fault windows, log settling) and,
+in real-world embeddings, any operator-supplied I/O.
+
+Guard rails: a per-recipe wall-clock ``timeout`` is enforced
+cooperatively by slicing the virtual-time run loop (the kernel's
+``peek``/``run(until=...)``), ``fail_fast`` stops dispatching after the
+first conclusive failure, and failed recipes are re-run with perturbed
+seeds to separate *broken* behaviour (fails under every seed) from
+*flaky* behaviour (seed-sensitive).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+import typing as _t
+
+from repro.campaign.plan import CampaignPlan, DeploymentFactory, PlannedRecipe, derive_seed
+from repro.campaign.results import CampaignResult, CheckOutcome, RecipeOutcome
+from repro.core.gremlin import Gremlin
+from repro.core.queries import QueryCache
+from repro.errors import CampaignError, CampaignTimeoutError
+from repro.loadgen import ClosedLoopLoad
+
+__all__ = ["RecipeExecutor", "CampaignRunner"]
+
+
+def _classify(checks: _t.Sequence[CheckOutcome]) -> str:
+    """Fold a recipe's check outcomes into one status."""
+    if not checks:
+        return "inconclusive"
+    if all(check.passed for check in checks):
+        return "pass"
+    if any(not check.passed and not check.inconclusive for check in checks):
+        return "fail"
+    return "inconclusive"
+
+
+class RecipeExecutor:
+    """Executes one planned recipe on a fresh, isolated deployment.
+
+    Mirrors :meth:`Gremlin.run_recipe` (inject -> load -> settle ->
+    drain -> check -> clear) but drives the simulator in bounded
+    virtual-time slices so a wall-clock deadline can interrupt a
+    runaway recipe between slices, and optionally pads each recipe to a
+    ``pacing`` wall-clock floor.
+    """
+
+    def __init__(
+        self,
+        factory: DeploymentFactory,
+        *,
+        timeout: _t.Optional[float] = 60.0,
+        pacing: float = 0.0,
+        slice_virtual: float = 60.0,
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise CampaignError(f"timeout must be > 0 or None, got {timeout}")
+        if pacing < 0:
+            raise CampaignError(f"pacing must be >= 0, got {pacing}")
+        if slice_virtual <= 0:
+            raise CampaignError(f"slice_virtual must be > 0, got {slice_virtual}")
+        self.factory = factory
+        self.timeout = timeout
+        self.pacing = pacing
+        self.slice_virtual = slice_virtual
+
+    def execute(
+        self, planned: PlannedRecipe, seed: _t.Optional[int] = None
+    ) -> RecipeOutcome:
+        """Run one planned recipe; never raises — failures become
+        ``error``/``timeout`` outcomes so one bad recipe cannot take
+        down the fleet."""
+        started = time.monotonic()
+        deadline = started + self.timeout if self.timeout is not None else None
+        seed = planned.seed if seed is None else seed
+        outcome = RecipeOutcome(
+            index=planned.index,
+            name=planned.name,
+            pattern=planned.pattern,
+            service=planned.service,
+            seed=seed,
+            status="error",
+        )
+        gremlin = None
+        try:
+            recipe = planned.recipe
+            spec = planned.load
+            deployment = self.factory().deploy(seed=seed)
+            source = deployment.add_traffic_source(spec.entry, name=spec.source_name)
+            gremlin = Gremlin(deployment)
+            sim = deployment.sim
+
+            window_start = sim.now
+            orch_start = time.perf_counter()
+            gremlin.inject(*recipe.scenarios)
+            outcome.orchestration_time = time.perf_counter() - orch_start
+
+            load = ClosedLoopLoad(
+                num_requests=spec.requests, think_time=spec.think_time, uri=spec.uri
+            )
+            sim.process(load.driver(source), name=f"load/{recipe.name}")
+            if recipe.load is not None:
+                sim.process(recipe.load(deployment), name=f"extra-load/{recipe.name}")
+            self._run_drained(sim, deadline)
+            settle = max(planned.settle, recipe.settle)
+            if settle > 0:
+                sim.run(until=sim.now + settle)
+            drained = deployment.pipeline.drained()
+            if not drained.triggered:
+                self._run_drained(sim, deadline)
+            window_end = sim.now
+            outcome.window = (window_start, window_end)
+            outcome.latencies = load.result.latencies
+
+            assert_start = time.perf_counter()
+            cache = QueryCache(deployment.store)
+            for check in recipe.checks:
+                for scope in check.scopes(since=window_start, until=window_end):
+                    cache.search(scope)
+            outcome.checks = [
+                CheckOutcome.from_result(
+                    check.run(cache, since=window_start, until=window_end)
+                )
+                for check in recipe.checks
+            ]
+            outcome.assertion_time = time.perf_counter() - assert_start
+            outcome.status = _classify(outcome.checks)
+        except CampaignTimeoutError:
+            outcome.status = "timeout"
+            outcome.error = (
+                f"recipe exceeded its {self.timeout:g}s wall-clock budget"
+            )
+        except Exception as exc:  # noqa: BLE001 - isolate fleet from one bad recipe
+            outcome.status = "error"
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if gremlin is not None:
+                try:
+                    gremlin.clear()
+                except Exception:  # noqa: BLE001 - teardown best effort
+                    pass
+        outcome.wall_time = time.monotonic() - started
+        if self.pacing > 0:
+            remaining = self.pacing - outcome.wall_time
+            if remaining > 0:
+                time.sleep(remaining)
+            outcome.wall_time = time.monotonic() - started
+        return outcome
+
+    def _run_drained(self, sim, deadline: _t.Optional[float]) -> None:
+        """Run the simulator until its event queue drains, in
+        ``slice_virtual``-sized steps, checking the wall clock between
+        slices."""
+        while sim.peek() != float("inf"):
+            if deadline is not None and time.monotonic() > deadline:
+                raise CampaignTimeoutError()
+            sim.run(until=sim.now + self.slice_virtual)
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignPlan` across N parallel workers.
+
+    Parameters
+    ----------
+    factory:
+        Deployment factory; each worker builds one fresh deployment per
+        recipe from it.
+    workers:
+        Fleet size.  ``1`` executes serially (same code path).
+    timeout:
+        Per-recipe wall-clock budget in seconds (None disables).
+    pacing:
+        Minimum wall-clock seconds each recipe occupies its worker —
+        models campaigns against live deployments where an experiment
+        holds a test slot for real time.  0 runs at full simulation
+        speed.
+    fail_fast:
+        Stop dispatching new recipes after the first conclusive
+        failure; undispatched entries are reported as ``skipped``.
+    rerun_failures:
+        Flake detection: re-run each ``fail`` outcome this many times
+        with perturbed seeds, classifying it ``flaky`` (passed at least
+        once) or ``broken`` (failed every attempt).
+    """
+
+    def __init__(
+        self,
+        factory: DeploymentFactory,
+        *,
+        workers: int = 1,
+        timeout: _t.Optional[float] = 60.0,
+        pacing: float = 0.0,
+        fail_fast: bool = False,
+        rerun_failures: int = 0,
+        slice_virtual: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        if rerun_failures < 0:
+            raise CampaignError(f"rerun_failures must be >= 0, got {rerun_failures}")
+        self.factory = factory
+        self.workers = workers
+        self.timeout = timeout
+        self.pacing = pacing
+        self.fail_fast = fail_fast
+        self.rerun_failures = rerun_failures
+        self.slice_virtual = slice_virtual
+
+    def _executor(self) -> RecipeExecutor:
+        return RecipeExecutor(
+            self.factory,
+            timeout=self.timeout,
+            pacing=self.pacing,
+            slice_virtual=self.slice_virtual,
+        )
+
+    def run(self, plan: CampaignPlan) -> CampaignResult:
+        """Execute the whole plan; returns outcomes in plan order."""
+        started = time.perf_counter()
+        executed = self._run_fleet(
+            [(entry, None) for entry in plan.entries], fail_fast=self.fail_fast
+        )
+
+        outcomes: list[RecipeOutcome] = []
+        for position, entry in enumerate(plan.entries):
+            outcome = executed.get(position)
+            if outcome is None:
+                outcome = RecipeOutcome(
+                    index=entry.index,
+                    name=entry.name,
+                    pattern=entry.pattern,
+                    service=entry.service,
+                    seed=entry.seed,
+                    status="skipped",
+                )
+            outcome.attempts = [outcome.status]
+            outcomes.append(outcome)
+
+        if self.rerun_failures > 0:
+            self._detect_flakes(plan, outcomes)
+
+        return CampaignResult(
+            name=plan.name,
+            app=plan.app,
+            seed=plan.seed,
+            workers=self.workers,
+            outcomes=outcomes,
+            wall_time=time.perf_counter() - started,
+            rerun_failures=self.rerun_failures,
+        )
+
+    # -- fleet mechanics ---------------------------------------------------------
+
+    def _run_fleet(
+        self,
+        jobs: _t.Sequence[tuple[PlannedRecipe, _t.Optional[int]]],
+        fail_fast: bool = False,
+    ) -> dict[int, RecipeOutcome]:
+        """Drain ``(entry, seed_override)`` jobs through the worker
+        fleet; returns outcomes keyed by job *position* (not plan
+        index — flake reruns submit the same entry several times)."""
+        queue: collections.deque = collections.deque(enumerate(jobs))
+        lock = threading.Lock()
+        stop = threading.Event()
+        results: dict[int, RecipeOutcome] = {}
+
+        def worker(worker_id: int) -> None:
+            executor = self._executor()
+            while True:
+                with lock:
+                    if stop.is_set() or not queue:
+                        return
+                    key, (entry, seed) = queue.popleft()
+                outcome = executor.execute(entry, seed=seed)
+                outcome.worker = worker_id
+                with lock:
+                    results[key] = outcome
+                if fail_fast and outcome.conclusive_failure:
+                    stop.set()
+
+        fleet_size = max(1, min(self.workers, len(jobs)))
+        if fleet_size == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=worker, args=(i,), name=f"campaign-worker-{i}", daemon=True
+                )
+                for i in range(fleet_size)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return results
+
+    def _detect_flakes(
+        self, plan: CampaignPlan, outcomes: list[RecipeOutcome]
+    ) -> None:
+        """Re-run every ``fail`` outcome ``rerun_failures`` times with
+        perturbed seeds and classify it broken vs flaky in place."""
+        entries = {entry.index: entry for entry in plan.entries}
+        failed = [outcome for outcome in outcomes if outcome.status == "fail"]
+        if not failed:
+            return
+        jobs: list[tuple[PlannedRecipe, _t.Optional[int]]] = []
+        owners: list[RecipeOutcome] = []
+        for outcome in failed:
+            entry = entries[outcome.index]
+            for attempt in range(1, self.rerun_failures + 1):
+                jobs.append((entry, derive_seed(plan.seed, entry.name, attempt)))
+                owners.append(outcome)
+        rerun = self._run_fleet(jobs)
+        for position, owner in enumerate(owners):
+            attempt_outcome = rerun.get(position)
+            owner.attempts.append(
+                attempt_outcome.status if attempt_outcome is not None else "skipped"
+            )
+        for outcome in failed:
+            reruns = outcome.attempts[1:]
+            outcome.classification = (
+                "flaky" if any(status == "pass" for status in reruns) else "broken"
+            )

@@ -1,0 +1,186 @@
+"""Resilience scorecards: campaign outcomes folded per service/pattern.
+
+A campaign answers 40 small questions ("does the webapp bound its
+retries against the database?"); the scorecard folds them into the one
+table an operator actually reads: for each service, which resiliency
+patterns held under fault and which did not.  Rendering goes through
+:func:`repro.analysis.report.text_table` so campaign reports look like
+every other report in the repo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.analysis.report import text_table
+from repro.campaign.plan import PATTERN_RANK
+from repro.campaign.results import RecipeOutcome
+
+__all__ = ["PatternScore", "Scorecard"]
+
+
+@dataclasses.dataclass
+class PatternScore:
+    """Tally of one (service, pattern) cell."""
+
+    total: int = 0
+    passed: int = 0
+    failed: int = 0
+    inconclusive: int = 0
+    flaky: int = 0
+    broken: int = 0
+    #: timeout / error / skipped outcomes — executions, not verdicts.
+    unscored: int = 0
+
+    def add(self, outcome: RecipeOutcome) -> None:
+        self.total += 1
+        if outcome.status == "pass":
+            self.passed += 1
+        elif outcome.status == "fail":
+            self.failed += 1
+            if outcome.classification == "flaky":
+                self.flaky += 1
+            elif outcome.classification == "broken":
+                self.broken += 1
+        elif outcome.status == "inconclusive":
+            self.inconclusive += 1
+        else:
+            self.unscored += 1
+
+    def merge(self, other: "PatternScore") -> None:
+        for field in dataclasses.fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    @property
+    def conclusive(self) -> int:
+        """Executions that produced a verdict either way."""
+        return self.passed + self.failed
+
+    def cell(self) -> str:
+        """Compact table cell: ``passed/total`` plus markers —
+        ``~`` flaky, ``!`` broken, ``?`` inconclusive present."""
+        if self.total == 0:
+            return "-"
+        marks = ""
+        if self.flaky:
+            marks += "~"
+        if self.broken:
+            marks += "!"
+        if self.inconclusive:
+            marks += "?"
+        return f"{self.passed}/{self.total}{marks}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Scorecard:
+    """Per-service / per-pattern aggregation of campaign outcomes."""
+
+    def __init__(self) -> None:
+        self.cells: dict[tuple[str, str], PatternScore] = {}
+
+    @classmethod
+    def from_outcomes(cls, outcomes: _t.Iterable[RecipeOutcome]) -> "Scorecard":
+        card = cls()
+        for outcome in outcomes:
+            card.add(outcome)
+        return card
+
+    def add(self, outcome: RecipeOutcome) -> None:
+        key = (outcome.service, outcome.pattern)
+        score = self.cells.get(key)
+        if score is None:
+            score = self.cells[key] = PatternScore()
+        score.add(outcome)
+
+    @property
+    def services(self) -> list[str]:
+        """All scored services, sorted."""
+        return sorted({service for service, _ in self.cells})
+
+    @property
+    def patterns(self) -> list[str]:
+        """All scored patterns, hard failures first."""
+        return sorted(
+            {pattern for _, pattern in self.cells},
+            key=lambda p: (PATTERN_RANK.get(p, 99), p),
+        )
+
+    def service_score(self, service: str) -> PatternScore:
+        """All of one service's cells merged."""
+        merged = PatternScore()
+        for (svc, _), score in self.cells.items():
+            if svc == service:
+                merged.merge(score)
+        return merged
+
+    def pattern_score(self, pattern: str) -> PatternScore:
+        """All of one pattern's cells merged."""
+        merged = PatternScore()
+        for (_, pat), score in self.cells.items():
+            if pat == pattern:
+                merged.merge(score)
+        return merged
+
+    def totals(self) -> PatternScore:
+        """Everything merged — the campaign's headline numbers."""
+        merged = PatternScore()
+        for score in self.cells.values():
+            merged.merge(score)
+        return merged
+
+    def text(self, title: _t.Optional[str] = "resilience scorecard") -> str:
+        """Render as an aligned table (one row per service).
+
+        Cell legend: ``passed/total``, ``~`` flaky, ``!`` broken,
+        ``?`` inconclusive, ``-`` pattern not tested on that service.
+        """
+        patterns = self.patterns
+        empty = PatternScore()
+        rows = []
+        for service in self.services:
+            row: list[str] = [service]
+            for pattern in patterns:
+                row.append(self.cells.get((service, pattern), empty).cell())
+            merged = self.service_score(service)
+            row.append(
+                f"{merged.passed}/{merged.conclusive}"
+                if merged.conclusive
+                else "-"
+            )
+            rows.append(row)
+        total_row: list[str] = ["TOTAL"]
+        for pattern in patterns:
+            total_row.append(self.pattern_score(pattern).cell())
+        totals = self.totals()
+        total_row.append(
+            f"{totals.passed}/{totals.conclusive}" if totals.conclusive else "-"
+        )
+        rows.append(total_row)
+        return text_table(["service"] + patterns + ["score"], rows, title=title)
+
+    def to_dict(self) -> dict:
+        return {
+            "services": {
+                service: {
+                    pattern: self.cells[(service, pattern)].to_dict()
+                    for pattern in self.patterns
+                    if (service, pattern) in self.cells
+                }
+                for service in self.services
+            },
+            "totals": self.totals().to_dict(),
+        }
+
+    def __repr__(self) -> str:
+        totals = self.totals()
+        return (
+            f"<Scorecard services={len(self.services)}"
+            f" recipes={totals.total} passed={totals.passed}>"
+        )

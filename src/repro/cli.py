@@ -9,12 +9,24 @@ paper's operators interacted with Gremlin from scripts:
   for an app's graph and print them;
 * ``python -m repro test <app> --scenario overload --target <svc>`` —
   deploy the app, stage a scenario, drive load, and report every
-  pattern check Gremlin can evaluate on the faulted edges.
+  pattern check Gremlin can evaluate on the faulted edges;
+* ``python -m repro campaign run <app>`` — plan and execute a whole
+  auto-generated campaign across parallel workers, print the
+  resilience scorecard, optionally dump the result as JSON-lines;
+* ``python -m repro campaign smoke <app>`` — capped, fast campaign
+  proving the fleet wiring end to end;
+* ``python -m repro campaign diff <a> <b>`` — regression detection
+  between two dumped campaign results.
+
+``repro recipes``/``repro test``/``campaign`` accept ``--json`` for
+machine-readable output, so campaign tooling and scripts can consume
+them without parsing tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import typing as _t
 
@@ -28,9 +40,17 @@ from repro.apps import (
     build_twotier,
     build_wordpress_app,
 )
+from repro.campaign import (
+    CampaignRunner,
+    diff_campaigns,
+    dump_jsonl,
+    load_jsonl,
+    plan_campaign,
+)
 from repro.core import (
     Crash,
     Degrade,
+    EdgeAnnotation,
     Gremlin,
     Hang,
     HasBoundedRetries,
@@ -38,6 +58,7 @@ from repro.core import (
     Overload,
     generate_recipes,
 )
+from repro.errors import CampaignError
 from repro.loadgen import ClosedLoopLoad
 from repro.microservice import Application
 
@@ -91,6 +112,24 @@ def cmd_graph(args: argparse.Namespace) -> int:
 def cmd_recipes(args: argparse.Namespace) -> int:
     graph = _build(args.app).logical_graph()
     recipes = generate_recipes(graph)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "app": args.app,
+                    "recipes": [
+                        {
+                            "name": recipe.name,
+                            "scenarios": [s.describe() for s in recipe.scenarios],
+                            "checks": [check.name for check in recipe.checks],
+                        }
+                        for recipe in recipes
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"{len(recipes)} auto-generated recipes for {args.app!r}:")
     for recipe in recipes:
         scenario_text = ", ".join(scenario.describe() for scenario in recipe.scenarios)
@@ -111,23 +150,138 @@ def cmd_test(args: argparse.Namespace) -> int:
     gremlin = Gremlin(deployment)
 
     scenario = _SCENARIOS[args.scenario](args.target)
-    print(f"staging {scenario.describe()} on {args.app!r}; load via {entry!r}")
+    if not args.json:
+        print(f"staging {scenario.describe()} on {args.app!r}; load via {entry!r}")
     gremlin.inject(scenario)
     ClosedLoopLoad(num_requests=args.requests, think_time=args.think).run(source)
 
     failed = 0
+    results = []
     for caller in graph.dependents(args.target):
         for check in (
             HasTimeouts(caller, "1s"),
             HasBoundedRetries(caller, args.target, max_tries=5, window="10s"),
         ):
             result = check.run(deployment.store)
-            print(f"  {result}")
+            results.append(result)
+            if not args.json:
+                print(f"  {result}")
             if not result.passed and not result.inconclusive:
                 failed += 1
     gremlin.clear()
-    print("verdict:", "ISSUES FOUND" if failed else "no conclusive failures")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "app": args.app,
+                    "target": args.target,
+                    "scenario": scenario.describe(),
+                    "entry": entry,
+                    "checks": [
+                        {
+                            "name": result.name,
+                            "passed": result.passed,
+                            "inconclusive": result.inconclusive,
+                            "detail": result.detail,
+                        }
+                        for result in results
+                    ],
+                    "issues_found": bool(failed),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print("verdict:", "ISSUES FOUND" if failed else "no conclusive failures")
     return 1 if failed else 0
+
+
+# -- campaign subcommands ------------------------------------------------------
+
+
+def _plan_from_args(args: argparse.Namespace):
+    factory = APPS[args.app] if args.app in APPS else None
+    if factory is None:
+        raise SystemExit(f"unknown app {args.app!r}; available: {', '.join(APPS)}")
+    annotations = None
+    if getattr(args, "criticality_high", False):
+        services = factory().logical_graph().services()
+        annotations = {s: EdgeAnnotation(criticality="high") for s in services}
+    try:
+        plan = plan_campaign(
+            factory,
+            seed=args.seed,
+            annotations=annotations,
+            entry=args.entry,
+            requests=args.requests,
+            think_time=args.think,
+            max_recipes=args.max_recipes,
+        )
+    except CampaignError as exc:
+        raise SystemExit(str(exc)) from None
+    return factory, plan
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    factory, plan = _plan_from_args(args)
+    runner = CampaignRunner(
+        factory,
+        workers=args.workers,
+        timeout=args.timeout,
+        pacing=args.pacing,
+        fail_fast=args.fail_fast,
+        rerun_failures=args.rerun,
+    )
+    if not args.json:
+        print(plan.summary())
+    result = runner.run(plan)
+    if args.out:
+        dump_jsonl(result, args.out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.scorecard().text())
+        for outcome in result.flaky:
+            print(f"  FLAKY  {outcome.name}: attempts {outcome.attempts}")
+        for outcome in result.broken:
+            print(f"  BROKEN {outcome.name}: attempts {outcome.attempts}")
+        print(result.summary())
+        if args.out:
+            print(f"result written to {args.out}")
+    return 0 if result.passed else 1
+
+
+def cmd_campaign_smoke(args: argparse.Namespace) -> int:
+    """Capped fast campaign proving the fleet wiring end to end."""
+    factory, plan = _plan_from_args(args)
+    runner = CampaignRunner(
+        factory, workers=args.workers, timeout=args.timeout, rerun_failures=1
+    )
+    result = runner.run(plan)
+    broken_wiring = [
+        outcome for outcome in result.outcomes if outcome.status in ("error", "timeout")
+    ]
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for outcome in result.outcomes:
+            print(f"  [{outcome.status.upper():^12}] {outcome.name}")
+        print(result.summary())
+    return 1 if broken_wiring else 0
+
+
+def cmd_campaign_diff(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_jsonl(args.baseline)
+        candidate = load_jsonl(args.candidate)
+    except (OSError, CampaignError) as exc:
+        raise SystemExit(str(exc)) from None
+    diff = diff_campaigns(baseline, candidate)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.text())
+    return 1 if diff.has_regressions else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     recipes_parser = sub.add_parser("recipes", help="auto-generate recipes for an app")
     recipes_parser.add_argument("app")
+    recipes_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     recipes_parser.set_defaults(func=cmd_recipes)
 
     test_parser = sub.add_parser("test", help="stage a scenario and run pattern checks")
@@ -155,7 +312,71 @@ def build_parser() -> argparse.ArgumentParser:
     test_parser.add_argument("--requests", type=int, default=20)
     test_parser.add_argument("--think", type=float, default=0.05)
     test_parser.add_argument("--seed", type=int, default=0)
+    test_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     test_parser.set_defaults(func=cmd_test)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="plan and run whole auto-generated test campaigns"
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    def add_plan_args(p: argparse.ArgumentParser, max_recipes: _t.Optional[int]) -> None:
+        p.add_argument("app")
+        p.add_argument("--seed", type=int, default=0, help="campaign master seed")
+        p.add_argument("--entry", default=None, help="service to inject load into")
+        p.add_argument("--requests", type=int, default=20, help="test requests per recipe")
+        p.add_argument("--think", type=float, default=0.05)
+        p.add_argument(
+            "--max-recipes", type=int, default=max_recipes, help="cap the plan size"
+        )
+        p.add_argument(
+            "--criticality-high",
+            action="store_true",
+            help="treat every service as high criticality (adds crash/breaker recipes)",
+        )
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    run_parser = campaign_sub.add_parser(
+        "run", help="execute a full campaign and print the scorecard"
+    )
+    add_plan_args(run_parser, max_recipes=None)
+    run_parser.add_argument("--workers", type=int, default=4, help="parallel fleet size")
+    run_parser.add_argument(
+        "--timeout", type=float, default=60.0, help="per-recipe wall-clock budget (s)"
+    )
+    run_parser.add_argument(
+        "--pacing",
+        type=float,
+        default=0.0,
+        help="minimum wall-clock seconds each recipe occupies its worker",
+    )
+    run_parser.add_argument(
+        "--rerun",
+        type=int,
+        default=2,
+        help="reseeded reruns per failed recipe (flake detection; 0 disables)",
+    )
+    run_parser.add_argument("--fail-fast", action="store_true")
+    run_parser.add_argument("--out", default=None, help="dump result JSON-lines here")
+    run_parser.set_defaults(func=cmd_campaign_run)
+
+    smoke_parser = campaign_sub.add_parser(
+        "smoke", help="capped fast campaign proving the fleet wiring"
+    )
+    add_plan_args(smoke_parser, max_recipes=6)
+    smoke_parser.add_argument("--workers", type=int, default=2)
+    smoke_parser.add_argument("--timeout", type=float, default=30.0)
+    smoke_parser.set_defaults(func=cmd_campaign_smoke, requests=5)
+
+    diff_parser = campaign_sub.add_parser(
+        "diff", help="compare two dumped campaign results"
+    )
+    diff_parser.add_argument("baseline", help="JSON-lines dump of the baseline run")
+    diff_parser.add_argument("candidate", help="JSON-lines dump of the candidate run")
+    diff_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    diff_parser.set_defaults(func=cmd_campaign_diff)
     return parser
 
 

@@ -20,6 +20,7 @@ directly.
 from __future__ import annotations
 
 import dataclasses
+import random as _random
 import typing as _t
 
 from repro.microservice.app import Deployment
@@ -48,6 +49,12 @@ class ChaosMonkey:
         Mean virtual seconds between kills (exponentially distributed).
     outage_duration:
         How long a killed service stays down before it is restarted.
+    seed:
+        Explicit RNG seed for the monkey's own draws.  When given, the
+        kill schedule depends only on this seed (identical across
+        deployments with different simulator seeds); when omitted, the
+        monkey draws from the deployment's named ``rng_stream`` as
+        before, so existing behaviour is unchanged.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class ChaosMonkey:
         mean_interval: float = 5.0,
         outage_duration: float = 2.0,
         rng_stream: str = "chaosmonkey",
+        seed: _t.Optional[int] = None,
     ) -> None:
         if mean_interval <= 0:
             raise ValueError(f"mean_interval must be > 0, got {mean_interval}")
@@ -70,7 +78,9 @@ class ChaosMonkey:
             raise ValueError("no candidate services to terminate")
         self.mean_interval = mean_interval
         self.outage_duration = outage_duration
-        self._rng = deployment.sim.rng(rng_stream)
+        self._rng = (
+            _random.Random(seed) if seed is not None else deployment.sim.rng(rng_stream)
+        )
         #: Every kill performed, in order.
         self.events: list[ChaosEvent] = []
         self._running = False

@@ -118,3 +118,14 @@ class OrchestrationError(GremlinError):
 class AssertionQueryError(GremlinError):
     """An assertion-checker query was malformed (unknown field, bad
     time window, ...)."""
+
+
+class CampaignError(GremlinError):
+    """A test campaign could not be planned, executed, loaded or
+    diffed (duplicate recipe names, unknown entry service, corrupt
+    campaign dump, mismatched diff inputs, ...)."""
+
+
+class CampaignTimeoutError(CampaignError):
+    """One recipe of a campaign exceeded its wall-clock budget; the
+    runner records the recipe as ``timeout`` and moves on."""

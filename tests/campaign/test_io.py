@@ -1,0 +1,117 @@
+"""Tests for campaign JSON-lines export/import."""
+
+import pytest
+
+from repro.campaign import CampaignResult, CheckOutcome, RecipeOutcome, dumps, loads
+from repro.campaign.io import dump_jsonl, load_jsonl
+from repro.errors import CampaignError
+
+
+def sample_result():
+    return CampaignResult(
+        name="nightly",
+        app="wordpress",
+        seed=42,
+        workers=4,
+        wall_time=12.5,
+        rerun_failures=2,
+        outcomes=[
+            RecipeOutcome(
+                index=0,
+                name="auto/overload-mysql",
+                pattern="overload",
+                service="mysql",
+                seed=101,
+                status="pass",
+                checks=[
+                    CheckOutcome(
+                        name="HasBoundedRetries", passed=True, inconclusive=False, detail="ok"
+                    )
+                ],
+                orchestration_time=0.001,
+                assertion_time=0.002,
+                wall_time=0.3,
+                window=(0.0, 8.25),
+                latencies=[0.05, 0.07, 0.06],
+                attempts=["pass"],
+                worker=2,
+            ),
+            RecipeOutcome(
+                index=1,
+                name="auto/hang-mysql",
+                pattern="hang",
+                service="mysql",
+                seed=102,
+                status="fail",
+                error=None,
+                attempts=["fail", "pass"],
+                classification="flaky",
+                worker=0,
+            ),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_loads_inverts_dumps(self):
+        original = sample_result()
+        restored = loads(dumps(original))
+        assert restored == original
+
+    def test_dump_is_stable(self):
+        text = dumps(sample_result())
+        assert dumps(loads(text)) == text
+
+    def test_header_carries_aggregate_fields(self):
+        restored = loads(dumps(sample_result()))
+        assert (restored.name, restored.app, restored.seed) == ("nightly", "wordpress", 42)
+        assert restored.workers == 4
+        assert restored.rerun_failures == 2
+        assert restored.wall_time == pytest.approx(12.5)
+
+    def test_derived_views_survive(self):
+        restored = loads(dumps(sample_result()))
+        assert restored.counts()["fail"] == 1
+        assert [o.name for o in restored.flaky] == ["auto/hang-mysql"]
+        assert restored.outcome("auto/overload-mysql").window == (0.0, 8.25)
+
+    def test_blank_lines_skipped(self):
+        assert loads(dumps(sample_result()) + "\n\n") == sample_result()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        written = dump_jsonl(sample_result(), path)
+        assert written == 2
+        assert load_jsonl(path) == sample_result()
+
+
+class TestMalformedInput:
+    def test_bad_json_names_line(self):
+        text = dumps(sample_result()) + "\n{broken"
+        with pytest.raises(CampaignError, match="line 4"):
+            loads(text)
+
+    def test_non_object_line(self):
+        with pytest.raises(CampaignError, match="expected an object"):
+            loads('[1, 2, 3]')
+
+    def test_first_record_must_be_header(self):
+        lines = dumps(sample_result()).splitlines()
+        with pytest.raises(CampaignError, match="first record must be the campaign header"):
+            loads("\n".join(lines[1:]))
+
+    def test_unknown_record_kind(self):
+        text = dumps(sample_result()) + '\n{"record": "mystery"}'
+        with pytest.raises(CampaignError, match="unknown record kind 'mystery'"):
+            loads(text)
+
+    def test_bad_outcome_fields(self):
+        text = dumps(sample_result()) + '\n{"record": "outcome", "nope": true}'
+        with pytest.raises(CampaignError, match="line 4"):
+            loads(text)
+
+    def test_empty_dump(self):
+        with pytest.raises(CampaignError, match="no header record"):
+            loads("")
+        with pytest.raises(CampaignError, match="no header record"):
+            loads("\n\n")

@@ -1,0 +1,95 @@
+"""Tests for the per-service/per-pattern resilience scorecard."""
+
+from repro.campaign import RecipeOutcome, Scorecard
+from repro.campaign.scorecard import PatternScore
+
+
+def outcome(name, pattern, service, status, classification=None):
+    return RecipeOutcome(
+        index=0,
+        name=name,
+        pattern=pattern,
+        service=service,
+        seed=0,
+        status=status,
+        classification=classification,
+    )
+
+
+def sample_outcomes():
+    return [
+        outcome("a", "overload", "db", "pass"),
+        outcome("b", "overload", "db", "fail", classification="broken"),
+        outcome("c", "hang", "db", "pass"),
+        outcome("d", "overload", "cache", "fail", classification="flaky"),
+        outcome("e", "hang", "cache", "inconclusive"),
+        outcome("f", "crash", "db", "timeout"),
+    ]
+
+
+class TestPatternScore:
+    def test_tally(self):
+        score = PatternScore()
+        for sample in sample_outcomes():
+            score.add(sample)
+        assert score.total == 6
+        assert score.passed == 2
+        assert score.failed == 2
+        assert score.inconclusive == 1
+        assert score.unscored == 1
+        assert score.flaky == 1
+        assert score.broken == 1
+        assert score.conclusive == 4
+
+    def test_cell_markers(self):
+        assert PatternScore().cell() == "-"
+        assert PatternScore(total=2, passed=2).cell() == "2/2"
+        assert PatternScore(total=2, passed=1, failed=1, flaky=1).cell() == "1/2~"
+        assert PatternScore(total=2, passed=1, failed=1, broken=1).cell() == "1/2!"
+        assert PatternScore(total=3, passed=1, inconclusive=2).cell() == "1/3?"
+
+    def test_merge(self):
+        left = PatternScore(total=1, passed=1)
+        left.merge(PatternScore(total=2, failed=2, broken=1))
+        assert (left.total, left.passed, left.failed, left.broken) == (3, 1, 2, 1)
+
+
+class TestScorecard:
+    def test_cells_keyed_by_service_and_pattern(self):
+        card = Scorecard.from_outcomes(sample_outcomes())
+        assert card.cells[("db", "overload")].total == 2
+        assert card.cells[("db", "overload")].passed == 1
+        assert card.cells[("cache", "hang")].inconclusive == 1
+
+    def test_axis_ordering(self):
+        card = Scorecard.from_outcomes(sample_outcomes())
+        assert card.services == ["cache", "db"]
+        # Hard-failure patterns come first.
+        assert card.patterns == ["crash", "overload", "hang"]
+
+    def test_aggregations(self):
+        card = Scorecard.from_outcomes(sample_outcomes())
+        assert card.service_score("db").total == 4
+        assert card.pattern_score("overload").failed == 2
+        totals = card.totals()
+        assert (totals.total, totals.passed) == (6, 2)
+
+    def test_text_table(self):
+        text = Scorecard.from_outcomes(sample_outcomes()).text()
+        lines = text.splitlines()
+        assert any("service" in line and "score" in line for line in lines)
+        db_row = next(line for line in lines if line.strip().startswith("db"))
+        assert "1/2!" in db_row  # broken overload marker
+        total_row = next(line for line in lines if "TOTAL" in line)
+        assert "2/4" in total_row  # passed/conclusive campaign headline
+        # cache never saw a crash recipe.
+        cache_row = next(line for line in lines if line.strip().startswith("cache"))
+        assert "-" in cache_row
+
+    def test_empty_scorecard_renders(self):
+        assert "service" in Scorecard().text()
+
+    def test_to_dict(self):
+        doc = Scorecard.from_outcomes(sample_outcomes()).to_dict()
+        assert doc["services"]["db"]["overload"]["broken"] == 1
+        assert doc["totals"]["total"] == 6

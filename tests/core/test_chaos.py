@@ -61,6 +61,36 @@ class TestKills:
             monkey.unleash(duration=5.0)
         deployment.sim.run()
 
+    def test_explicit_seed_determinism_regression(self):
+        """Same monkey seed => identical ChaosEvent sequence.
+
+        The kill schedule is the monkey's own draws only, so it must
+        reproduce exactly even across deployments with *different*
+        simulator seeds.
+        """
+
+        def kills(monkey_seed, sim_seed):
+            deployment = build_enterprise_app().deploy(seed=sim_seed)
+            monkey = ChaosMonkey(
+                deployment, mean_interval=2.0, outage_duration=0.5, seed=monkey_seed
+            )
+            monkey.unleash(duration=40.0)
+            deployment.sim.run()
+            return monkey.events
+
+        assert kills(11, sim_seed=1) == kills(11, sim_seed=2)
+        assert kills(11, sim_seed=1) != kills(12, sim_seed=1)
+
+    def test_explicit_seed_does_not_draw_from_sim_stream(self):
+        deployment = build_twotier().deploy(seed=130)
+        stream = deployment.sim.rng("chaosmonkey")
+        before = stream.getstate()
+        monkey = ChaosMonkey(deployment, candidates=["ServiceB"], seed=99)
+        monkey.unleash(duration=10.0)
+        deployment.sim.run()
+        assert monkey.events
+        assert stream.getstate() == before
+
     def test_deterministic_given_seed(self):
         def kills(seed):
             deployment = build_enterprise_app().deploy(seed=seed)

@@ -1,9 +1,11 @@
 """Tests for JSON-lines export/import of observation logs."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import AssertionQueryError
-from repro.logstore import EventStore, Query, dump_jsonl, dumps, load_jsonl, loads
+from repro.logstore import EventStore, ObservationRecord, Query, dump_jsonl, dumps, load_jsonl, loads
 
 from tests.logstore.test_record import make_record
 
@@ -52,6 +54,85 @@ class TestTextRoundTrip:
         assert restored.count(Query(status=503)) == 1
         reply = restored.search(Query(kind="reply"))[0]
         assert reply.actual_latency == pytest.approx(0.1)
+
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=12,
+)
+_timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+_records = st.builds(
+    ObservationRecord,
+    timestamp=_timestamps,
+    kind=st.sampled_from(["request", "reply"]),
+    src=_names,
+    dst=_names,
+    src_instance=_names,
+    request_id=st.one_of(st.none(), _names),
+    method=st.one_of(st.none(), st.sampled_from(["GET", "POST"])),
+    uri=st.one_of(st.none(), st.sampled_from(["/", "/search", "/x?q=1"])),
+    status=st.one_of(st.none(), st.integers(min_value=100, max_value=599)),
+    latency=st.one_of(st.none(), _timestamps),
+    injected_delay=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    fault_applied=st.one_of(st.none(), st.sampled_from(["abort(503)", "delay(3.0)", "modify"])),
+    gremlin_generated=st.booleans(),
+    error=st.one_of(st.none(), st.sampled_from(["reset", "timeout", "refused", "unreachable"])),
+)
+
+
+class TestRoundTripProperty:
+    """Hypothesis: dump -> load reproduces the store byte-identically."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(records=st.lists(_records, max_size=20), statuses=st.data())
+    def test_dump_load_byte_identical(self, records, statuses):
+        store = EventStore()
+        for record in records:
+            store.append(record)
+        # Mutate some records after ingestion, the way agents update
+        # outcomes in place — exports must reflect the mutated state.
+        for index, record in enumerate(records):
+            if statuses.draw(st.booleans(), label=f"mutate-{index}"):
+                record.status = statuses.draw(
+                    st.one_of(st.none(), st.integers(min_value=100, max_value=599)),
+                    label=f"status-{index}",
+                )
+                record.fault_applied = statuses.draw(
+                    st.one_of(st.none(), st.just("abort(503)")),
+                    label=f"fault-{index}",
+                )
+        text = dumps(store)
+        restored = loads(text)
+        assert restored.all_records() == store.all_records()
+        # Byte-identical: re-dumping the restored store reproduces the text.
+        assert dumps(restored) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(records=st.lists(_records, max_size=10))
+    def test_queries_agree_after_round_trip(self, records):
+        store = EventStore()
+        for record in records:
+            store.append(record)
+        restored = loads(dumps(store))
+        for query in (Query(kind="request"), Query(status=503), Query(kind="reply")):
+            assert restored.count(query) == store.count(query)
+
+
+class TestMalformedLines:
+    def test_error_names_line_number_and_payload(self):
+        good = dumps(populated_store())
+        with pytest.raises(AssertionQueryError) as excinfo:
+            loads(good + "\n{broken json\n")
+        message = str(excinfo.value)
+        assert "malformed observation log at line 3" in message
+        # The underlying JSON decoder's complaint is preserved.
+        assert "Expecting" in message
+
+    def test_unknown_field_error_is_loud(self):
+        with pytest.raises(AssertionQueryError, match="line 1"):
+            loads('{"timestamp": 1.0, "kind": "request", "nope": 1}')
 
 
 class TestFileRoundTrip:

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.campaign import load_jsonl
 from repro.cli import APPS, main
 
 
@@ -30,6 +33,15 @@ class TestRecipes:
         assert main(["recipes", "enterprise"]) == 0
         out = capsys.readouterr().out
         assert "auto/overload-servicedb" in out
+
+    def test_json_output(self, capsys):
+        assert main(["recipes", "enterprise", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["app"] == "enterprise"
+        names = [recipe["name"] for recipe in doc["recipes"]]
+        assert "auto/overload-servicedb" in names
+        sample = doc["recipes"][0]
+        assert sample["scenarios"] and sample["checks"]
 
 
 class TestTest:
@@ -66,3 +78,136 @@ class TestTest:
     def test_unknown_target_exits(self):
         with pytest.raises(SystemExit, match="unknown target"):
             main(["test", "twotier", "--target", "ghost"])
+
+    def test_json_output_keeps_exit_semantics(self, capsys):
+        code = main(
+            [
+                "test",
+                "twotier",
+                "--target",
+                "ServiceB",
+                "--scenario",
+                "degrade",
+                "--json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["issues_found"] is True
+        assert any(
+            check["name"].startswith("HasTimeouts(ServiceA")
+            and not check["passed"]
+            and not check["inconclusive"]
+            for check in doc["checks"]
+        )
+
+    def test_json_output_healthy_edge(self, capsys):
+        code = main(
+            [
+                "test",
+                "twotier",
+                "--target",
+                "ServiceB",
+                "--scenario",
+                "overload",
+                "--json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["issues_found"] is False
+
+
+class TestCampaignSmoke:
+    def test_smoke_exercises_the_fleet(self, capsys):
+        code = main(["campaign", "smoke", "wordpress", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        # One status line per capped recipe plus the summary.
+        assert out.count("] auto/") == 6
+        assert "recipes" in out.splitlines()[-1]
+
+    def test_smoke_json(self, capsys):
+        code = main(["campaign", "smoke", "twotier", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["app"] == "twotier"
+        assert len(doc["outcomes"]) == 2
+        assert all(o["status"] not in ("error", "timeout") for o in doc["outcomes"])
+
+
+class TestCampaignRun:
+    def test_run_prints_scorecard_and_dumps(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "campaign",
+                "run",
+                "twotier",
+                "--requests",
+                "5",
+                "--workers",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "resilience scorecard" in out
+        assert "TOTAL" in out
+        result = load_jsonl(out_path)
+        assert len(result.outcomes) == 2
+        assert code == (0 if result.passed else 1)
+
+    def test_run_json(self, capsys):
+        main(
+            [
+                "campaign",
+                "run",
+                "twotier",
+                "--requests",
+                "5",
+                "--max-recipes",
+                "1",
+                "--json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["skipped"] == 0
+        assert len(doc["outcomes"]) == 1
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["campaign", "run", "nope"])
+
+
+class TestCampaignDiff:
+    def dump(self, tmp_path, name, seed):
+        path = tmp_path / f"{name}.jsonl"
+        main(
+            [
+                "campaign",
+                "run",
+                "twotier",
+                "--requests",
+                "5",
+                "--seed",
+                str(seed),
+                "--out",
+                str(path),
+            ]
+        )
+        return path
+
+    def test_self_diff_is_clean(self, capsys, tmp_path):
+        baseline = self.dump(tmp_path, "baseline", seed=0)
+        candidate = self.dump(tmp_path, "candidate", seed=0)
+        capsys.readouterr()
+        code = main(["campaign", "diff", str(baseline), str(candidate)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "regressions: 0" in out
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b")])
