@@ -17,6 +17,7 @@ import pytest
 
 BENCH_LOGSTORE_PATH = pathlib.Path(__file__).parent / "BENCH_logstore.json"
 BENCH_CAMPAIGN_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
+BENCH_TRACING_PATH = pathlib.Path(__file__).parent / "BENCH_tracing.json"
 
 
 class ExperimentReport:
@@ -41,6 +42,11 @@ _BENCH_LOGSTORE: dict = {}
 # speedup).  Populated by the campaign benchmark; flushed to
 # BENCH_campaign.json at session end.
 _BENCH_CAMPAIGN: dict = {}
+
+# Machine-readable tracing-overhead numbers (campaign wall clock with
+# span tracing on vs off).  Populated by the tracing benchmark; flushed
+# to BENCH_tracing.json at session end.
+_BENCH_TRACING: dict = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -70,6 +76,12 @@ def bench_campaign() -> dict:
     return _BENCH_CAMPAIGN
 
 
+@pytest.fixture(scope="session")
+def bench_tracing() -> dict:
+    """Mutable dict the tracing benchmark records its numbers into."""
+    return _BENCH_TRACING
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _BENCH_LOGSTORE:
         payload = dict(_BENCH_LOGSTORE)
@@ -83,6 +95,12 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_CAMPAIGN_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+    if _BENCH_TRACING:
+        payload = dict(_BENCH_TRACING)
+        payload.setdefault("source", "benchmarks/test_bench_tracing.py")
+        BENCH_TRACING_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -90,6 +108,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"log-store numbers written to {BENCH_LOGSTORE_PATH}")
     if _BENCH_CAMPAIGN:
         terminalreporter.write_line(f"campaign numbers written to {BENCH_CAMPAIGN_PATH}")
+    if _BENCH_TRACING:
+        terminalreporter.write_line(f"tracing numbers written to {BENCH_TRACING_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

@@ -1,0 +1,93 @@
+"""Span tracing overhead on the tree-app campaign.
+
+Observability that costs more than the signal it yields gets turned
+off; the design target for the span/metrics hooks is <10% wall-clock
+overhead on a full campaign.  The hooks were built for that budget —
+span IDs are a counter bump + one header write per proxied call, and
+metric handles are cached per destination on the agent so the hot path
+never takes the registry lock.
+
+This benchmark pins the budget: the 42-recipe depth-3 tree campaign
+runs unpaced and serial (pure CPU, the regime where per-message
+overhead is most visible) with tracing on and off, best-of-N each.
+Metrics stay enabled in both runs — the toggle under test is span
+minting/propagation, which is what ``Application.default_tracing``
+controls and what campaign users would consider switching off.
+
+Numbers land in ``BENCH_tracing.json`` via the session-finish hook in
+``conftest.py``.
+"""
+
+import os
+import time
+
+from repro.apps import build_tree_app
+from repro.campaign import CampaignRunner, plan_campaign
+
+REQUESTS = 10
+REPEATS = 3
+MAX_OVERHEAD = 0.10
+
+
+def traced_tree3():
+    return build_tree_app(3)
+
+
+def untraced_tree3():
+    app = build_tree_app(3)
+    app.default_tracing = False
+    return app
+
+
+def best_of(factory, plan):
+    """Minimum wall clock over REPEATS runs (noise floor estimator)."""
+    best, result = None, None
+    for _ in range(REPEATS):
+        runner = CampaignRunner(factory, workers=1, pacing=0.0, timeout=120.0)
+        start = time.perf_counter()
+        result = runner.run(plan)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def test_tracing_overhead_under_budget(report, bench_tracing):
+    plan = plan_campaign(traced_tree3, seed=20, requests=REQUESTS)
+    assert len(plan) >= 40, "overhead claim is about campaign-sized suites"
+
+    untraced_s, untraced_result = best_of(untraced_tree3, plan)
+    traced_s, traced_result = best_of(traced_tree3, plan)
+
+    # Tracing must be an observer: identical per-recipe verdicts.
+    assert [o.status for o in traced_result.outcomes] == [
+        o.status for o in untraced_result.outcomes
+    ]
+    # The traced run actually traced: spans made it into the records.
+    assert any(o.metrics for o in traced_result.outcomes)
+
+    overhead = traced_s / untraced_s - 1.0
+    bench_tracing.update(
+        {
+            "app": "tree3",
+            "recipes": len(plan),
+            "requests_per_recipe": REQUESTS,
+            "repeats": REPEATS,
+            "cpus": os.cpu_count(),
+            "untraced_s": round(untraced_s, 3),
+            "traced_s": round(traced_s, 3),
+            "overhead": round(overhead, 4),
+            "budget": MAX_OVERHEAD,
+        }
+    )
+    report.add(
+        "Span tracing — overhead on the 42-recipe tree3 campaign",
+        f"  tracing off: {untraced_s:6.2f}s   tracing on: {traced_s:6.2f}s"
+        f"   overhead {overhead * 100:+.1f}% (budget {MAX_OVERHEAD * 100:.0f}%)",
+    )
+
+    assert overhead < MAX_OVERHEAD, (
+        f"span tracing must stay under {MAX_OVERHEAD:.0%} overhead:"
+        f" {untraced_s:.2f}s untraced vs {traced_s:.2f}s traced"
+        f" ({overhead:+.1%})"
+    )

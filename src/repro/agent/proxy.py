@@ -47,6 +47,7 @@ from repro.errors import (
 )
 from repro.http import status as http_status
 from repro.http.codec import decode_request, decode_response, encode_request, encode_response
+from repro.http.headers import SPAN_ID_HEADER
 from repro.http.message import HttpRequest, HttpResponse
 from repro.logstore.pipeline import LogPipeline
 from repro.logstore.query import compile_id_pattern
@@ -56,6 +57,10 @@ from repro.network.transport import ConnectionEnd, Host, Listener
 from repro.registry.registry import ServiceRegistry
 from repro.simulation.kernel import Simulator
 from repro.simulation.resources import ChannelClosed
+from repro.tracing import SpanIdGenerator
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["GremlinAgent"]
 
@@ -73,6 +78,8 @@ class GremlinAgent:
         pipeline: LogPipeline,
         matcher_strategy: str = "linear",
         canary_pattern: str = "test-*",
+        metrics: "_t.Optional[MetricsRegistry]" = None,
+        trace_spans: bool = True,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -80,6 +87,19 @@ class GremlinAgent:
         self.owner_instance = owner_instance
         self.registry = registry
         self.pipeline = pipeline
+        #: Span minting: every proxied exchange gets a span ID unique to
+        #: this sidecar, and the forwarded request carries it so the
+        #: next hop records it as the parent.  ``trace_spans=False``
+        #: disables minting entirely (the overhead-ablation baseline).
+        self._span_ids: _t.Optional[SpanIdGenerator] = (
+            SpanIdGenerator(owner_instance) if trace_spans else None
+        )
+        self.metrics = metrics
+        # Per-destination metric handles, cached so the proxy hot path
+        # pays one dict hit instead of a registry lookup per message.
+        self._edge_requests: dict[str, "Counter"] = {}
+        self._edge_latency: dict[str, "Histogram"] = {}
+        self._fault_counters: dict[tuple[str, str], "Counter"] = {}
         self.matcher: RuleMatcher = make_matcher(
             matcher_strategy, rng=sim.rng(f"agent/{owner_instance}")
         )
@@ -299,6 +319,41 @@ class GremlinAgent:
         """The installed rules, in installation order."""
         return [installed.rule for installed in self.matcher.rules]
 
+    # -- metrics emission -----------------------------------------------------------
+
+    def _count_request(self, dst_service: str) -> None:
+        counter = self._edge_requests.get(dst_service)
+        if counter is None:
+            assert self.metrics is not None
+            counter = self._edge_requests[dst_service] = self.metrics.counter(
+                "gremlin_requests_total", src=self.owner_service, dst=dst_service
+            )
+        counter.inc()
+
+    def _count_fault(self, dst_service: str, fault: str) -> None:
+        key = (dst_service, fault)
+        counter = self._fault_counters.get(key)
+        if counter is None:
+            assert self.metrics is not None
+            counter = self._fault_counters[key] = self.metrics.counter(
+                "gremlin_faults_injected_total",
+                src=self.owner_service,
+                dst=dst_service,
+                fault=fault,
+            )
+        counter.inc()
+
+    def _observe_latency(self, dst_service: str, latency: float) -> None:
+        histogram = self._edge_latency.get(dst_service)
+        if histogram is None:
+            assert self.metrics is not None
+            histogram = self._edge_latency[dst_service] = self.metrics.histogram(
+                "gremlin_request_latency_seconds",
+                src=self.owner_service,
+                dst=dst_service,
+            )
+        histogram.observe(latency)
+
     # -- proxy data path ------------------------------------------------------------
 
     def _serve(self, conn: ConnectionEnd, dst_service: str) -> _t.Generator:
@@ -323,9 +378,22 @@ class GremlinAgent:
             self._safe_send(conn, HttpResponse.error(http_status.BAD_REQUEST, str(exc)))
             return False
         request_id = request.request_id
-        # Shadow mirroring happens before fault matching: the copy runs
-        # its own matcher pass under its shadow-* identity.
+        # Shadow mirroring happens before fault matching (and before
+        # span minting, so mirror copies stay outside the causal tree):
+        # the copy runs its own matcher pass under its shadow-* identity.
         self._maybe_mirror(dst_service, request)
+        span_id: _t.Optional[str] = None
+        parent_span: _t.Optional[str] = None
+        if self._span_ids is not None:
+            # The inbound span header names the *enclosing* call (set by
+            # the previous hop's sidecar, propagated by the owner);
+            # overwrite it with this span's ID so the callee parents its
+            # own downstream calls here.
+            parent_span = request.headers.get(SPAN_ID_HEADER)
+            span_id = self._span_ids.next_id()
+            request.headers[SPAN_ID_HEADER] = span_id
+        if self.metrics is not None:
+            self._count_request(dst_service)
         record = ObservationRecord(
             timestamp=start,
             kind=ObservationKind.REQUEST,
@@ -335,6 +403,8 @@ class GremlinAgent:
             request_id=request_id,
             method=request.method,
             uri=request.uri,
+            span_id=span_id,
+            parent_span=parent_span,
         )
         injected_delay = 0.0
         faults: list[str] = []
@@ -347,6 +417,8 @@ class GremlinAgent:
             rule = hit.rule
             hit.consume()
             faults.append(rule.describe())
+            if self.metrics is not None:
+                self._count_fault(dst_service, rule.describe())
             if rule.fault_type == FaultType.DELAY:
                 assert rule.interval is not None
                 injected_delay += rule.interval
@@ -409,6 +481,8 @@ class GremlinAgent:
             rule = hit.rule
             hit.consume()
             faults.append(rule.describe())
+            if self.metrics is not None:
+                self._count_fault(dst_service, rule.describe())
             if rule.fault_type == FaultType.DELAY:
                 assert rule.interval is not None
                 injected_delay += rule.interval
@@ -468,6 +542,9 @@ class GremlinAgent:
         status: int,
         gremlin_generated: bool,
     ) -> None:
+        latency = self.sim.now - start
+        if self.metrics is not None:
+            self._observe_latency(request_record.dst, latency)
         self.pipeline.emit(
             ObservationRecord(
                 timestamp=self.sim.now,
@@ -479,10 +556,12 @@ class GremlinAgent:
                 method=request_record.method,
                 uri=request_record.uri,
                 status=status,
-                latency=self.sim.now - start,
+                latency=latency,
                 injected_delay=injected_delay,
                 fault_applied=request_record.fault_applied,
                 gremlin_generated=gremlin_generated,
+                span_id=request_record.span_id,
+                parent_span=request_record.parent_span,
             )
         )
 
@@ -494,6 +573,9 @@ class GremlinAgent:
         error: str,
         gremlin_generated: bool,
     ) -> None:
+        latency = self.sim.now - start
+        if self.metrics is not None:
+            self._observe_latency(request_record.dst, latency)
         self.pipeline.emit(
             ObservationRecord(
                 timestamp=self.sim.now,
@@ -505,11 +587,13 @@ class GremlinAgent:
                 method=request_record.method,
                 uri=request_record.uri,
                 status=request_record.status,
-                latency=self.sim.now - start,
+                latency=latency,
                 injected_delay=injected_delay,
                 fault_applied=request_record.fault_applied,
                 gremlin_generated=gremlin_generated,
                 error=error,
+                span_id=request_record.span_id,
+                parent_span=request_record.parent_span,
             )
         )
 

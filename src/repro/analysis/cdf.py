@@ -7,21 +7,47 @@ runs can show the reproduced curve shapes directly in the terminal.
 
 from __future__ import annotations
 
+import math
 import typing as _t
 
+from repro.errors import AnalysisError
+
 __all__ = ["Cdf", "percentile", "summarize"]
+
+
+def _checked(samples: _t.Sequence[float], what: str) -> _t.Sequence[float]:
+    """Reject sample sets that cannot produce a meaningful statistic.
+
+    Empty input has no percentiles at all, and a single NaN silently
+    poisons ``sorted()`` (NaN compares false against everything, so the
+    order — and every interpolated value — becomes garbage).  Both are
+    caller bugs worth a loud, typed error instead of an IndexError or a
+    quietly wrong number.
+    """
+    if not samples:
+        raise AnalysisError(
+            f"cannot compute {what} of an empty sample set — "
+            "did the experiment window capture any observations?"
+        )
+    if any(math.isnan(sample) for sample in samples):
+        raise AnalysisError(f"cannot compute {what}: sample set contains NaN")
+    return samples
 
 
 def percentile(samples: _t.Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) by linear interpolation.
 
+    A single sample is every percentile of itself; empty or
+    NaN-containing input raises :class:`AnalysisError`.
+
     >>> percentile([1, 2, 3, 4], 50)
     2.5
+    >>> percentile([7.0], 99)
+    7.0
     """
-    if not samples:
-        raise ValueError("percentile of empty sample set")
+    _checked(samples, "percentile")
     if not 0 <= q <= 100:
-        raise ValueError(f"q must be in [0, 100], got {q}")
+        raise AnalysisError(f"percentile q must be in [0, 100], got {q}")
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
@@ -39,9 +65,7 @@ class Cdf:
     """An empirical cumulative distribution over float samples."""
 
     def __init__(self, samples: _t.Sequence[float]) -> None:
-        if not samples:
-            raise ValueError("cannot build a CDF from no samples")
-        self.samples = sorted(samples)
+        self.samples = sorted(_checked(samples, "a CDF"))
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -77,6 +101,8 @@ class Cdf:
 
     def points(self, steps: int = 20) -> list[tuple[float, float]]:
         """``steps + 1`` evenly spaced (value, cumulative fraction) pairs."""
+        if steps < 1:
+            raise AnalysisError(f"CDF needs at least 1 step, got {steps}")
         return [
             (self.value_at(index / steps), index / steps) for index in range(steps + 1)
         ]
@@ -98,8 +124,7 @@ class Cdf:
 
 def summarize(samples: _t.Sequence[float]) -> dict[str, float]:
     """Standard latency summary: min/median/p90/p99/max/mean."""
-    if not samples:
-        raise ValueError("cannot summarize no samples")
+    _checked(samples, "a latency summary")
     return {
         "n": float(len(samples)),
         "min": min(samples),

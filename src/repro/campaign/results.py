@@ -73,6 +73,13 @@ class RecipeOutcome:
     flake-detection rerun; ``classification`` summarizes them as
     ``"broken"`` (failed every reseeded rerun) or ``"flaky"`` (passed
     at least one).
+
+    ``metrics`` is the recipe deployment's metrics snapshot (plain
+    data, see :mod:`repro.observability.metrics`); snapshots from all
+    outcomes merge into the campaign-wide view.  ``attributions`` are
+    serialized :class:`~repro.observability.attribution.FaultAttribution`
+    dicts produced for failing recipes: which injected fault caused
+    each failed request and how it propagated.
     """
 
     index: int
@@ -91,6 +98,8 @@ class RecipeOutcome:
     attempts: list[str] = dataclasses.field(default_factory=list)
     classification: _t.Optional[str] = None
     worker: int = 0
+    metrics: dict = dataclasses.field(default_factory=dict)
+    attributions: list[dict] = dataclasses.field(default_factory=list)
 
     @property
     def conclusive_failure(self) -> bool:
@@ -167,6 +176,18 @@ class CampaignResult:
         from repro.campaign.scorecard import Scorecard
 
         return Scorecard.from_outcomes(self.outcomes)
+
+    def merged_metrics(self) -> dict:
+        """Campaign-wide metrics: every recipe's snapshot folded.
+
+        Each recipe ran on its own deployment with its own registry;
+        because snapshots merge associatively, the campaign total is
+        independent of worker count and execution order — the same
+        determinism contract the outcomes themselves carry.
+        """
+        from repro.observability.metrics import merge_snapshots
+
+        return merge_snapshots(*(o.metrics for o in self.outcomes if o.metrics))
 
     def summary(self) -> str:
         """One-line totals for CLI output."""

@@ -40,8 +40,13 @@ from repro.core.gremlin import Gremlin
 from repro.core.queries import QueryCache
 from repro.errors import CampaignError, CampaignTimeoutError
 from repro.loadgen import ClosedLoopLoad
+from repro.observability.attribution import attribute_run
 
 __all__ = ["RecipeExecutor", "CampaignRunner"]
+
+#: Cap on serialized fault attributions per failing recipe, so one
+#: pathological recipe cannot bloat the campaign dump.
+MAX_ATTRIBUTIONS = 25
 
 
 def _classify(checks: _t.Sequence[CheckOutcome]) -> str:
@@ -112,7 +117,7 @@ class RecipeExecutor:
 
             window_start = sim.now
             orch_start = time.perf_counter()
-            gremlin.inject(*recipe.scenarios)
+            installation = gremlin.inject(*recipe.scenarios)
             outcome.orchestration_time = time.perf_counter() - orch_start
 
             load = ClosedLoopLoad(
@@ -145,6 +150,18 @@ class RecipeExecutor:
             ]
             outcome.assertion_time = time.perf_counter() - assert_start
             outcome.status = _classify(outcome.checks)
+            outcome.metrics = deployment.metrics_snapshot()
+            if outcome.status == "fail":
+                # Explain the failure: join the traces of faulted
+                # requests against the rules this recipe installed.
+                outcome.attributions = [
+                    attribution.to_dict()
+                    for attribution in attribute_run(
+                        deployment.store,
+                        installation.rules,
+                        limit=MAX_ATTRIBUTIONS,
+                    )
+                ]
         except CampaignTimeoutError:
             outcome.status = "timeout"
             outcome.error = (

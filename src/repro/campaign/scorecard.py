@@ -84,6 +84,9 @@ class Scorecard:
 
     def __init__(self) -> None:
         self.cells: dict[tuple[str, str], PatternScore] = {}
+        #: (recipe name, serialized FaultAttribution dict) per failing
+        #: recipe — the "why" behind every failed cell.
+        self.attributions: list[tuple[str, dict]] = []
 
     @classmethod
     def from_outcomes(cls, outcomes: _t.Iterable[RecipeOutcome]) -> "Scorecard":
@@ -98,6 +101,8 @@ class Scorecard:
         if score is None:
             score = self.cells[key] = PatternScore()
         score.add(outcome)
+        for attribution in outcome.attributions:
+            self.attributions.append((outcome.name, attribution))
 
     @property
     def services(self) -> list[str]:
@@ -163,7 +168,29 @@ class Scorecard:
             f"{totals.passed}/{totals.conclusive}" if totals.conclusive else "-"
         )
         rows.append(total_row)
-        return text_table(["service"] + patterns + ["score"], rows, title=title)
+        table = text_table(["service"] + patterns + ["score"], rows, title=title)
+        if not self.attributions:
+            return table
+        return table + "\n" + self.attribution_section()
+
+    def attribution_section(self, limit: int = 10) -> str:
+        """Human-readable fault attributions for the failed cells.
+
+        One line per (recipe, attribution): the injected fault, the
+        rule that fired, and the propagation path to the entry edge —
+        so the operator reads *why* a cell failed without re-running
+        anything.
+        """
+        from repro.observability.attribution import FaultAttribution
+
+        lines = ["fault attribution (failed recipes):"]
+        for recipe_name, doc in self.attributions[:limit]:
+            attribution = FaultAttribution.from_dict(doc)
+            lines.append(f"  {recipe_name} :: {attribution.describe()}")
+        hidden = len(self.attributions) - limit
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more (see the campaign dump)")
+        return "\n".join(lines)
 
     def to_dict(self) -> dict:
         return {

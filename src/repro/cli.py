@@ -10,6 +10,12 @@ paper's operators interacted with Gremlin from scripts:
 * ``python -m repro test <app> --scenario overload --target <svc>`` —
   deploy the app, stage a scenario, drive load, and report every
   pattern check Gremlin can evaluate on the faulted edges;
+* ``python -m repro trace <app> <request-id>`` — run a faulted load
+  and render the reconstructed causal tree of one request, with the
+  injected fault and the latency-critical path annotated;
+* ``python -m repro metrics <app>`` — run a (optionally faulted) load
+  and print the deployment's metrics snapshot as Prometheus text or
+  JSON;
 * ``python -m repro campaign run <app>`` — plan and execute a whole
   auto-generated campaign across parallel workers, print the
   resilience scorecard, optionally dump the result as JSON-lines;
@@ -58,9 +64,10 @@ from repro.core import (
     Overload,
     generate_recipes,
 )
-from repro.errors import CampaignError
+from repro.errors import CampaignError, TraceError
 from repro.loadgen import ClosedLoopLoad
 from repro.microservice import Application
+from repro.observability import attribute_trace, reconstruct, to_json, to_prometheus
 
 __all__ = ["main", "APPS"]
 
@@ -196,6 +203,62 @@ def cmd_test(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+# -- observability subcommands -------------------------------------------------
+
+
+def _faulted_run(args: argparse.Namespace):
+    """Deploy an app, optionally stage a scenario, drive load; returns
+    (deployment, gremlin, installed rules) with the pipeline flushed."""
+    app = _build(args.app)
+    deployment = app.deploy(seed=args.seed)
+    graph = deployment.graph
+    entry = args.entry or graph.entry_services()[0]
+    source = deployment.add_traffic_source(entry)
+    gremlin = Gremlin(deployment)
+    rules = []
+    if args.target is not None:
+        if args.target not in graph.services():
+            raise SystemExit(
+                f"unknown target {args.target!r}; services: {', '.join(graph.services())}"
+            )
+        scenario = _SCENARIOS[args.scenario](args.target)
+        rules = gremlin.inject(scenario).rules
+    ClosedLoopLoad(num_requests=args.requests, think_time=args.think).run(source)
+    deployment.sim.run()
+    deployment.pipeline.flush()
+    return deployment, gremlin, rules
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    deployment, _gremlin, rules = _faulted_run(args)
+    try:
+        trace = reconstruct(deployment.store, args.request_id)
+    except TraceError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        doc = trace.to_dict()
+        doc["attributions"] = [a.to_dict() for a in attribute_trace(trace, rules)]
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(trace.render())
+    attributions = attribute_trace(trace, rules)
+    if attributions:
+        print("fault attribution:")
+        for attribution in attributions:
+            print(f"  {attribution.describe()}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    deployment, _gremlin, _rules = _faulted_run(args)
+    snapshot = deployment.metrics_snapshot()
+    if args.format == "json":
+        print(to_json(snapshot), end="")
+    else:
+        print(to_prometheus(snapshot), end="")
+    return 0
+
+
 # -- campaign subcommands ------------------------------------------------------
 
 
@@ -237,6 +300,9 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     result = runner.run(plan)
     if args.out:
         dump_jsonl(result, args.out)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(to_json(result.merged_metrics()))
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -248,6 +314,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         print(result.summary())
         if args.out:
             print(f"result written to {args.out}")
+        if args.metrics_out:
+            print(f"merged metrics written to {args.metrics_out}")
     return 0 if result.passed else 1
 
 
@@ -317,6 +385,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     test_parser.set_defaults(func=cmd_test)
 
+    def add_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--target", default=None, help="service to fault (optional)")
+        p.add_argument("--scenario", choices=sorted(_SCENARIOS), default="crash")
+        p.add_argument("--entry", default=None, help="service to inject load into")
+        p.add_argument("--requests", type=int, default=20)
+        p.add_argument("--think", type=float, default=0.05)
+        p.add_argument("--seed", type=int, default=0)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run a faulted load and render one request's causal tree"
+    )
+    trace_parser.add_argument("app")
+    trace_parser.add_argument(
+        "request_id",
+        help="request to reconstruct (the closed-loop load mints test-1..test-N)",
+    )
+    add_run_args(trace_parser)
+    trace_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="run a load and print the deployment metrics snapshot"
+    )
+    metrics_parser.add_argument("app")
+    add_run_args(metrics_parser)
+    metrics_parser.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition (default) or JSON",
+    )
+    metrics_parser.set_defaults(func=cmd_metrics)
+
     campaign_parser = sub.add_parser(
         "campaign", help="plan and run whole auto-generated test campaigns"
     )
@@ -360,6 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--fail-fast", action="store_true")
     run_parser.add_argument("--out", default=None, help="dump result JSON-lines here")
+    run_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the merged campaign metrics snapshot (JSON) here",
+    )
     run_parser.set_defaults(func=cmd_campaign_run)
 
     smoke_parser = campaign_sub.add_parser(

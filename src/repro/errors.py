@@ -129,3 +129,28 @@ class CampaignError(GremlinError):
 class CampaignTimeoutError(CampaignError):
     """One recipe of a campaign exceeded its wall-clock budget; the
     runner records the recipe as ``timeout`` and moves on."""
+
+
+class ObservabilityError(ReproError):
+    """Base class for errors raised by the observability subsystem
+    (metrics registry, trace reconstruction, fault attribution)."""
+
+
+class MetricsError(ObservabilityError):
+    """A metric was registered or merged inconsistently, e.g. the same
+    series name re-registered with different bucket boundaries, or two
+    histogram snapshots with incompatible buckets merged."""
+
+
+class TraceError(ObservabilityError):
+    """A causal tree could not be reconstructed from span records,
+    e.g. duplicate span IDs or a request ID with no recorded spans."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """A statistics helper was fed an unusable sample, e.g. an empty
+    series passed to a percentile.
+
+    Subclasses ``ValueError`` as well so long-standing callers that
+    guard analysis calls with ``except ValueError`` keep working.
+    """

@@ -15,7 +15,7 @@ from repro.http.codec import (
     encode_request,
     encode_response,
 )
-from repro.http.headers import REQUEST_ID_HEADER, Headers
+from repro.http.headers import REQUEST_ID_HEADER, SPAN_ID_HEADER, Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import Handler, HttpServer
 from repro.http.status import (
@@ -44,6 +44,7 @@ __all__ = [
     "OK",
     "REQUEST_ID_HEADER",
     "SERVICE_UNAVAILABLE",
+    "SPAN_ID_HEADER",
     "await_with_deadline",
     "decode",
     "decode_request",

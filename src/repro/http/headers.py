@@ -10,11 +10,16 @@ from __future__ import annotations
 
 import typing as _t
 
-__all__ = ["Headers", "REQUEST_ID_HEADER"]
+__all__ = ["Headers", "REQUEST_ID_HEADER", "SPAN_ID_HEADER"]
 
 #: The header carrying the globally-unique request ID that every
 #: microservice propagates downstream (cf. Zipkin's ``X-B3-TraceId``).
 REQUEST_ID_HEADER = "X-Gremlin-Request-Id"
+
+#: The header carrying the span ID of the *enclosing* call, so the next
+#: sidecar hop can record it as the parent span (cf. ``X-B3-SpanId``).
+#: Minted by agents, propagated by services alongside the request ID.
+SPAN_ID_HEADER = "X-Gremlin-Span-Id"
 
 
 class Headers:

@@ -17,7 +17,27 @@ import typing as _t
 from repro.errors import AssertionQueryError
 from repro.logstore.record import ObservationKind, ObservationRecord
 
-__all__ = ["Query", "compile_id_pattern"]
+__all__ = ["Query", "compile_id_pattern", "exact_id_pattern"]
+
+
+def exact_id_pattern(pattern: str | None) -> _t.Optional[str]:
+    """The single literal request ID ``pattern`` can match, or ``None``.
+
+    Patterns free of glob metacharacters (and not ``re:`` regexes)
+    match exactly one ID; the store exploits this to answer
+    point-lookups like ``repro trace <request-id>`` from its request-ID
+    index instead of post-filtering a scan.
+
+    >>> exact_id_pattern("test-17")
+    'test-17'
+    >>> exact_id_pattern("test-*") is None
+    True
+    """
+    if pattern is None or pattern.startswith("re:"):
+        return None
+    if any(ch in pattern for ch in "*?["):
+        return None
+    return pattern
 
 
 def compile_id_pattern(pattern: str | None) -> _t.Optional[re.Pattern]:

@@ -82,6 +82,16 @@ class ObservationRecord:
         Transport-level failure observed instead of an HTTP reply:
         ``"reset"``, ``"timeout"``, ``"refused"``, ``"unreachable"``
         or ``None``.
+    span_id:
+        Identity of the proxied call this record belongs to, minted by
+        the observing agent (one span per request/reply exchange —
+        each retry attempt is its own span).  ``None`` for records from
+        deployments with tracing disabled.
+    parent_span:
+        Span ID of the enclosing call, read from the propagated span
+        header; ``None`` for root spans (the trace's entry edge) and
+        untraced records.  The ``(span_id, parent_span)`` pair is what
+        :mod:`repro.observability.trace` rebuilds causal trees from.
     """
 
     timestamp: float
@@ -98,6 +108,8 @@ class ObservationRecord:
     fault_applied: _t.Optional[str] = None
     gremlin_generated: bool = False
     error: _t.Optional[str] = None
+    span_id: _t.Optional[str] = None
+    parent_span: _t.Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ObservationKind.ALL:

@@ -36,7 +36,7 @@ import dataclasses
 import typing as _t
 
 from repro.logstore.index import PostingList, bisect_left_by, bisect_right_by
-from repro.logstore.query import Query
+from repro.logstore.query import Query, exact_id_pattern
 from repro.logstore.record import ObservationRecord
 
 __all__ = ["EventStore", "QueryPlan", "STORE_STRATEGIES"]
@@ -51,9 +51,10 @@ class QueryPlan:
 
     ``driver`` names the index that supplies candidates: one of
     ``"pair"``, ``"src"``, ``"dst"``, ``"kind"``, ``"status"``,
-    ``"fault"``, or ``"time"`` when no indexed field is bound and the
-    primary array is range-scanned.  ``candidates`` counts the records
-    that will be post-filtered — the cost of the query.
+    ``"fault"``, ``"rid"`` (exact request-ID lookup), or ``"time"``
+    when no indexed field is bound and the primary array is
+    range-scanned.  ``candidates`` counts the records that will be
+    post-filtered — the cost of the query.
     """
 
     strategy: str
@@ -87,6 +88,10 @@ class EventStore:
         self._pair_ix: dict[tuple[str, str], PostingList] = {}
         self._status_ix: dict[int, PostingList] = {}
         self._fault_ix = PostingList()
+        #: Exact request-ID index: trace reconstruction pulls one
+        #: request's records without scanning the run (request_id is an
+        #: identity field, so no mutation hook is needed).
+        self._rid_ix: dict[str, PostingList] = {}
         #: id(record) -> position, for translating in-place mutations
         #: into index updates.
         self._pos_of: dict[int, int] = {}
@@ -148,6 +153,7 @@ class EventStore:
         self._pair_ix.clear()
         self._status_ix.clear()
         self._fault_ix = PostingList()
+        self._rid_ix.clear()
         self._pos_of.clear()
 
     # -- queries -----------------------------------------------------------------
@@ -276,6 +282,9 @@ class EventStore:
             best = self._shorter(best, self._bucket(self._status_ix, query.status))
         if query.with_faults_only:
             best = self._shorter(best, self._fault_ix.get())
+        exact_id = exact_id_pattern(query.id_pattern)
+        if exact_id is not None:
+            best = self._shorter(best, self._bucket(self._rid_ix, exact_id))
         return best
 
     def _driver_name(self, query: Query) -> str:
@@ -293,6 +302,9 @@ class EventStore:
             options.append((len(self._bucket(self._status_ix, query.status)), "status"))
         if query.with_faults_only:
             options.append((len(self._fault_ix.get()), "fault"))
+        exact_id = exact_id_pattern(query.id_pattern)
+        if exact_id is not None:
+            options.append((len(self._bucket(self._rid_ix, exact_id)), "rid"))
         return min(options)[1] if options else "time"
 
     @staticmethod
@@ -344,6 +356,11 @@ class EventStore:
             status_posting.append(position)
         if record.fault_applied is not None:
             self._fault_ix.append(position)
+        if record.request_id is not None:
+            rid_posting = self._rid_ix.get(record.request_id)
+            if rid_posting is None:
+                rid_posting = self._rid_ix[record.request_id] = PostingList()
+            rid_posting.append(position)
         self._pos_of[id(record)] = position
         record.__dict__["_index_hook"] = self._record_updated
 
@@ -387,6 +404,7 @@ class EventStore:
         self._pair_ix.clear()
         self._status_ix.clear()
         self._fault_ix = PostingList()
+        self._rid_ix.clear()
         self._pos_of.clear()
         for position, record in enumerate(self._records):
             self._index_record(record, position)

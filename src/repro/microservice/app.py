@@ -30,6 +30,7 @@ from repro.microservice.resilience.policy import PolicySpec
 from repro.microservice.service import ServiceDefinition
 from repro.network.latency import LatencyModel
 from repro.network.transport import Network
+from repro.observability.metrics import MetricsRegistry
 from repro.registry.registry import InstanceRecord, ServiceRegistry
 from repro.simulation.kernel import Simulator
 
@@ -45,6 +46,12 @@ class Application:
     def __init__(self, name: str) -> None:
         self.name = name
         self._definitions: dict[str, ServiceDefinition] = {}
+        #: Whether deployments of this application mint span records by
+        #: default.  :meth:`deploy` honours it when its ``tracing``
+        #: parameter is left ``None``, so callers that deploy through a
+        #: fixed-signature factory (the campaign runner, benchmarks)
+        #: can still toggle tracing per application.
+        self.default_tracing = True
 
     def add_service(self, definition: ServiceDefinition) -> "Application":
         """Register one service definition (chainable)."""
@@ -93,6 +100,7 @@ class Application:
         store_strategy: str = "indexed",
         default_link_latency: _t.Union[float, LatencyModel, None] = 0.0005,
         sidecars: bool = True,
+        tracing: _t.Optional[bool] = None,
     ) -> "Deployment":
         """Materialize the application into a running deployment.
 
@@ -100,6 +108,11 @@ class Application:
         destination instances directly (round-robin at the client).
         Such a deployment cannot be fault-injected or observed — it
         exists as the baseline for proxy-overhead ablations.
+
+        ``tracing`` controls span minting at the sidecars (``None``
+        defers to :attr:`default_tracing`); disabling it keeps plain
+        request/reply observation working but removes the causal-tree
+        fields — the tracing-overhead ablation baseline.
         """
         self.validate()
         return Deployment(
@@ -112,6 +125,7 @@ class Application:
             store_strategy=store_strategy,
             default_link_latency=default_link_latency,
             sidecars=sidecars,
+            tracing=self.default_tracing if tracing is None else tracing,
         )
 
     def __repr__(self) -> str:
@@ -132,12 +146,18 @@ class Deployment:
         store_strategy: str = "indexed",
         default_link_latency: _t.Union[float, LatencyModel, None] = 0.0005,
         sidecars: bool = True,
+        tracing: bool = True,
     ) -> None:
         self.application = application
         self.sim = sim
         self.network = Network(sim, default_latency=default_link_latency)
         self.registry = ServiceRegistry()
         self.store = EventStore(strategy=store_strategy)
+        self.tracing = tracing
+        #: Deployment-wide metrics registry: sidecars, instances and
+        #: dependency clients all record into it; campaign workers merge
+        #: per-deployment snapshots afterwards.
+        self.metrics = MetricsRegistry()
         self.pipeline = LogPipeline(
             sim,
             self.store,
@@ -173,6 +193,7 @@ class Deployment:
         # Wire sidecars + clients, register, and start.
         for definition in definitions.values():
             for instance in self.instances[definition.name]:
+                instance.enable_metrics(self.metrics)
                 agent = self._wire_instance(instance)
                 self.registry.register(
                     InstanceRecord(
@@ -201,6 +222,8 @@ class Deployment:
             registry=self.registry,
             pipeline=self.pipeline,
             matcher_strategy=self.matcher_strategy,
+            metrics=self.metrics,
+            trace_spans=self.tracing,
         )
         http = HttpClient(instance.host)
         for offset, dependency in enumerate(dependencies):
@@ -218,6 +241,7 @@ class Deployment:
                     dependency=dependency,
                     target=agent.route_address(dependency),
                     policy=policy,
+                    metrics=self.metrics,
                 )
             )
         agent.start()
@@ -250,8 +274,20 @@ class Deployment:
                     dependency=dependency,
                     target=resolver,
                     policy=policy,
+                    metrics=self.metrics,
                 )
             )
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data snapshot of every metric series in the deployment.
+
+        Mergeable with other deployments' snapshots via
+        :func:`repro.observability.metrics.merge_snapshots` — how
+        campaigns aggregate across recipes and workers.
+        """
+        return self.metrics.snapshot()
 
     # -- lookups ----------------------------------------------------------------
 
@@ -347,6 +383,8 @@ class TrafficSource:
                 registry=deployment.registry,
                 pipeline=deployment.pipeline,
                 matcher_strategy=deployment.matcher_strategy,
+                metrics=deployment.metrics,
+                trace_spans=deployment.tracing,
             )
             self.agent.add_route(SIDECAR_BASE_PORT, target_service)
             self.agent.start()
@@ -368,6 +406,7 @@ class TrafficSource:
             dependency=target_service,
             target=target,
             policy=policy_spec.build(sim, name=f"{name}->{target_service}"),
+            metrics=deployment.metrics,
         )
 
     @property

@@ -36,11 +36,23 @@ from repro.errors import (
 )
 from repro.http.client import HttpClient
 from repro.http.message import HttpRequest, HttpResponse
+from repro.microservice.resilience.circuit_breaker import BreakerState
 from repro.microservice.resilience.policy import ResiliencePolicy
 from repro.network.address import Address
 from repro.simulation.kernel import Simulator
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.metrics import Counter, Gauge, MetricsRegistry
+
 __all__ = ["DependencyClient", "CallStats"]
+
+#: Gauge encoding of breaker state: merge-by-max reads as "worst
+#: observed state" across workers and replicas.
+_BREAKER_STATE_CODE = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
 
 #: Exceptions classified as call failures (retryable, breaker-counted).
 FAILURE_EXCEPTIONS = (NetworkError, RequestTimeoutError, CodecError)
@@ -78,6 +90,7 @@ class DependencyClient:
         dependency: str,
         target: _t.Union[Address, _t.Callable[[], Address]],
         policy: ResiliencePolicy,
+        metrics: "_t.Optional[MetricsRegistry]" = None,
     ) -> None:
         self.sim = sim
         self.http = http
@@ -90,6 +103,20 @@ class DependencyClient:
         self.policy = policy
         self.stats = CallStats()
         self._rng = sim.rng(f"client/{caller}->{dependency}")
+        self._retries_total: "_t.Optional[Counter]" = None
+        self._breaker_rejections_total: "_t.Optional[Counter]" = None
+        self._breaker_gauge: "_t.Optional[Gauge]" = None
+        if metrics is not None:
+            self._retries_total = metrics.counter(
+                "client_retries_total", src=caller, dst=dependency
+            )
+            self._breaker_rejections_total = metrics.counter(
+                "client_breaker_rejections_total", src=caller, dst=dependency
+            )
+            if policy.breaker is not None:
+                self._breaker_gauge = metrics.gauge(
+                    "client_breaker_state", src=caller, dst=dependency
+                )
 
     def _resolve_target(self) -> Address:
         if callable(self.target):
@@ -113,6 +140,7 @@ class DependencyClient:
 
         if policy.breaker is not None and not policy.breaker.allow_request():
             self.stats.breaker_rejections += 1
+            self._count_breaker_rejection()
             fallback = self._try_fallback(request)
             if fallback is not None:
                 return fallback
@@ -154,8 +182,11 @@ class DependencyClient:
                 # HasCircuitBreaker check observes as silence).
                 if policy.breaker is not None and not policy.breaker.allow_request():
                     self.stats.breaker_rejections += 1
+                    self._count_breaker_rejection()
                     break
                 self.stats.retries += 1
+                if self._retries_total is not None:
+                    self._retries_total.inc()
                 assert policy.retry is not None
                 backoff = policy.retry.backoff(attempt - 1, rng=self._rng)
                 if backoff > 0:
@@ -178,6 +209,7 @@ class DependencyClient:
             self.stats.successes += 1
             if policy.breaker is not None:
                 policy.breaker.record_success()
+                self._update_breaker_gauge()
             return response
 
         # All attempts failed.
@@ -193,6 +225,17 @@ class DependencyClient:
         self.stats.failures += 1
         if self.policy.breaker is not None:
             self.policy.breaker.record_failure()
+            self._update_breaker_gauge()
+
+    def _count_breaker_rejection(self) -> None:
+        if self._breaker_rejections_total is not None:
+            self._breaker_rejections_total.inc()
+        self._update_breaker_gauge()
+
+    def _update_breaker_gauge(self) -> None:
+        if self._breaker_gauge is not None:
+            assert self.policy.breaker is not None
+            self._breaker_gauge.set(_BREAKER_STATE_CODE[self.policy.breaker.state])
 
     def _try_fallback(self, request: HttpRequest) -> HttpResponse | None:
         if self.policy.fallback is None:

@@ -24,6 +24,7 @@ from repro.http.message import HttpRequest, HttpResponse
 from repro.microservice.resilience.policy import PolicySpec
 from repro.network.latency import LatencyModel
 from repro.simulation.events import SimEvent
+from repro.tracing import propagate
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.microservice.instance import ServiceInstance
@@ -173,8 +174,10 @@ class ServiceContext:
 
         Routes through this instance's sidecar agent (when deployed
         with one) so the call is observable and injectable.  ``parent``
-        is the inbound request whose ID should propagate; pass it for
-        every call made on behalf of a user request.
+        is the inbound request whose trace headers should propagate —
+        the request ID *and* the enclosing span ID, so the sidecar can
+        parent this call in the causal tree.  Pass it for every call
+        made on behalf of a user request.
 
         Raises ``KeyError`` for undeclared dependencies — declaring the
         dependency is what puts the edge in the application graph.
@@ -186,9 +189,7 @@ class ServiceContext:
                 f" declared: {self.dependencies}"
             )
         if parent is not None:
-            rid = parent.request_id
-            if rid is not None:
-                request.request_id = rid
+            propagate(parent, request)
         response = yield from client.call(request)
         return response
 

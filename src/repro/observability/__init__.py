@@ -1,0 +1,63 @@
+"""Observability: span traces, metrics, exporters, fault attribution.
+
+What the paper's operators got from Elasticsearch dashboards, this
+package provides in-process, on top of the agents' observation logs:
+
+* :mod:`~repro.observability.spans` — the span model (one proxied
+  request/reply exchange) assembled from observation records;
+* :mod:`~repro.observability.trace` — per-request causal trees with
+  critical-path extraction and per-edge latency breakdowns;
+* :mod:`~repro.observability.metrics` — a registry of lock-free
+  per-thread counters, gauges, and mergeable fixed-bucket histograms;
+* :mod:`~repro.observability.exporters` — Prometheus-text and JSON
+  renderings of metrics snapshots;
+* :mod:`~repro.observability.attribution` — joining reconstructed
+  traces against the active rule set so every failure names the
+  injected fault that caused it and the path it propagated along.
+"""
+
+from repro.observability.attribution import (
+    FaultAttribution,
+    attribute_run,
+    attribute_trace,
+)
+from repro.observability.exporters import to_json, to_prometheus
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+    merge_histogram_data,
+    merge_snapshots,
+)
+from repro.observability.spans import Span, assemble_spans
+from repro.observability.trace import (
+    Trace,
+    TraceNode,
+    reconstruct,
+    reconstruct_from_records,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "FaultAttribution",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "TraceNode",
+    "assemble_spans",
+    "attribute_run",
+    "attribute_trace",
+    "format_series",
+    "merge_histogram_data",
+    "merge_snapshots",
+    "reconstruct",
+    "reconstruct_from_records",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,83 @@
+"""Render metrics snapshots as Prometheus text or JSON.
+
+Exporters consume the plain-data snapshots produced by
+:meth:`repro.observability.metrics.MetricsRegistry.snapshot` (or the
+merged output of :func:`~repro.observability.metrics.merge_snapshots`);
+they never touch live registries, so a snapshot written to disk during
+a campaign renders identically later.
+
+The Prometheus format follows the text exposition conventions: one
+``# TYPE`` comment per metric family, histogram series exploded into
+cumulative ``_bucket{le=...}`` plus ``_sum``/``_count``.  The output of
+``repro metrics --format prom`` can be dropped into any Prometheus
+ingestion path (e.g. a node-exporter textfile collector) unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+__all__ = ["to_json", "to_prometheus"]
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """The snapshot as a JSON document (already plain data)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"
+
+
+def _split_series(key: str) -> _t.Tuple[str, str]:
+    """Split ``'name{a="x"}'`` into ``('name', 'a="x"')`` (body may be '')."""
+    if "{" not in key:
+        return key, ""
+    name, _, rest = key.partition("{")
+    return name, rest.rstrip("}")
+
+
+def _with_label(body: str, extra: str) -> str:
+    """Append one ``k="v"`` pair to a (possibly empty) label body."""
+    return f"{body},{extra}" if body else extra
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value, preferring integers for whole counts."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: _t.List[str] = []
+    typed: _t.Set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, _ = _split_series(key)
+        declare(name, "counter")
+        lines.append(f"{key} {_format_value(value)}")
+
+    for key, value in snapshot.get("gauges", {}).items():
+        name, _ = _split_series(key)
+        declare(name, "gauge")
+        lines.append(f"{key} {_format_value(value)}")
+
+    for key, data in snapshot.get("histograms", {}).items():
+        name, body = _split_series(key)
+        declare(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            labels = _with_label(body, f'le="{bound}"')
+            lines.append(f"{name}_bucket{{{labels}}} {cumulative}")
+        labels = _with_label(body, 'le="+Inf"')
+        lines.append(f"{name}_bucket{{{labels}}} {data['count']}")
+        suffix = f"{{{body}}}" if body else ""
+        lines.append(f"{name}_sum{suffix} {_format_value(data['sum'])}")
+        lines.append(f"{name}_count{suffix} {data['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,337 @@
+"""Mergeable metrics primitives: counters, gauges, latency histograms.
+
+The paper's agents (Section 4.1) log every observed message; operators
+still need cheap aggregate signals — request rates, fault counts,
+retry volume, breaker state — without re-querying the event store.
+This module provides those as a pull-style registry in the spirit of
+Prometheus client libraries, built around two constraints:
+
+* **Lock-free hot path.**  Counters and histograms shard their state
+  per thread: each thread owns a private cell that only it writes, so
+  ``inc()``/``observe()`` never contend on a lock.  The only lock is
+  taken once per (thread, metric) pair, when the cell is registered.
+
+* **Mergeable snapshots.**  A snapshot is plain JSON-safe data, and
+  snapshots from different registries combine associatively
+  (:func:`merge_snapshots`): counters and histogram buckets add,
+  gauges take the max.  Campaign workers each run a private registry
+  and the runner folds their snapshots together afterwards — no
+  cross-worker contention, same totals regardless of merge order or
+  grouping.
+
+Histograms use *fixed* bucket boundaries chosen at registration.  That
+is what makes them mergeable: two histograms with identical boundaries
+combine by summing bucket counts, with no re-binning error.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing as _t
+
+from repro.errors import MetricsError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_series",
+    "merge_histogram_data",
+    "merge_snapshots",
+]
+
+#: Default latency bucket upper bounds, in virtual-time seconds.
+#: Roughly exponential, spanning sub-millisecond service times up to
+#: the 30s client timeouts the bundled apps configure; values above
+#: the last bound land in the implicit +Inf overflow bucket.
+DEFAULT_LATENCY_BUCKETS: _t.Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def format_series(name: str, labels: _t.Mapping[str, str]) -> str:
+    """Render a metric name + labels as a Prometheus series string.
+
+    Labels are sorted so the rendering is canonical — snapshots use it
+    as their dict key, which is what lets :func:`merge_snapshots` line
+    series up across registries.
+
+    >>> format_series("requests_total", {"service": "svc-1"})
+    'requests_total{service="svc-1"}'
+    >>> format_series("up", {})
+    'up'
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+class _CounterCell:
+    """One thread's private slice of a counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class Counter:
+    """A monotonically increasing sum, sharded per thread.
+
+    ``inc()`` touches only the calling thread's cell, so concurrent
+    writers never contend; ``value()`` folds the cells.  Reading while
+    writers are active yields a momentary (but internally consistent
+    per-cell) view — campaigns only read after workers quiesce.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cells: _t.List[_CounterCell] = []
+        self._local = threading.local()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the calling thread's cell."""
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = _CounterCell()
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        cell.value += amount
+
+    def value(self) -> float:
+        """The sum across every thread's cell."""
+        with self._lock:
+            return sum(cell.value for cell in self._cells)
+
+
+class Gauge:
+    """A point-in-time value (e.g. breaker state, queue depth).
+
+    Gauges are written by one deployment thread at a time, so a plain
+    attribute suffices; merging snapshots takes the max, which reads as
+    "worst observed state" for the breaker-state encoding (0=closed,
+    1=half-open, 2=open).
+    """
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+
+    def value(self) -> float:
+        """The last value set (0.0 if never set)."""
+        return self._value
+
+
+class _HistogramCell:
+    """One thread's private slice of a histogram."""
+
+    __slots__ = ("counts", "total", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.total = 0
+        self.sum = 0.0
+        self.min: _t.Optional[float] = None
+        self.max: _t.Optional[float] = None
+
+
+class Histogram:
+    """A fixed-bucket latency histogram, sharded per thread.
+
+    ``buckets`` are the upper bounds of each bin; an implicit +Inf
+    overflow bin is appended, so ``observe`` never drops a sample.
+    Snapshots carry per-bin counts plus count/sum/min/max, and two
+    snapshots with identical bounds merge exactly
+    (:func:`merge_histogram_data`).
+    """
+
+    def __init__(self, buckets: _t.Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+            raise MetricsError(f"histogram buckets must be strictly increasing, got {bounds}")
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._cells: _t.List[_HistogramCell] = []
+        self._local = threading.local()
+
+    def observe(self, value: float) -> None:
+        """Record one sample into the calling thread's cell."""
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = _HistogramCell(len(self.buckets) + 1)
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        index = _bucket_index(self.buckets, value)
+        cell.counts[index] += 1
+        cell.total += 1
+        cell.sum += value
+        if cell.min is None or value < cell.min:
+            cell.min = value
+        if cell.max is None or value > cell.max:
+            cell.max = value
+
+    def data(self) -> dict:
+        """Fold the cells into one plain-data histogram snapshot."""
+        counts = [0] * (len(self.buckets) + 1)
+        total, total_sum = 0, 0.0
+        lo: _t.Optional[float] = None
+        hi: _t.Optional[float] = None
+        with self._lock:
+            cells = list(self._cells)
+        for cell in cells:
+            for i, c in enumerate(cell.counts):
+                counts[i] += c
+            total += cell.total
+            total_sum += cell.sum
+            if cell.min is not None and (lo is None or cell.min < lo):
+                lo = cell.min
+            if cell.max is not None and (hi is None or cell.max > hi):
+                hi = cell.max
+        return {
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "count": total,
+            "sum": total_sum,
+            "min": lo,
+            "max": hi,
+        }
+
+
+def _bucket_index(bounds: _t.Tuple[float, ...], value: float) -> int:
+    """Index of the first bound >= value (len(bounds) for overflow)."""
+    lo, hi = 0, len(bounds)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= bounds[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class MetricsRegistry:
+    """Named, labelled metric series with one snapshot surface.
+
+    Series are identified by (name, sorted labels); asking twice for
+    the same series returns the same underlying metric, so call sites
+    need no caching.  ``snapshot()`` renders everything to plain data
+    keyed by the canonical Prometheus series string.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: _t.Dict[str, Counter] = {}
+        self._gauges: _t.Dict[str, Gauge] = {}
+        self._histograms: _t.Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter series ``name{labels}``, created on first use."""
+        key = format_series(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge series ``name{labels}``, created on first use."""
+        key = format_series(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: _t.Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram series ``name{labels}``, created on first use.
+
+        Re-registering an existing series with different bounds is a
+        :class:`MetricsError`: silently returning the old histogram
+        would record into buckets the caller did not ask for.
+        """
+        key = format_series(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(buckets)
+            elif metric.buckets != tuple(float(b) for b in buckets):
+                raise MetricsError(
+                    f"series {key!r} already registered with buckets "
+                    f"{metric.buckets}, cannot re-register with {tuple(buckets)}"
+                )
+        return metric
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every series, JSON-safe and mergeable."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: metric.value() for key, metric in sorted(counters.items())},
+            "gauges": {key: metric.value() for key, metric in sorted(gauges.items())},
+            "histograms": {key: metric.data() for key, metric in sorted(histograms.items())},
+        }
+
+
+def merge_histogram_data(left: dict, right: dict) -> dict:
+    """Combine two histogram snapshots with identical bucket bounds.
+
+    Bucket counts, totals and sums add; min/max take the extremes.
+    Because the bounds are fixed, the merge is exact — the result is
+    indistinguishable from one histogram having observed both streams.
+    """
+    if left["buckets"] != right["buckets"]:
+        raise MetricsError(
+            f"cannot merge histograms with different buckets: "
+            f"{left['buckets']} vs {right['buckets']}"
+        )
+    mins = [m for m in (left["min"], right["min"]) if m is not None]
+    maxes = [m for m in (left["max"], right["max"]) if m is not None]
+    return {
+        "buckets": list(left["buckets"]),
+        "counts": [a + b for a, b in zip(left["counts"], right["counts"])],
+        "count": left["count"] + right["count"],
+        "sum": left["sum"] + right["sum"],
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+    }
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Fold registry snapshots into one: counters/histograms add, gauges max.
+
+    The fold is associative and commutative, so campaign workers can be
+    merged in any order or grouping — pairwise, all at once, or
+    incrementally as each worker finishes — with identical results.
+    An empty call returns an empty (all-zero) snapshot.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for key, value in snap.get("counters", {}).items():
+            merged["counters"][key] = merged["counters"].get(key, 0.0) + value
+        for key, value in snap.get("gauges", {}).items():
+            previous = merged["gauges"].get(key)
+            merged["gauges"][key] = value if previous is None else max(previous, value)
+        for key, data in snap.get("histograms", {}).items():
+            previous = merged["histograms"].get(key)
+            merged["histograms"][key] = (
+                dict(data) if previous is None else merge_histogram_data(previous, data)
+            )
+    for section in ("counters", "gauges", "histograms"):
+        merged[section] = dict(sorted(merged[section].items()))
+    return merged

@@ -9,14 +9,18 @@ injection can be confined to test traffic (e.g. IDs of the form
 
 from repro.tracing.context import (
     RequestIdGenerator,
+    SpanIdGenerator,
     TEST_ID_PREFIX,
+    TRACE_HEADERS,
     is_test_request_id,
     propagate,
 )
 
 __all__ = [
     "RequestIdGenerator",
+    "SpanIdGenerator",
     "TEST_ID_PREFIX",
+    "TRACE_HEADERS",
     "is_test_request_id",
     "propagate",
 ]

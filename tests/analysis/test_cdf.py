@@ -3,6 +3,54 @@
 import pytest
 
 from repro.analysis import Cdf, percentile, summarize
+from repro.errors import AnalysisError, ReproError
+
+
+class TestEdgeCaseErrors:
+    """Empty / degenerate input raises a typed, descriptive error.
+
+    AnalysisError subclasses both ReproError (so callers catching the
+    repo-wide base see it) and ValueError (so pre-existing callers
+    keep working).
+    """
+
+    def test_empty_percentile_is_repro_error(self):
+        with pytest.raises(AnalysisError, match="empty sample set"):
+            percentile([], 50)
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+    def test_empty_cdf_is_repro_error(self):
+        with pytest.raises(AnalysisError, match="empty sample set"):
+            Cdf([])
+
+    def test_empty_summarize_is_repro_error(self):
+        with pytest.raises(AnalysisError, match="empty sample set"):
+            summarize([])
+
+    def test_q_out_of_range_is_repro_error(self):
+        with pytest.raises(AnalysisError, match=r"\[0, 100\]"):
+            percentile([1.0], 150)
+
+    def test_nan_samples_rejected(self):
+        with pytest.raises(AnalysisError, match="NaN"):
+            percentile([1.0, float("nan")], 50)
+        with pytest.raises(AnalysisError, match="NaN"):
+            Cdf([float("nan")])
+
+    def test_zero_step_points_rejected(self):
+        with pytest.raises(AnalysisError, match="at least 1 step"):
+            Cdf([1.0, 2.0]).points(steps=0)
+
+    def test_single_sample_still_works(self):
+        # A single sample is every percentile of itself — degenerate
+        # but well-defined, so it must NOT raise.
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 99) == 7.0
+        assert summarize([7.0])["p99"] == 7.0
+        cdf = Cdf([7.0])
+        assert cdf.median == 7.0
+        cdf.ascii_plot()  # zero span must not divide by zero
 
 
 class TestPercentile:

@@ -1,0 +1,110 @@
+"""Unit tests for fault attribution and the exporters."""
+
+import json
+
+from repro.agent.rules import abort, delay
+from repro.observability import (
+    FaultAttribution,
+    attribute_trace,
+    to_json,
+    to_prometheus,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import reconstruct_from_records
+
+from tests.observability.test_spans_trace import request_record, reply_record
+
+
+def faulted_records():
+    """user -> a -> b where the a->b call was aborted and a returned 500."""
+    return [
+        request_record("u#1", None, "user", "a", 0.0),
+        request_record("a#1", "u#1", "a", "b", 0.1),
+        reply_record(
+            "a#1", "u#1", "a", "b", 0.1, latency=0.0, status=503,
+            fault_applied="abort(503)", gremlin_generated=True,
+        ),
+        reply_record("u#1", None, "user", "a", 0.3, latency=0.3, status=500),
+    ]
+
+
+class TestAttributeTrace:
+    def test_joins_fault_to_rule_and_path(self):
+        trace = reconstruct_from_records("test-1", faulted_records())
+        rule = abort(src="a", dst="b", error=503)
+        attributions = attribute_trace(trace, [rule])
+        assert len(attributions) == 1
+        a = attributions[0]
+        assert a.fault == "abort(503)"
+        assert a.edge == "a -> b"
+        assert a.rule_id == rule.rule_id
+        assert a.propagation_path == [
+            "a -> b (status=503)",
+            "user -> a (status=500)",
+        ]
+        assert a.outcome == "status=500"
+
+    def test_edge_disambiguates_same_shaped_rules(self):
+        trace = reconstruct_from_records("test-1", faulted_records())
+        decoy = abort(src="x", dst="y", error=503)
+        real = abort(src="a", dst="b", error=503)
+        (attribution,) = attribute_trace(trace, [decoy, real])
+        assert attribution.rule_id == real.rule_id
+        assert attribution.rule_id != decoy.rule_id
+
+    def test_unmatched_fault_is_loud(self):
+        trace = reconstruct_from_records("test-1", faulted_records())
+        wrong = delay(src="a", dst="b", interval=1.0)
+        (attribution,) = attribute_trace(trace, [wrong])
+        assert attribution.rule_id is None
+        assert "NO MATCHING RULE" in attribution.describe()
+
+    def test_clean_trace_yields_nothing(self):
+        records = [
+            request_record("u#1", None, "user", "a", 0.0),
+            reply_record("u#1", None, "user", "a", 0.2, latency=0.2),
+        ]
+        trace = reconstruct_from_records("test-1", records)
+        assert attribute_trace(trace, []) == []
+
+    def test_dict_roundtrip(self):
+        trace = reconstruct_from_records("test-1", faulted_records())
+        (attribution,) = attribute_trace(trace, [])
+        assert FaultAttribution.from_dict(attribution.to_dict()) == attribution
+
+
+class TestExporters:
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", svc="a").inc(3)
+        registry.gauge("breaker_state", svc="a").set(2)
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0), svc="a")
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(9.0)
+        return registry.snapshot()
+
+    def test_json_roundtrips(self):
+        snap = self.snapshot()
+        assert json.loads(to_json(snap)) == snap
+
+    def test_prometheus_families_and_cumulative_buckets(self):
+        text = to_prometheus(self.snapshot())
+        assert "# TYPE hits_total counter" in text
+        assert '# TYPE breaker_state gauge' in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'hits_total{svc="a"} 3' in text
+        # Bucket counts are cumulative and capped by the +Inf bucket.
+        assert 'lat_seconds_bucket{svc="a",le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{svc="a",le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{svc="a",le="+Inf"} 3' in text
+        assert 'lat_seconds_count{svc="a"} 3' in text
+
+    def test_unlabelled_series_render_bare(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc()
+        text = to_prometheus(registry.snapshot())
+        assert "events_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({"counters": {}, "gauges": {}, "histograms": {}}) == ""

@@ -1,0 +1,194 @@
+"""Unit tests for span assembly and trace reconstruction.
+
+Built on synthetic ObservationRecords so the tree shapes and anomaly
+paths are exact; end-to-end reconstruction against a live deployment
+is covered by tests/observability/test_live_tracing.py and the CLI
+tests.
+"""
+
+import pytest
+
+from repro.errors import ReproError, TraceError
+from repro.logstore import EventStore, ObservationKind, ObservationRecord
+from repro.observability import Trace, assemble_spans, reconstruct
+from repro.observability.trace import reconstruct_from_records
+
+
+def request_record(span_id, parent, src, dst, t, **extra):
+    return ObservationRecord(
+        timestamp=t,
+        kind=ObservationKind.REQUEST,
+        src=src,
+        dst=dst,
+        src_instance=f"{src}-0",
+        request_id="test-1",
+        method="GET",
+        uri="/",
+        span_id=span_id,
+        parent_span=parent,
+        **extra,
+    )
+
+
+def reply_record(span_id, parent, src, dst, t, latency, status=200, **extra):
+    return ObservationRecord(
+        timestamp=t,
+        kind=ObservationKind.REPLY,
+        src=src,
+        dst=dst,
+        src_instance=f"{src}-0",
+        request_id="test-1",
+        method="GET",
+        uri="/",
+        status=status,
+        latency=latency,
+        span_id=span_id,
+        parent_span=parent,
+        **extra,
+    )
+
+
+def two_hop_records():
+    """user -> a -> b: two complete spans, b nested under a."""
+    return [
+        request_record("u#1", None, "user", "a", 0.0),
+        request_record("a#1", "u#1", "a", "b", 0.1),
+        reply_record("a#1", "u#1", "a", "b", 0.3, latency=0.2),
+        reply_record("u#1", None, "user", "a", 0.5, latency=0.5),
+    ]
+
+
+class TestAssembleSpans:
+    def test_pairs_fold_into_complete_spans(self):
+        spans, diagnostics = assemble_spans(two_hop_records())
+        assert diagnostics == []
+        assert [s.span_id for s in spans] == ["u#1", "a#1"]  # start-ordered
+        outer = spans[0]
+        assert outer.complete and outer.ok
+        assert outer.latency == 0.5
+        assert outer.edge == ("user", "a")
+
+    def test_missing_reply_is_diagnosed_not_dropped(self):
+        spans, diagnostics = assemble_spans(two_hop_records()[:2])
+        assert len(spans) == 2
+        assert not spans[1].complete
+        assert any("no reply record" in d for d in diagnostics)
+
+    def test_orphan_reply_synthesizes_span(self):
+        spans, diagnostics = assemble_spans(
+            [reply_record("x#1", None, "a", "b", 1.0, latency=0.25)]
+        )
+        assert len(spans) == 1
+        assert spans[0].start == pytest.approx(0.75)  # timestamp - latency
+        assert any("no request record" in d for d in diagnostics)
+
+    def test_duplicate_request_keeps_first(self):
+        first = request_record("u#1", None, "user", "a", 0.0)
+        dup = request_record("u#1", None, "user", "z", 9.0)
+        spans, diagnostics = assemble_spans([first, dup])
+        assert len(spans) == 1
+        assert spans[0].dst == "a"
+        assert any("duplicate request" in d for d in diagnostics)
+
+    def test_untraced_records_counted(self):
+        bare = ObservationRecord(
+            timestamp=0.0, kind=ObservationKind.REQUEST, src="a", dst="b"
+        )
+        spans, diagnostics = assemble_spans([bare])
+        assert spans == []
+        assert any("no span ID" in d for d in diagnostics)
+
+
+class TestTrace:
+    def trace(self, records=None):
+        return reconstruct_from_records("test-1", records or two_hop_records())
+
+    def test_tree_shape(self):
+        trace = self.trace()
+        assert trace.span_count == 2
+        assert [r.span.span_id for r in trace.roots] == ["u#1"]
+        assert [c.span.span_id for c in trace.roots[0].children] == ["a#1"]
+        assert trace.duration == pytest.approx(0.5)
+        assert not trace.failed
+
+    def test_unknown_parent_becomes_loud_root(self):
+        records = two_hop_records()[1:3]  # inner span only, parent lost
+        trace = self.trace(records)
+        assert [r.span.span_id for r in trace.roots] == ["a#1"]
+        assert trace.orphans
+        assert any("unknown parent" in d for d in trace.diagnostics)
+
+    def test_critical_path_follows_latest_finishing_child(self):
+        records = two_hop_records() + [
+            # A second, faster child of u#1: must not be on the path.
+            request_record("a#2", "u#1", "a", "c", 0.1),
+            reply_record("a#2", "u#1", "a", "c", 0.15, latency=0.05),
+        ]
+        trace = self.trace(records)
+        assert [s.span_id for s in trace.critical_path()] == ["u#1", "a#1"]
+
+    def test_incomplete_span_counts_as_still_running(self):
+        records = two_hop_records() + [
+            request_record("a#2", "u#1", "a", "c", 0.1)  # never replied
+        ]
+        trace = self.trace(records)
+        assert [s.span_id for s in trace.critical_path()] == ["u#1", "a#2"]
+
+    def test_failed_when_root_errors(self):
+        records = [
+            request_record("u#1", None, "user", "a", 0.0),
+            reply_record("u#1", None, "user", "a", 0.5, latency=0.5, status=500),
+        ]
+        assert self.trace(records).failed
+
+    def test_edge_latency_separates_injected_delay(self):
+        records = [
+            request_record("u#1", None, "user", "a", 0.0),
+            reply_record(
+                "u#1", None, "user", "a", 3.1, latency=3.1,
+                injected_delay=3.0, fault_applied="delay(3)",
+            ),
+        ]
+        edges = self.trace(records).edge_latency()
+        assert edges[("user", "a")]["total"] == pytest.approx(3.1)
+        assert edges[("user", "a")]["injected"] == pytest.approx(3.0)
+
+    def test_render_marks_critical_and_failures(self):
+        records = [
+            request_record("u#1", None, "user", "a", 0.0),
+            reply_record(
+                "u#1", None, "user", "a", 0.5, latency=0.5, status=503,
+                fault_applied="abort(503)", gremlin_generated=True,
+            ),
+        ]
+        text = self.trace(records).render()
+        assert "*critical*" in text
+        assert "FAILED" in text
+        assert "fault=abort(503)" in text
+        assert "(gremlin-synthesized)" in text
+
+    def test_empty_trace_is_harmless(self):
+        trace = Trace("test-9", [], [])
+        assert trace.critical_path() == []
+        assert trace.duration is None
+        assert not trace.failed
+
+
+class TestReconstructFromStore:
+    def test_unknown_id_raises_typed_error(self):
+        store = EventStore()
+        with pytest.raises(TraceError, match="no records for request ID"):
+            reconstruct(store, "nope")
+        with pytest.raises(ReproError):
+            reconstruct(store, "nope")
+
+    def test_point_lookup_roundtrip(self):
+        store = EventStore()
+        for record in two_hop_records():
+            store.append(record)
+        other = request_record("v#1", None, "user", "a", 2.0)
+        other.request_id = "test-2"
+        store.append(other)
+        trace = reconstruct(store, "test-1")
+        assert trace.span_count == 2
+        assert all(s.request_id == "test-1" for s in trace.spans)

@@ -1,0 +1,129 @@
+"""Property-based tests for histogram and snapshot merge invariants.
+
+The campaign runner's whole metrics design rests on one algebraic
+fact: folding per-worker snapshots is associative and commutative, so
+the campaign-wide view is independent of worker count, merge order,
+and grouping.  Hypothesis drives that fact directly — any partition
+of an observation stream across any number of histograms, merged in
+any order, must equal the single histogram that observed the whole
+stream.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_histogram_data,
+    merge_snapshots,
+)
+
+_BOUNDS = (0.01, 0.1, 1.0, 10.0)
+
+#: Integer-valued floats: their addition is exact in IEEE-754, so the
+#: merge-equality assertions can be bit-for-bit.  (With arbitrary
+#: floats the bucket counts/min/max still merge exactly but the
+#: running ``sum`` differs in the last ulp across groupings — an
+#: inherent float property, not a merge bug.)
+_values = st.lists(
+    st.integers(min_value=0, max_value=100).map(float),
+    max_size=60,
+)
+
+_general_values = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    max_size=60,
+)
+
+
+def _observe_all(values):
+    histogram = Histogram(_BOUNDS)
+    for value in values:
+        histogram.observe(value)
+    return histogram.data()
+
+
+class TestHistogramMerge:
+    @given(streams=st.lists(_values, min_size=1, max_size=5))
+    @settings(max_examples=150)
+    def test_any_partition_equals_single_stream(self, streams):
+        """Splitting observations across N histograms then merging is
+        indistinguishable from one histogram seeing everything."""
+        merged = _observe_all(streams[0])
+        for stream in streams[1:]:
+            merged = merge_histogram_data(merged, _observe_all(stream))
+        combined = _observe_all([v for stream in streams for v in stream])
+        assert merged == combined
+
+    @given(left=_values, right=_values)
+    @settings(max_examples=150)
+    def test_commutative(self, left, right):
+        a, b = _observe_all(left), _observe_all(right)
+        assert merge_histogram_data(a, b) == merge_histogram_data(b, a)
+
+    @given(a=_values, b=_values, c=_values)
+    @settings(max_examples=100)
+    def test_associative(self, a, b, c):
+        da, db, dc = _observe_all(a), _observe_all(b), _observe_all(c)
+        left = merge_histogram_data(merge_histogram_data(da, db), dc)
+        right = merge_histogram_data(da, merge_histogram_data(db, dc))
+        assert left == right
+
+    @given(values=_general_values)
+    @settings(max_examples=100)
+    def test_counts_conserve_samples(self, values):
+        data = _observe_all(values)
+        assert sum(data["counts"]) == data["count"] == len(values)
+        if values:
+            assert data["min"] == min(values)
+            assert data["max"] == max(values)
+
+
+def _snapshot(counter_values, gauge_value, histogram_values):
+    registry = MetricsRegistry()
+    for name, amount in counter_values:
+        registry.counter(name).inc(amount)
+    registry.gauge("state").set(gauge_value)
+    histogram = registry.histogram("latency", buckets=_BOUNDS)
+    for value in histogram_values:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+_counter_entries = st.lists(
+    st.tuples(
+        st.sampled_from(["requests", "faults", "retries"]),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=10,
+)
+
+_snapshots = st.builds(
+    _snapshot,
+    counter_values=_counter_entries,
+    gauge_value=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    histogram_values=_values,
+)
+
+
+class TestSnapshotMerge:
+    @given(snaps=st.lists(_snapshots, min_size=2, max_size=4))
+    @settings(max_examples=75)
+    def test_grouping_invariant(self, snaps):
+        """merge(a, b, c, ...) == merge(merge(a, b), c, ...) for any split."""
+        all_at_once = merge_snapshots(*snaps)
+        incremental = snaps[0]
+        for snap in snaps[1:]:
+            incremental = merge_snapshots(incremental, snap)
+        assert all_at_once == incremental
+
+    @given(snaps=st.lists(_snapshots, min_size=2, max_size=4))
+    @settings(max_examples=75)
+    def test_order_invariant(self, snaps):
+        assert merge_snapshots(*snaps) == merge_snapshots(*reversed(snaps))
+
+    @given(snap=_snapshots)
+    @settings(max_examples=50)
+    def test_identity(self, snap):
+        """Merging with an empty snapshot changes nothing."""
+        assert merge_snapshots(snap, merge_snapshots()) == merge_snapshots(snap)

@@ -118,6 +118,83 @@ class TestTest:
         assert doc["issues_found"] is False
 
 
+class TestTrace:
+    def test_renders_causal_tree_with_fault(self, capsys):
+        code = main(
+            ["trace", "tree3", "test-3", "--target", "svc-1", "--requests", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace test-3:" in out
+        assert "user -> svc-0" in out
+        assert "svc-0 -> svc-1" in out
+        assert "*critical*" in out
+        assert "fault=abort(reset)" in out
+        assert "fault attribution:" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "trace",
+                "tree3",
+                "test-2",
+                "--target",
+                "svc-1",
+                "--requests",
+                "5",
+                "--json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["request_id"] == "test-2"
+        assert doc["span_count"] >= 2
+        edges = {(s["src"], s["dst"]) for s in doc["spans"]}
+        assert ("user", "svc-0") in edges
+        assert doc["attributions"]
+
+    def test_unfaulted_trace_spans_full_tree(self, capsys):
+        # No --target: every request fans out over all 7 services of
+        # the depth-3 tree, so one trace holds all 6 internal edges.
+        code = main(["trace", "tree3", "test-1", "--requests", "2", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["span_count"] == 15
+        assert doc["failed"] is False
+        assert doc["attributions"] == []
+
+    def test_unknown_request_id_exits(self, capsys):
+        with pytest.raises(SystemExit, match="no records for request ID"):
+            main(["trace", "tree3", "nope-99", "--requests", "2"])
+
+
+class TestMetrics:
+    def test_prometheus_output(self, capsys):
+        code = main(
+            ["metrics", "tree3", "--target", "svc-1", "--requests", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE gremlin_requests_total counter" in out
+        assert 'gremlin_requests_total{dst="svc-0",src="user"} 5' in out
+        assert (
+            'gremlin_faults_injected_total{dst="svc-1",fault="abort(reset)",src="svc-0"}'
+            in out
+        )
+        assert "# TYPE gremlin_request_latency_seconds histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["metrics", "tree3", "--requests", "3", "--format", "json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["counters"]['gremlin_requests_total{dst="svc-0",src="user"}'] == 3
+        series = 'gremlin_request_latency_seconds{dst="svc-0",src="user"}'
+        assert doc["histograms"][series]["count"] == 3
+
+
 class TestCampaignSmoke:
     def test_smoke_exercises_the_fleet(self, capsys):
         code = main(["campaign", "smoke", "wordpress", "--seed", "3"])
@@ -175,6 +252,29 @@ class TestCampaignRun:
         doc = json.loads(capsys.readouterr().out)
         assert doc["counts"]["skipped"] == 0
         assert len(doc["outcomes"]) == 1
+
+    def test_metrics_out_writes_merged_snapshot(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        main(
+            [
+                "campaign",
+                "run",
+                "twotier",
+                "--requests",
+                "5",
+                "--max-recipes",
+                "2",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert f"merged metrics written to {metrics_path}" in out
+        doc = json.loads(metrics_path.read_text())
+        assert set(doc) == {"counters", "gauges", "histograms"}
+        # Both recipes drove 5 requests into ServiceA; the merged
+        # snapshot sums the per-recipe registries.
+        assert doc["counters"]['gremlin_requests_total{dst="ServiceA",src="user"}'] == 10
 
     def test_unknown_app_exits(self):
         with pytest.raises(SystemExit, match="unknown app"):
