@@ -18,6 +18,7 @@ import pytest
 BENCH_LOGSTORE_PATH = pathlib.Path(__file__).parent / "BENCH_logstore.json"
 BENCH_CAMPAIGN_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
 BENCH_TRACING_PATH = pathlib.Path(__file__).parent / "BENCH_tracing.json"
+BENCH_FUZZ_PATH = pathlib.Path(__file__).parent / "BENCH_fuzz.json"
 
 
 class ExperimentReport:
@@ -47,6 +48,11 @@ _BENCH_CAMPAIGN: dict = {}
 # span tracing on vs off).  Populated by the tracing benchmark; flushed
 # to BENCH_tracing.json at session end.
 _BENCH_TRACING: dict = {}
+
+# Machine-readable differential-fuzzing numbers (case throughput,
+# battery coverage).  Populated by the fuzz benchmark; flushed to
+# BENCH_fuzz.json at session end.
+_BENCH_FUZZ: dict = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -82,6 +88,12 @@ def bench_tracing() -> dict:
     return _BENCH_TRACING
 
 
+@pytest.fixture(scope="session")
+def bench_fuzz() -> dict:
+    """Mutable dict the fuzz benchmark records its numbers into."""
+    return _BENCH_FUZZ
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _BENCH_LOGSTORE:
         payload = dict(_BENCH_LOGSTORE)
@@ -101,6 +113,12 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_TRACING_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+    if _BENCH_FUZZ:
+        payload = dict(_BENCH_FUZZ)
+        payload.setdefault("source", "benchmarks/test_bench_fuzz.py")
+        BENCH_FUZZ_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -110,6 +128,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"campaign numbers written to {BENCH_CAMPAIGN_PATH}")
     if _BENCH_TRACING:
         terminalreporter.write_line(f"tracing numbers written to {BENCH_TRACING_PATH}")
+    if _BENCH_FUZZ:
+        terminalreporter.write_line(f"fuzz numbers written to {BENCH_FUZZ_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

@@ -1,0 +1,75 @@
+"""Differential fuzzer: case throughput and battery coverage.
+
+The fuzzer's operational claim is that differential coverage is cheap
+enough to run continuously: every case pays for a full deploy + inject
++ load + check cycle *several times over* (baseline execution, oracle
+walk, and one re-execution per applicable metamorphic check), yet a
+CI-sized corpus should still clear in seconds.  This benchmark pins:
+
+* **throughput** — cases/second through the full battery, serial and
+  on the 4-worker fleet (thread workers under the GIL, so the fleet
+  number documents rather than promises a speedup);
+* **coverage** — what fraction of the corpus the exact oracle diffed,
+  and how many cases each metamorphic check ran on, so a generator
+  regression that silently shrinks the deterministic domain shows up
+  as a number, not a hunch;
+* **determinism** — the serial and fleet runs must agree failure-for-
+  failure, re-asserting the campaign contract under fuzz load.
+
+Numbers land in ``BENCH_fuzz.json`` via the session-finish hook in
+``conftest.py``.
+"""
+
+import os
+import time
+
+from repro.cli import APPS
+from repro.fuzz import run_fuzz
+
+SEED = 2026
+CASES = 60
+FLEET_WORKERS = 4
+
+
+def test_fuzz_throughput_and_coverage(report, bench_fuzz):
+    start = time.perf_counter()
+    serial = run_fuzz(SEED, CASES, workers=1, app_registry=APPS)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fleet = run_fuzz(SEED, CASES, workers=FLEET_WORKERS, app_registry=APPS)
+    fleet_s = time.perf_counter() - start
+
+    # Determinism contract: worker count changes wall clock, nothing else.
+    assert serial.to_dict()["failures"] == fleet.to_dict()["failures"]
+    assert serial.metamorphic_counts == fleet.metamorphic_counts
+    assert serial.passed, serial.summary()
+
+    # The battery must stay fast enough for per-PR CI smoke runs.
+    assert serial_s < 60.0, f"{CASES} cases took {serial_s:.1f}s serially"
+
+    bench_fuzz.update(
+        {
+            "seed": SEED,
+            "cases": CASES,
+            "cpus": os.cpu_count(),
+            "serial_s": round(serial_s, 3),
+            "fleet_workers": FLEET_WORKERS,
+            "fleet_s": round(fleet_s, 3),
+            "cases_per_s_serial": round(CASES / serial_s, 1),
+            "cases_per_s_fleet": round(CASES / fleet_s, 1),
+            "oracle_checked": serial.oracle_checked,
+            "oracle_fraction": round(serial.oracle_checked / CASES, 3),
+            "metamorphic_counts": dict(serial.metamorphic_counts),
+        }
+    )
+
+    lines = [
+        f"corpus: seed={SEED}, {CASES} cases",
+        f"serial:  {serial_s:.2f}s  ({CASES / serial_s:.1f} cases/s)",
+        f"fleet({FLEET_WORKERS}): {fleet_s:.2f}s  ({CASES / fleet_s:.1f} cases/s)",
+        f"oracle-diffed: {serial.oracle_checked}/{CASES}",
+    ]
+    for name, count in sorted(serial.metamorphic_counts.items()):
+        lines.append(f"metamorphic {name}: {count}/{CASES}")
+    report.add("differential fuzzing throughput", "\n".join(lines))

@@ -144,8 +144,16 @@ class RuleMatcher:
         probability draw still counts toward ``matched`` statistics but
         does not consume budget — mirroring the paper's Overload recipe
         where 25%/75% splits act on disjoint subsets of one stream.
+
+        This method is the ONLY place a probability draw happens, and
+        every strategy routes through it: a draw is taken iff a rule
+        survives the structural checks and has ``probability < 1``, in
+        strict installation order.  Two matchers seeded with the same
+        RNG therefore consume draws identically regardless of strategy
+        — the invariant the differential fuzzer's strategy-equivalence
+        check relies on (pinned by tests/property/test_matcher_props).
         """
-        for installed in self._structural_candidates(dst, direction):
+        for installed in self._structural_candidates(dst, direction, request_id):
             if installed.exhausted:
                 continue
             if not installed.matches_id(request_id):
@@ -162,7 +170,16 @@ class RuleMatcher:
 
     # -- strategy hooks ----------------------------------------------------------
 
-    def _structural_candidates(self, dst: str, direction: str) -> _t.Iterable[InstalledRule]:
+    def _structural_candidates(
+        self, dst: str, direction: str, request_id: str | None
+    ) -> _t.Iterable[InstalledRule]:
+        """Rules that could structurally match, in installation order.
+
+        ``request_id`` is a pre-filter hint only: a strategy may use it
+        to skip rules that cannot match (prefix bucketing), but must
+        never return candidates out of install order, because order
+        determines first-match-wins *and* RNG-draw sequence.
+        """
         raise NotImplementedError
 
     def _index(self, installed: InstalledRule) -> None:
@@ -182,7 +199,9 @@ class LinearMatcher(RuleMatcher):
     curve Figure 8 plots for 1/5/10 installed rules.
     """
 
-    def _structural_candidates(self, dst: str, direction: str) -> _t.Iterable[InstalledRule]:
+    def _structural_candidates(
+        self, dst: str, direction: str, request_id: str | None
+    ) -> _t.Iterable[InstalledRule]:
         return (
             installed
             for installed in self._installed
@@ -275,41 +294,17 @@ class PrefixIndexMatcher(RuleMatcher):
         self._buckets: dict[tuple[str, str], _PrefixBucket] = {}
         super().__init__(rng)
 
-    def _structural_candidates(self, dst: str, direction: str) -> _t.Iterable[InstalledRule]:
+    def _structural_candidates(
+        self, dst: str, direction: str, request_id: str | None
+    ) -> _t.Iterable[InstalledRule]:
+        # The bucket pre-filters by literal ID prefix; the shared
+        # match() loop in the base class still runs the full structural
+        # checks and owns the probability draw, so both strategies
+        # consume RNG draws identically by construction.
         bucket = self._buckets.get((dst, direction))
         if bucket is None:
             return ()
-        # Used only by the generic path; match() overrides below.
-        return sorted(
-            bucket.unprefixed
-            + [ir for group in bucket.by_prefix.values() for ir in group],
-            key=lambda installed: installed.order,
-        )
-
-    def match(
-        self,
-        dst: str,
-        direction: str,
-        request_id: str | None,
-        body: bytes | None = None,
-    ) -> InstalledRule | None:
-        bucket = self._buckets.get((dst, direction))
-        if bucket is None:
-            return None
-        for installed in bucket.candidates(request_id):
-            if installed.exhausted:
-                continue
-            if not installed.matches_id(request_id):
-                continue
-            if installed.rule.fault_type == FaultType.MODIFY:
-                if body is None or installed.rule.search_bytes not in body:
-                    continue
-            installed.matched += 1
-            probability = installed.rule.probability
-            if probability < 1.0 and self._rng.random() >= probability:
-                continue
-            return installed
-        return None
+        return bucket.candidates(request_id)
 
     def _index(self, installed: InstalledRule) -> None:
         key = (installed.rule.dst, installed.rule.on)

@@ -22,6 +22,7 @@ Quick start::
 """
 
 from repro.campaign.diff import CampaignDiff, StatusChange, diff_campaigns
+from repro.campaign.fleet import run_fleet
 from repro.campaign.io import dump_jsonl, dumps, load_jsonl, loads
 from repro.campaign.plan import (
     CampaignPlan,
@@ -57,5 +58,6 @@ __all__ = [
     "loads",
     "plan_campaign",
     "recipe_signature",
+    "run_fleet",
     "scenario_target",
 ]

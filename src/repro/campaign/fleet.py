@@ -1,0 +1,85 @@
+"""Generic worker-fleet: drain a job queue through N threads.
+
+Extracted from :class:`~repro.campaign.runner.CampaignRunner` so every
+parallel harness in the codebase (campaigns, the differential fuzzer)
+shares one fleet implementation with one contract:
+
+* Jobs are independent: a result depends only on the job payload,
+  never on which worker ran it, how many workers there were, or the
+  drain order.  The fleet preserves this by keying results by job
+  *position* — callers get back exactly one slot per submitted job.
+* Workers are threads.  The simulated control/data plane is pure CPU
+  under the GIL, so threads cost nothing versus processes while still
+  overlapping anything that genuinely waits on the wall clock (pacing
+  floors, operator I/O).
+* ``stop_when`` implements fail-fast: once any completed job's result
+  satisfies it, no further jobs are dispatched.  Jobs already running
+  finish normally; undispatched jobs are simply absent from the result
+  map.
+
+``execute`` must never raise — wrap failures into the result type, as
+:class:`~repro.campaign.runner.RecipeExecutor` does — because a raised
+exception would kill one worker thread and silently shrink the fleet.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import typing as _t
+
+from repro.errors import CampaignError
+
+__all__ = ["run_fleet"]
+
+R = _t.TypeVar("R")
+J = _t.TypeVar("J")
+
+
+def run_fleet(
+    jobs: _t.Sequence[J],
+    execute: _t.Callable[[int, J], R],
+    *,
+    workers: int = 1,
+    stop_when: _t.Optional[_t.Callable[[R], bool]] = None,
+) -> dict[int, R]:
+    """Drain ``jobs`` through a fleet of ``workers`` threads.
+
+    ``execute(worker_id, job)`` runs each job; results come back keyed
+    by the job's position in ``jobs``.  Positions missing from the map
+    were never dispatched (fail-fast stopped the fleet first).
+    """
+    if workers < 1:
+        raise CampaignError(f"workers must be >= 1, got {workers}")
+    queue: collections.deque = collections.deque(enumerate(jobs))
+    lock = threading.Lock()
+    stop = threading.Event()
+    results: dict[int, R] = {}
+
+    def worker(worker_id: int) -> None:
+        while True:
+            with lock:
+                if stop.is_set() or not queue:
+                    return
+                key, job = queue.popleft()
+            result = execute(worker_id, job)
+            with lock:
+                results[key] = result
+            if stop_when is not None and stop_when(result):
+                stop.set()
+
+    fleet_size = max(1, min(workers, len(jobs)))
+    if fleet_size == 1:
+        worker(0)
+    else:
+        threads = [
+            threading.Thread(
+                target=worker, args=(i,), name=f"fleet-worker-{i}", daemon=True
+            )
+            for i in range(fleet_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    return results

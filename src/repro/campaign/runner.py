@@ -29,11 +29,10 @@ seeds to separate *broken* behaviour (fails under every seed) from
 
 from __future__ import annotations
 
-import collections
-import threading
 import time
 import typing as _t
 
+from repro.campaign.fleet import run_fleet
 from repro.campaign.plan import CampaignPlan, DeploymentFactory, PlannedRecipe, derive_seed
 from repro.campaign.results import CampaignResult, CheckOutcome, RecipeOutcome
 from repro.core.gremlin import Gremlin
@@ -296,40 +295,25 @@ class CampaignRunner:
         """Drain ``(entry, seed_override)`` jobs through the worker
         fleet; returns outcomes keyed by job *position* (not plan
         index — flake reruns submit the same entry several times)."""
-        queue: collections.deque = collections.deque(enumerate(jobs))
-        lock = threading.Lock()
-        stop = threading.Event()
-        results: dict[int, RecipeOutcome] = {}
+        executors: dict[int, RecipeExecutor] = {}
 
-        def worker(worker_id: int) -> None:
-            executor = self._executor()
-            while True:
-                with lock:
-                    if stop.is_set() or not queue:
-                        return
-                    key, (entry, seed) = queue.popleft()
-                outcome = executor.execute(entry, seed=seed)
-                outcome.worker = worker_id
-                with lock:
-                    results[key] = outcome
-                if fail_fast and outcome.conclusive_failure:
-                    stop.set()
+        def execute(worker_id: int, job: tuple[PlannedRecipe, _t.Optional[int]]) -> RecipeOutcome:
+            # One executor per worker thread (run_fleet calls a given
+            # worker_id from one thread only, so no lock is needed).
+            executor = executors.get(worker_id)
+            if executor is None:
+                executor = executors[worker_id] = self._executor()
+            entry, seed = job
+            outcome = executor.execute(entry, seed=seed)
+            outcome.worker = worker_id
+            return outcome
 
-        fleet_size = max(1, min(self.workers, len(jobs)))
-        if fleet_size == 1:
-            worker(0)
-        else:
-            threads = [
-                threading.Thread(
-                    target=worker, args=(i,), name=f"campaign-worker-{i}", daemon=True
-                )
-                for i in range(fleet_size)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        return results
+        return run_fleet(
+            jobs,
+            execute,
+            workers=self.workers,
+            stop_when=(lambda outcome: outcome.conclusive_failure) if fail_fast else None,
+        )
 
     def _detect_flakes(
         self, plan: CampaignPlan, outcomes: list[RecipeOutcome]

@@ -352,6 +352,78 @@ def cmd_campaign_diff(args: argparse.Namespace) -> int:
     return 1 if diff.has_regressions else 0
 
 
+# -- fuzz subcommands ----------------------------------------------------------
+
+
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(
+        args.seed,
+        args.cases,
+        workers=args.workers,
+        app_registry=APPS,
+        artifacts_dir=args.artifacts,
+        shrink_failures=not args.no_shrink,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.errors import GremlinError
+    from repro.fuzz import replay_artifact
+
+    try:
+        result = replay_artifact(args.artifact, app_registry=APPS)
+    except (OSError, GremlinError, KeyError, ValueError) as exc:
+        raise SystemExit(f"cannot replay {args.artifact}: {exc}") from None
+    doc = {
+        "case_id": result.report.case.case_id,
+        "reproduced": result.reproduced,
+        "expected_mismatch_kinds": result.expected_kinds,
+        "observed_mismatch_kinds": result.report.mismatch_kinds(),
+        "expected_digest": result.expected_digest,
+        "observed_digest": result.report.digest,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        verdict = "reproduced" if result.reproduced else "DID NOT reproduce"
+        print(f"{doc['case_id']}: {verdict}")
+        print(f"  expected: {', '.join(result.expected_kinds) or '(none)'}")
+        print(f"  observed: {', '.join(doc['observed_mismatch_kinds']) or '(none)'}")
+        print(f"  digest match: {result.expected_digest == result.report.digest}")
+    return 0 if result.reproduced else 1
+
+
+def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.errors import GremlinError
+    from repro.fuzz import load_artifact, run_case, shrink, write_artifact
+    from repro.fuzz.spec import FuzzCase
+
+    try:
+        data = load_artifact(args.artifact)
+        case = FuzzCase.from_dict(data["case"])
+    except (OSError, GremlinError, KeyError, ValueError) as exc:
+        raise SystemExit(f"cannot load {args.artifact}: {exc}") from None
+    report = run_case(case, app_registry=APPS)
+    if not report.failed:
+        print(f"{case.case_id}: passes the battery; nothing to shrink")
+        return 1
+    result = shrink(case, app_registry=APPS)
+    out = args.out or args.artifact
+    write_artifact(out, result.report, shrink_steps=result.steps)
+    print(f"{case.case_id}: shrunk in {result.evaluations} evaluations")
+    for step in result.steps:
+        print(f"  {step}")
+    print(f"minimized artifact written to {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -485,6 +557,46 @@ def build_parser() -> argparse.ArgumentParser:
     diff_parser.add_argument("candidate", help="JSON-lines dump of the candidate run")
     diff_parser.add_argument("--json", action="store_true", help="machine-readable output")
     diff_parser.set_defaults(func=cmd_campaign_diff)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzzing against the reference oracle"
+    )
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="generate and differentially execute a case corpus"
+    )
+    fuzz_run.add_argument("--seed", type=int, default=0, help="corpus master seed")
+    fuzz_run.add_argument("--cases", type=int, default=100, help="corpus size")
+    fuzz_run.add_argument("--workers", type=int, default=4, help="parallel fleet size")
+    fuzz_run.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for minimized repro artifacts of failing cases",
+    )
+    fuzz_run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep failing cases unminimized (faster triage runs)",
+    )
+    fuzz_run.add_argument("--json", action="store_true", help="machine-readable output")
+    fuzz_run.set_defaults(func=cmd_fuzz_run)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-execute a repro artifact and confirm it reproduces"
+    )
+    fuzz_replay.add_argument("artifact", help="path to a fuzz repro artifact (JSON)")
+    fuzz_replay.add_argument("--json", action="store_true", help="machine-readable output")
+    fuzz_replay.set_defaults(func=cmd_fuzz_replay)
+
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink", help="minimize a repro artifact's case in place"
+    )
+    fuzz_shrink.add_argument("artifact", help="path to a fuzz repro artifact (JSON)")
+    fuzz_shrink.add_argument(
+        "--out", default=None, help="write the minimized artifact here instead"
+    )
+    fuzz_shrink.set_defaults(func=cmd_fuzz_shrink)
     return parser
 
 

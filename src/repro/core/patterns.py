@@ -123,6 +123,21 @@ class PatternCheck:
     def _no_data(self, detail: str) -> CheckResult:
         return CheckResult(self.name, passed=False, detail=detail, inconclusive=True)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same check type, same parameters.
+
+        Mirrors :meth:`FailureScenario.__eq__` so recipes round-trip
+        through the fuzzer's JSON repro artifacts.
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(
+            (key, repr(value)) for key, value in self.__dict__.items()
+        ))))
+
 
 class CheckFailures(BaseAssertion):
     """Base assertion: at least ``num_match`` *failed* outcomes.

@@ -59,6 +59,11 @@ class Recipe:
     def __post_init__(self) -> None:
         if not self.name:
             raise RecipeError("recipe needs a name")
+        # Normalize to tuples so two recipes built from a list and a
+        # tuple of equal elements compare equal (dataclass __eq__) —
+        # the contract the fuzzer's JSON round-trip tests rely on.
+        self.scenarios = tuple(self.scenarios)
+        self.checks = tuple(self.checks)
         if not self.scenarios:
             raise RecipeError(f"recipe {self.name!r} has no failure scenarios")
         for scenario in self.scenarios:

@@ -52,6 +52,21 @@ class FailureScenario:
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.describe()}>"
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same scenario type, same parameters.
+
+        Lets a recipe that round-tripped through the fuzzer's JSON
+        repro artifact compare equal to the original.
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(
+            (key, repr(value)) for key, value in self.__dict__.items()
+        ))))
+
 
 class AbortCalls(FailureScenario):
     """Primitive passthrough: Abort on one caller/callee edge."""

@@ -1,0 +1,71 @@
+"""Differential fuzzing of the whole Gremlin stack.
+
+The fuzzer generates random logical topologies, failure recipes, and
+workloads from a master seed (:mod:`~repro.fuzz.generator`), predicts
+the expected outcome straight from the rule semantics with a reference
+oracle (:mod:`~repro.fuzz.oracle`), executes each case on the real
+deploy/inject/load/check stack, and diffs the two
+(:mod:`~repro.fuzz.differential`) — plus metamorphic checks that need
+no oracle at all.  Failing cases shrink to minimal JSON repro
+artifacts (:mod:`~repro.fuzz.shrink`, :mod:`~repro.fuzz.harness`) that
+replay bit-for-bit from their embedded seed.
+"""
+
+from repro.fuzz.differential import CaseReport, Execution, execute_case, run_case
+from repro.fuzz.generator import FuzzGenerator
+from repro.fuzz.harness import (
+    ARTIFACT_VERSION,
+    FuzzReport,
+    ReplayResult,
+    load_artifact,
+    replay_artifact,
+    run_fuzz,
+    write_artifact,
+)
+from repro.fuzz.oracle import OracleError, PredictedRecord, Prediction, predict
+from repro.fuzz.shrink import ShrinkResult, shrink
+from repro.fuzz.spec import (
+    SOURCE_NAME,
+    EdgeCountCheck,
+    EdgeStatusCheck,
+    FuzzCase,
+    TopologySpec,
+    WorkloadSpec,
+    build_application,
+    build_check,
+    build_scenario,
+    check_to_spec,
+    scenario_to_spec,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "CaseReport",
+    "EdgeCountCheck",
+    "EdgeStatusCheck",
+    "Execution",
+    "FuzzCase",
+    "FuzzGenerator",
+    "FuzzReport",
+    "OracleError",
+    "PredictedRecord",
+    "Prediction",
+    "ReplayResult",
+    "SOURCE_NAME",
+    "ShrinkResult",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_application",
+    "build_check",
+    "build_scenario",
+    "check_to_spec",
+    "execute_case",
+    "load_artifact",
+    "predict",
+    "replay_artifact",
+    "run_case",
+    "run_fuzz",
+    "scenario_to_spec",
+    "shrink",
+    "write_artifact",
+]

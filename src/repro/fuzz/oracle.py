@@ -1,0 +1,327 @@
+"""Reference oracle: predict a fuzz case's outcome from first principles.
+
+The oracle re-implements the *specified* semantics of the stack —
+Table 2 fault rules applied first-match-wins at the caller's sidecar,
+naive clients (one attempt, no timeout), fanout handlers, and the
+Table 3 checker — as a direct recursive walk over the logical graph.
+It never touches the simulator, the agents, or the event store, so a
+disagreement between its prediction and a real execution localizes a
+bug to the implementation (or to the oracle's reading of the spec —
+either way, a real finding).
+
+Domain: synthetic-DAG topologies with deterministic rule sets
+(``FuzzCase.oracle_eligible``).  Every service has one replica, naive
+client policies, and a sequential closed-loop workload, so the whole
+execution is a deterministic depth-first traversal:
+
+* request records are emitted by the caller-side agent before the
+  forward, reply records after — DFS pre/post order, which is also
+  virtual-timestamp order because every hop has positive latency;
+* at most one rule per direction applies per message (first match
+  wins), budgets burn only on application, ``probability=0`` rules
+  structurally match but never apply;
+* a TCP reset propagates as ``ConnectionResetError_`` to the caller's
+  handler, which a fanout converts into a 500 (or a degraded 200);
+* the request record is updated in place with the final outcome, so
+  its predicted ``status``/``fault_applied`` are the *final* values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import re
+import typing as _t
+
+from repro.agent.rules import FaultRule, FaultType
+from repro.errors import GremlinError
+from repro.fuzz.spec import SOURCE_NAME, FuzzCase, build_check, build_scenario
+from repro.fuzz.spec import EdgeCountCheck, EdgeStatusCheck
+
+__all__ = ["OracleError", "PredictedRecord", "Prediction", "predict"]
+
+#: Exception class name a reset surfaces as (``type(exc).__name__``).
+_RESET_ERROR = "ConnectionResetError_"
+
+
+class OracleError(GremlinError):
+    """The case is outside the oracle's deterministic domain."""
+
+
+@dataclasses.dataclass
+class PredictedRecord:
+    """The oracle's image of one observation record (final field values)."""
+
+    kind: str
+    src: str
+    dst: str
+    request_id: str
+    status: _t.Optional[int] = None
+    error: _t.Optional[str] = None
+    fault_applied: _t.Optional[str] = None
+    gremlin_generated: bool = False
+    injected_delay: float = 0.0
+
+    def key(self) -> tuple:
+        """The comparison tuple the differential runner diffs on."""
+        return (
+            self.kind,
+            self.src,
+            self.dst,
+            self.request_id,
+            self.status,
+            self.error,
+            self.fault_applied,
+            self.gremlin_generated,
+            round(self.injected_delay, 9),
+        )
+
+
+@dataclasses.dataclass
+class Prediction:
+    """Everything the oracle expects a case execution to produce."""
+
+    #: All records in emission (= timestamp) order.
+    records: _t.List[PredictedRecord]
+    #: Per top-level request: (request_id, status, error).
+    samples: _t.List[tuple]
+    #: Per check: (label, passed, inconclusive).
+    verdicts: _t.List[tuple]
+
+
+class _InstalledRule:
+    """A rule plus the per-agent budget state the oracle tracks."""
+
+    def __init__(self, rule: FaultRule) -> None:
+        self.rule = rule
+        self.remaining = rule.max_matches
+        pattern = rule.flow_pattern
+        self.regex = None if pattern == "*" else re.compile(fnmatch.translate(pattern))
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining is not None and self.remaining <= 0
+
+    def matches_id(self, request_id: str) -> bool:
+        return self.regex is None or self.regex.match(request_id) is not None
+
+    def consume(self) -> None:
+        if self.remaining is not None:
+            self.remaining -= 1
+
+
+class _Walker:
+    """One case's predicted execution state."""
+
+    def __init__(self, case: FuzzCase) -> None:
+        self.case = case
+        self.topology = case.topology
+        graph = self.topology.logical_graph()
+        rules: _t.List[FaultRule] = []
+        for spec in case.scenarios:
+            rules.extend(build_scenario(spec).decompose(graph))
+        # The orchestrator installs in rule order, each rule on every
+        # agent of its src; one replica per service => one agent.
+        self.agents: _t.Dict[str, _t.List[_InstalledRule]] = {}
+        for rule in rules:
+            self.agents.setdefault(rule.src, []).append(_InstalledRule(rule))
+        self.records: _t.List[PredictedRecord] = []
+
+    # -- matcher mirror ------------------------------------------------------
+
+    def _match(
+        self, src: str, dst: str, direction: str, request_id: str, body: bytes
+    ) -> _t.Optional[_InstalledRule]:
+        for installed in self.agents.get(src, ()):
+            rule = installed.rule
+            if rule.dst != dst or rule.on != direction:
+                continue
+            if installed.exhausted:
+                continue
+            if not installed.matches_id(request_id):
+                continue
+            if rule.fault_type == FaultType.MODIFY and rule.search_bytes not in body:
+                continue
+            probability = rule.probability
+            if probability < 1.0:
+                if probability <= 0.0:
+                    continue  # the draw (random() >= 0) always loses
+                raise OracleError(
+                    f"rule {rule.describe()} has fractional probability {probability}"
+                )
+            installed.consume()
+            return installed
+        return None
+
+    # -- data-path mirror ----------------------------------------------------
+
+    def call_edge(self, src: str, dst: str, request_id: str) -> tuple:
+        """One proxied exchange on edge (src, dst).
+
+        Returns ``(status, error_name)`` as the caller's naive client
+        surfaces it: an HTTP status (any code — naive clients return
+        5xx as-is), or ``(None, "ConnectionResetError_")``.
+        """
+        record = PredictedRecord(
+            kind="request", src=src, dst=dst, request_id=request_id
+        )
+        faults: _t.List[str] = []
+        injected = 0.0
+
+        hit = self._match(src, dst, "request", request_id, body=b"")
+        if hit is not None:
+            rule = hit.rule
+            faults.append(rule.describe())
+            if rule.fault_type == FaultType.DELAY:
+                injected += rule.interval or 0.0
+            elif rule.fault_type == FaultType.ABORT:
+                record.fault_applied = "+".join(faults)
+                self.records.append(record)
+                if rule.is_reset:
+                    record.error = "reset"
+                    self._reply(record, injected, status=None, error="reset",
+                                gremlin_generated=True)
+                    return (None, _RESET_ERROR)
+                record.status = rule.error
+                record.injected_delay = injected
+                self._reply(record, injected, status=rule.error, error=None,
+                            gremlin_generated=True)
+                return (rule.error, None)
+            # Modify on a request direction: fanout request bodies are
+            # empty, so a Modify rule can never structurally match here
+            # (search_bytes is non-empty by validation); unreachable in
+            # the oracle's domain but kept for clarity.
+
+        record.fault_applied = "+".join(faults) if faults else None
+        record.injected_delay = injected
+        self.records.append(record)
+
+        status, body = self.run_handler(dst, request_id)
+
+        hit = self._match(src, dst, "response", request_id, body=body)
+        gremlin_generated = False
+        if hit is not None:
+            rule = hit.rule
+            faults.append(rule.describe())
+            if rule.fault_type == FaultType.DELAY:
+                injected += rule.interval or 0.0
+            elif rule.fault_type == FaultType.ABORT:
+                if rule.is_reset:
+                    record.fault_applied = "+".join(faults)
+                    record.error = "reset"
+                    # the in-place update never reaches the status
+                    # assignment, so the request record keeps status
+                    # None and its request-side injected_delay.
+                    self._reply(record, injected, status=None, error="reset",
+                                gremlin_generated=True)
+                    return (None, _RESET_ERROR)
+                status = rule.error
+                gremlin_generated = True
+            elif rule.fault_type == FaultType.MODIFY:
+                body = body.replace(rule.search_bytes, rule.replace_bytes or b"")
+
+        record.fault_applied = "+".join(faults) if faults else None
+        record.status = status
+        record.injected_delay = injected
+        self._reply(record, injected, status=status, error=None,
+                    gremlin_generated=gremlin_generated)
+        return (status, None)
+
+    def _reply(
+        self,
+        request_record: PredictedRecord,
+        injected: float,
+        status: _t.Optional[int],
+        error: _t.Optional[str],
+        gremlin_generated: bool,
+    ) -> None:
+        self.records.append(
+            PredictedRecord(
+                kind="reply",
+                src=request_record.src,
+                dst=request_record.dst,
+                request_id=request_record.request_id,
+                status=status if error is None else request_record.status,
+                error=error,
+                fault_applied=request_record.fault_applied,
+                gremlin_generated=gremlin_generated,
+                injected_delay=injected,
+            )
+        )
+
+    def run_handler(self, service: str, request_id: str) -> tuple:
+        """The callee's handler: fanout over children or static leaf."""
+        children = self.topology.children(service)
+        if not children:
+            return (200, f"ok from {service}".encode("utf-8"))
+        partial_ok = service in set(self.topology.partial_ok)
+        failures: _t.List[str] = []
+        for child in children:
+            status, error = self.call_edge(service, child, request_id)
+            if error is not None:
+                failures.append(f"{child}:{error}")
+            elif status is not None and status >= 500:
+                failures.append(f"{child}:{status}")
+            if failures and not partial_ok:
+                body = f"dependency failure: {failures[0]}".encode("utf-8")
+                return (500, body)
+        if failures:
+            return (200, ("degraded: " + ",".join(failures)).encode("utf-8"))
+        return (200, b"ok")
+
+
+def predict(case: FuzzCase) -> Prediction:
+    """Predict records, load samples, and check verdicts for a case."""
+    if not case.oracle_eligible:
+        raise OracleError(f"case {case.case_id} is outside the oracle's domain")
+    walker = _Walker(case)
+    samples: _t.List[tuple] = []
+    for index in range(1, case.workload.requests + 1):
+        request_id = f"test-{index}"
+        status, error = walker.call_edge(SOURCE_NAME, case.topology.entry, request_id)
+        samples.append((request_id, status, error))
+    verdicts = [
+        _predict_check(spec, walker.records) for spec in case.checks
+    ]
+    return Prediction(records=walker.records, samples=samples, verdicts=verdicts)
+
+
+def _predict_check(spec: dict, records: _t.List[PredictedRecord]) -> tuple:
+    """Predict one check verdict from the predicted request records."""
+    check = build_check(spec)
+    regex = (
+        None
+        if check.id_pattern == "*"
+        else re.compile(fnmatch.translate(check.id_pattern))
+    )
+    rlist = [
+        record
+        for record in records
+        if record.kind == "request"
+        and record.src == check.src
+        and record.dst == check.dst
+        and (regex is None or regex.match(record.request_id) is not None)
+    ]
+    if isinstance(check, EdgeStatusCheck):
+        if not rlist:
+            return (check.label(), False, True)
+        matched = sum(
+            1 for record in rlist
+            if _observed_status(record, check.with_rule) == check.status
+        )
+        return (check.label(), matched >= check.num_match, False)
+    if isinstance(check, EdgeCountCheck):
+        return (check.label(), check._OPS[check.op](len(rlist), check.count), False)
+    raise OracleError(f"no oracle for check kind {spec.get('kind')!r}")
+
+
+def _observed_status(record: PredictedRecord, with_rule: bool) -> _t.Optional[int]:
+    """Mirror of :func:`repro.core.queries.observed_status`."""
+    if record.status is None:
+        return None
+    if not with_rule and (
+        record.gremlin_generated
+        or (record.fault_applied is not None and "abort" in record.fault_applied)
+    ):
+        return None
+    return record.status

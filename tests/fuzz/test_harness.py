@@ -1,0 +1,114 @@
+"""Fleet-level fuzz runs, repro artifacts, and bit-for-bit replay."""
+
+import json
+
+import pytest
+
+from repro.cli import APPS
+from repro.errors import GremlinError
+from repro.fuzz import (
+    FuzzGenerator,
+    load_artifact,
+    replay_artifact,
+    run_case,
+    run_fuzz,
+    write_artifact,
+)
+from repro.fuzz.differential import CaseReport
+import repro.fuzz.harness as harness_mod
+
+CASES = 12
+
+
+class TestRunFuzz:
+    def test_clean_corpus_passes(self):
+        report = run_fuzz(31, CASES, app_registry=APPS)
+        assert report.passed
+        assert report.cases == CASES
+        assert report.oracle_checked > 0
+        assert report.metamorphic_counts["matcher-strategy"] == CASES
+        assert report.metamorphic_counts["shuffle"] == CASES
+
+    def test_worker_count_independence(self):
+        serial = run_fuzz(31, CASES, workers=1, app_registry=APPS)
+        fleet = run_fuzz(31, CASES, workers=4, app_registry=APPS)
+        assert serial.to_dict()["failures"] == fleet.to_dict()["failures"]
+        assert serial.oracle_checked == fleet.oracle_checked
+        assert serial.metamorphic_counts == fleet.metamorphic_counts
+
+    def test_crashing_case_becomes_harness_error(self, monkeypatch, tmp_path):
+        real_run = harness_mod.run_case
+
+        def exploding(case, app_registry=None):
+            if case.case_id.endswith("-2"):
+                raise RuntimeError("boom")
+            return real_run(case, app_registry=app_registry)
+
+        monkeypatch.setattr(harness_mod, "run_case", exploding)
+        report = run_fuzz(31, 4, app_registry=APPS, artifacts_dir=str(tmp_path))
+        assert not report.passed
+        (failure,) = report.failures
+        assert failure["mismatch_kinds"] == ["harness/error"]
+        # Harness errors are not shrunk but still produce an artifact.
+        assert failure["artifact"] is not None
+
+    def test_failures_are_shrunk_and_archived(self, monkeypatch, tmp_path):
+        real_run = harness_mod.run_case
+
+        def buggy(case, app_registry=None):
+            report = real_run(case, app_registry=app_registry)
+            if any(s["kind"] == "delay" for s in case.scenarios):
+                report.mismatches.append(
+                    {"kind": "oracle/trace", "detail": "synthetic"}
+                )
+            return report
+
+        monkeypatch.setattr(harness_mod, "run_case", buggy)
+        import importlib
+
+        shrink_mod = importlib.import_module("repro.fuzz.shrink")
+        monkeypatch.setattr(shrink_mod, "run_case", buggy)
+        report = run_fuzz(31, CASES, app_registry=APPS, artifacts_dir=str(tmp_path))
+        assert not report.passed
+        for failure in report.failures:
+            assert failure["artifact"] is not None
+            data = load_artifact(failure["artifact"])
+            assert data["verdict"]["mismatch_kinds"] == ["oracle/trace"]
+            minimal = data["case"]
+            assert any(s["kind"] == "delay" for s in minimal["scenarios"])
+
+
+class TestArtifacts:
+    def artifact_for(self, tmp_path, seed=5, index=3):
+        case = FuzzGenerator(seed, app_registry=APPS).case(index)
+        report = run_case(case, app_registry=APPS)
+        path = tmp_path / f"{case.case_id}.json"
+        write_artifact(str(path), report, shrink_steps=["none"])
+        return path, report
+
+    def test_artifact_is_valid_json(self, tmp_path):
+        path, report = self.artifact_for(tmp_path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["verdict"]["digest"] == report.digest
+        assert data["shrink_steps"] == ["none"]
+
+    def test_replay_reproduces_bit_for_bit(self, tmp_path):
+        path, report = self.artifact_for(tmp_path)
+        result = replay_artifact(str(path), app_registry=APPS)
+        assert result.reproduced
+        assert result.report.digest == report.digest
+
+    def test_replay_detects_digest_drift(self, tmp_path):
+        path, _report = self.artifact_for(tmp_path)
+        data = json.loads(path.read_text())
+        data["verdict"]["digest"] = "0" * 64
+        path.write_text(json.dumps(data))
+        result = replay_artifact(str(path), app_registry=APPS)
+        assert not result.reproduced
+
+    def test_version_gate(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "case": {}}))
+        with pytest.raises(GremlinError):
+            load_artifact(str(path))

@@ -1,0 +1,175 @@
+"""The reference oracle against hand-built cases and the real stack.
+
+Each test pins the oracle's prediction for a topology/scenario pair
+whose expected outcome is derivable by hand from the paper's rule
+semantics, then (in the agreement tests) confirms the real execution
+matches field-for-field — the core differential-fuzzing loop in
+miniature.
+"""
+
+import pytest
+
+from repro.core.scenarios import (
+    AbortCalls,
+    Crash,
+    DelayCalls,
+    ModifyReplies,
+)
+from repro.fuzz import (
+    FuzzCase,
+    OracleError,
+    TopologySpec,
+    WorkloadSpec,
+    check_to_spec,
+    predict,
+    scenario_to_spec,
+)
+from repro.fuzz.differential import execute_case
+from repro.fuzz.spec import EdgeCountCheck, EdgeStatusCheck
+
+
+def chain_case(scenarios, checks=(), requests=2, partial_ok=(), case_id="oracle-case"):
+    """user -> a -> b -> c."""
+    topology = TopologySpec(
+        kind="dag",
+        services=["a", "b", "c"],
+        edges=[("a", "b"), ("b", "c")],
+        entry="a",
+        partial_ok=list(partial_ok),
+    )
+    return FuzzCase(
+        case_id=case_id,
+        seed=13,
+        topology=topology,
+        scenarios=[scenario_to_spec(s) for s in scenarios],
+        checks=[check_to_spec(c) for c in checks],
+        workload=WorkloadSpec(requests=requests),
+    )
+
+
+class TestPredictions:
+    def test_healthy_chain(self):
+        prediction = predict(chain_case([AbortCalls("a", "b", probability=0.0)]))
+        # Per request: 3 request records + 3 replies, DFS order.
+        assert len(prediction.records) == 12
+        assert prediction.samples == [("test-1", 200, None), ("test-2", 200, None)]
+        first = [r.key() for r in prediction.records[:6]]
+        assert [k[:4] for k in first] == [
+            ("request", "user", "a", "test-1"),
+            ("request", "a", "b", "test-1"),
+            ("request", "b", "c", "test-1"),
+            ("reply", "b", "c", "test-1"),
+            ("reply", "a", "b", "test-1"),
+            ("reply", "user", "a", "test-1"),
+        ]
+
+    def test_abort_propagates_up_the_chain(self):
+        prediction = predict(chain_case([AbortCalls("b", "c", error=503)], requests=1))
+        by_edge = {(r.src, r.dst, r.kind): r for r in prediction.records}
+        faulted = by_edge[("b", "c", "request")]
+        assert faulted.status == 503
+        assert faulted.fault_applied == "abort(503)"
+        assert by_edge[("b", "c", "reply")].gremlin_generated
+        # b's fanout converts the 503 into a dependency failure...
+        assert by_edge[("a", "b", "request")].status == 500
+        # ...which bubbles to the user edge.
+        assert prediction.samples == [("test-1", 500, None)]
+
+    def test_partial_ok_degrades_instead(self):
+        case = chain_case(
+            [AbortCalls("b", "c", error=503)], requests=1, partial_ok=["b"]
+        )
+        prediction = predict(case)
+        by_edge = {(r.src, r.dst, r.kind): r for r in prediction.records}
+        assert by_edge[("a", "b", "request")].status == 200
+        assert prediction.samples == [("test-1", 200, None)]
+
+    def test_delay_accumulates_on_the_record(self):
+        prediction = predict(
+            chain_case([DelayCalls("a", "b", "250ms")], requests=1)
+        )
+        delayed = [r for r in prediction.records if r.injected_delay > 0]
+        assert delayed
+        assert all(abs(r.injected_delay - 0.25) < 1e-9 for r in delayed)
+
+    def test_budget_limits_matches(self):
+        prediction = predict(
+            chain_case([AbortCalls("a", "b", error=503, max_matches=1)], requests=3)
+        )
+        statuses = [sample[1] for sample in prediction.samples]
+        assert statuses == [500, 200, 200]
+
+    def test_flow_pattern_selects_requests(self):
+        prediction = predict(
+            chain_case([AbortCalls("a", "b", error=503, pattern="test-2")], requests=3)
+        )
+        statuses = [sample[1] for sample in prediction.samples]
+        assert statuses == [200, 500, 200]
+
+    def test_crash_resets_every_dependent_edge(self):
+        prediction = predict(chain_case([Crash("c")], requests=1))
+        by_edge = {(r.src, r.dst, r.kind): r for r in prediction.records}
+        assert by_edge[("b", "c", "request")].error == "reset"
+        assert by_edge[("b", "c", "reply")].error == "reset"
+        assert by_edge[("b", "c", "reply")].gremlin_generated
+
+    def test_verdicts_follow_samples(self):
+        case = chain_case(
+            [AbortCalls("b", "c", error=503)],
+            checks=[
+                EdgeStatusCheck("b", "c", 503),
+                EdgeCountCheck("b", "c", "==", 2),
+                EdgeStatusCheck("c", "a", 200),  # edge never exercised
+            ],
+            requests=2,
+        )
+        prediction = predict(case)
+        assert [(v[1], v[2]) for v in prediction.verdicts] == [
+            (True, False),
+            (True, False),
+            (False, True),  # inconclusive: no data
+        ]
+
+
+class TestDomainGuards:
+    def test_fractional_probability_raises(self):
+        case = chain_case([AbortCalls("a", "b", probability=0.5)])
+        with pytest.raises(OracleError):
+            predict(case)
+
+    def test_app_topology_raises(self):
+        case = chain_case([AbortCalls("a", "b")])
+        case.topology = TopologySpec(kind="app", entry="ServiceA", app="twotier")
+        with pytest.raises(OracleError):
+            predict(case)
+
+
+class TestAgreementWithRealStack:
+    """Field-for-field agreement between oracle and execution."""
+
+    CASES = [
+        ("healthy", [AbortCalls("a", "b", probability=0.0)]),
+        ("abort", [AbortCalls("b", "c", error=502)]),
+        ("abort-request", [AbortCalls("a", "b", error=500, on="request")]),
+        ("delay", [DelayCalls("b", "c", "100ms")]),
+        ("modify", [ModifyReplies("b", "c", "ok", "KO")]),
+        ("crash", [Crash("b")]),
+        ("stack", [DelayCalls("a", "b", "50ms"), AbortCalls("b", "c", error=503)]),
+    ]
+
+    @pytest.mark.parametrize("name,scenarios", CASES, ids=[c[0] for c in CASES])
+    def test_oracle_matches_execution(self, name, scenarios):
+        case = chain_case(
+            scenarios,
+            checks=[
+                EdgeStatusCheck("user", "a", 200, with_rule=False),
+                EdgeCountCheck("b", "c", ">=", 0),
+            ],
+            requests=2,
+            case_id=f"agree-{name}",
+        )
+        prediction = predict(case)
+        execution = execute_case(case)
+        assert [r.key() for r in prediction.records] == execution.records
+        assert prediction.samples == execution.samples
+        assert prediction.verdicts == execution.verdicts

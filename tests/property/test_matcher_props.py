@@ -29,6 +29,24 @@ def rule_specs(draw):
 
 
 @st.composite
+def probabilistic_rule_specs(draw):
+    """Rules that exercise the probability draw and budget paths."""
+    dst = draw(_service)
+    direction = draw(_direction)
+    pattern = draw(_pattern)
+    probability = draw(st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+    max_matches = draw(st.sampled_from([None, 1, 2]))
+    return abort(
+        "A",
+        dst,
+        pattern=pattern,
+        on=direction,
+        probability=probability,
+        max_matches=max_matches,
+    )
+
+
+@st.composite
 def probes(draw):
     dst = draw(_service)
     direction = draw(_direction)
@@ -61,6 +79,40 @@ class TestStrategyEquivalence:
             if left is not None:
                 left.consume()
                 right.consume()
+
+    @given(
+        rules=st.lists(probabilistic_rule_specs(), max_size=8),
+        queries=st.lists(probes(), max_size=30),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rng_consumption_identical(self, rules, queries):
+        """Both strategies burn probability draws in lockstep.
+
+        The differential fuzzer's strategy-equivalence check demands
+        byte-identical behaviour given the same seeded RNG, which only
+        holds if a draw is taken for exactly the same (message, rule)
+        pairs in exactly the same order.  Identically seeded PRNGs must
+        therefore stay state-synchronized through any probe sequence.
+        """
+        linear = LinearMatcher(random.Random(1234))
+        prefix = PrefixIndexMatcher(random.Random(1234))
+        for rule in rules:
+            linear.install(rule)
+            prefix.install(rule)
+        for dst, direction, request_id in queries:
+            left = linear.match(dst, direction, request_id)
+            right = prefix.match(dst, direction, request_id)
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert left.rule.rule_id == right.rule.rule_id
+                left.consume()
+                right.consume()
+            # State sync after every probe, not just at the end, so a
+            # counterexample shrinks to the first diverging message.
+            assert linear._rng.getstate() == prefix._rng.getstate()
+        for lrule, prule in zip(linear.rules, prefix.rules):
+            assert lrule.matched == prule.matched
+            assert lrule.applied == prule.applied
 
     @given(rules=st.lists(rule_specs(), min_size=1, max_size=6))
     @settings(max_examples=100, deadline=None)

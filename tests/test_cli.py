@@ -311,3 +311,50 @@ class TestCampaignDiff:
     def test_missing_file_exits(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b")])
+
+
+class TestFuzz:
+    def test_run_clean_corpus(self, capsys):
+        code = main(["fuzz", "run", "--seed", "5", "--cases", "8", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 cases, 0 failing" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(["fuzz", "run", "--seed", "5", "--cases", "4", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["passed"] is True
+        assert doc["cases"] == 4
+        assert doc["metamorphic_counts"]["matcher-strategy"] == 4
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        from repro.fuzz import FuzzGenerator, run_case, write_artifact
+
+        case = FuzzGenerator(5, app_registry=APPS).case(1)
+        artifact = tmp_path / "case.json"
+        write_artifact(str(artifact), run_case(case, app_registry=APPS))
+        code = main(["fuzz", "replay", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced" in out
+        code = main(["fuzz", "replay", str(artifact), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["reproduced"] is True
+        assert doc["expected_digest"] == doc["observed_digest"]
+
+    def test_replay_missing_artifact_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot replay"):
+            main(["fuzz", "replay", str(tmp_path / "missing.json")])
+
+    def test_shrink_passing_artifact_reports_nothing_to_do(self, capsys, tmp_path):
+        from repro.fuzz import FuzzGenerator, run_case, write_artifact
+
+        case = FuzzGenerator(5, app_registry=APPS).case(2)
+        artifact = tmp_path / "case.json"
+        write_artifact(str(artifact), run_case(case, app_registry=APPS))
+        code = main(["fuzz", "shrink", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "nothing to shrink" in out
