@@ -19,6 +19,7 @@ BENCH_LOGSTORE_PATH = pathlib.Path(__file__).parent / "BENCH_logstore.json"
 BENCH_CAMPAIGN_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
 BENCH_TRACING_PATH = pathlib.Path(__file__).parent / "BENCH_tracing.json"
 BENCH_FUZZ_PATH = pathlib.Path(__file__).parent / "BENCH_fuzz.json"
+BENCH_KERNEL_PATH = pathlib.Path(__file__).parent / "BENCH_kernel.json"
 
 
 class ExperimentReport:
@@ -53,6 +54,11 @@ _BENCH_TRACING: dict = {}
 # battery coverage).  Populated by the fuzz benchmark; flushed to
 # BENCH_fuzz.json at session end.
 _BENCH_FUZZ: dict = {}
+
+# Machine-readable simulation-kernel numbers (serial events/sec vs the
+# pre-optimization baseline).  Populated by the kernel benchmark;
+# flushed to BENCH_kernel.json at session end.
+_BENCH_KERNEL: dict = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -94,6 +100,12 @@ def bench_fuzz() -> dict:
     return _BENCH_FUZZ
 
 
+@pytest.fixture(scope="session")
+def bench_kernel() -> dict:
+    """Mutable dict the kernel benchmark records its numbers into."""
+    return _BENCH_KERNEL
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _BENCH_LOGSTORE:
         payload = dict(_BENCH_LOGSTORE)
@@ -119,6 +131,12 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_FUZZ_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+    if _BENCH_KERNEL:
+        payload = dict(_BENCH_KERNEL)
+        payload.setdefault("source", "benchmarks/test_bench_kernel.py")
+        BENCH_KERNEL_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -130,6 +148,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"tracing numbers written to {BENCH_TRACING_PATH}")
     if _BENCH_FUZZ:
         terminalreporter.write_line(f"fuzz numbers written to {BENCH_FUZZ_PATH}")
+    if _BENCH_KERNEL:
+        terminalreporter.write_line(f"kernel numbers written to {BENCH_KERNEL_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

@@ -15,9 +15,16 @@ multi-level topology):
   plane is pure CPU under the GIL, so on this container (``cpus`` in
   the JSON) thread workers cannot speed up compute-bound campaigns.
 
-The benchmark also re-asserts the determinism contract where it
-matters most: the paced fleet and the serial loop must produce
-identical per-recipe statuses.
+The second experiment pins the ``processes`` backend: spawn-isolated
+workers overlap paced floors exactly like threads do, and — unlike
+threads — can scale the *unpaced* CPU-bound suite across cores, which
+is the whole point of the backend.  The cross-core assertion is gated
+on the machine actually having cores (``cpus >= 4``); on smaller
+containers the curves are recorded but only equivalence is asserted.
+
+Both experiments re-assert the determinism contract where it matters
+most: every backend/worker combination must produce identical
+per-recipe statuses.
 
 Numbers land in ``BENCH_campaign.json`` via the session-finish hook in
 ``conftest.py``.
@@ -28,18 +35,29 @@ import time
 
 from repro.apps import build_tree_app
 from repro.campaign import CampaignRunner, plan_campaign
+from repro.cli import build_tree3_app
 
 FLEET_WORKERS = 4
 PACING = 0.3
 REQUESTS = 10
+
+#: The cross-core claim (processes vs threads on the CPU-bound suite)
+#: targets >= 3x at 4 cores; the hard gate is 2x to absorb scheduler
+#: noise on shared runners.
+PROCESS_SPEEDUP_TARGET = 3.0
+PROCESS_SPEEDUP_GATE = 2.0
 
 
 def tree3():
     return build_tree_app(3)
 
 
-def run_campaign(plan, *, workers, pacing):
-    runner = CampaignRunner(tree3, workers=workers, pacing=pacing, timeout=120.0)
+def run_campaign(plan, *, workers, pacing, backend="threads"):
+    # build_tree3_app is module-level in repro.cli, so the factory
+    # pickles by reference into spawn workers.
+    runner = CampaignRunner(
+        build_tree3_app, workers=workers, pacing=pacing, timeout=120.0, backend=backend
+    )
     start = time.perf_counter()
     result = runner.run(plan)
     return result, time.perf_counter() - start
@@ -94,3 +112,67 @@ def test_fleet_speedup_on_paced_campaign(report, bench_campaign):
         f"fleet of {FLEET_WORKERS} should halve a paced campaign:"
         f" serial {serial_s:.2f}s vs fleet {fleet_s:.2f}s ({speedup:.2f}x)"
     )
+
+
+def test_process_backend_scaling(report, bench_campaign):
+    plan = plan_campaign(tree3, seed=20, requests=REQUESTS)
+    cpus = os.cpu_count() or 1
+
+    serial_result, serial_s = run_campaign(plan, workers=1, pacing=PACING)
+    paced_result, paced_s = run_campaign(
+        plan, workers=FLEET_WORKERS, pacing=PACING, backend="processes"
+    )
+    threads_result, threads_s = run_campaign(plan, workers=FLEET_WORKERS, pacing=0.0)
+    procs_result, procs_s = run_campaign(
+        plan, workers=FLEET_WORKERS, pacing=0.0, backend="processes"
+    )
+
+    # Determinism contract: the backend changes wall-clock time, nothing
+    # else — statuses agree across every backend/worker combination.
+    statuses = [o.status for o in serial_result.outcomes]
+    for other in (paced_result, threads_result, procs_result):
+        assert [o.status for o in other.outcomes] == statuses
+
+    paced_speedup = serial_s / paced_s
+    vs_threads = threads_s / procs_s
+    bench_campaign["backend_scaling"] = {
+        "workers": FLEET_WORKERS,
+        "cpus": cpus,
+        "paced": {
+            "serial_s": round(serial_s, 3),
+            "processes_s": round(paced_s, 3),
+            "speedup": round(paced_speedup, 2),
+        },
+        "unpaced": {
+            "threads_s": round(threads_s, 3),
+            "processes_s": round(procs_s, 3),
+            "processes_vs_threads": round(vs_threads, 2),
+            "target_at_4_cores": PROCESS_SPEEDUP_TARGET,
+        },
+    }
+    report.add(
+        "Campaign engine — processes backend on the 42-recipe tree3 suite",
+        f"  paced ({PACING:.1f}s/recipe floor): serial {serial_s:6.2f}s,"
+        f" {FLEET_WORKERS} processes {paced_s:6.2f}s -> {paced_speedup:.2f}x\n"
+        f"  unpaced (CPU-bound, {cpus} cpu): {FLEET_WORKERS} threads"
+        f" {threads_s:6.2f}s, {FLEET_WORKERS} processes {procs_s:6.2f}s"
+        f" -> {vs_threads:.2f}x",
+    )
+
+    # Process workers overlap pacing floors like threads do, but their
+    # interpreter start-up is real CPU; on a 1-cpu container that
+    # serializes against the suite itself, so the floor-overlap claim
+    # needs at least a second core to be testable.
+    if cpus >= 2:
+        assert paced_speedup >= 2.0, (
+            f"{FLEET_WORKERS} process workers should halve a paced campaign:"
+            f" serial {serial_s:.2f}s vs {paced_s:.2f}s ({paced_speedup:.2f}x)"
+        )
+    # The cross-core claim needs actual cores to be testable.
+    if cpus >= 4:
+        assert vs_threads >= PROCESS_SPEEDUP_GATE, (
+            f"on {cpus} cpus the processes backend should beat threads on"
+            f" the CPU-bound suite: threads {threads_s:.2f}s vs processes"
+            f" {procs_s:.2f}s ({vs_threads:.2f}x, target"
+            f" {PROCESS_SPEEDUP_TARGET}x, gate {PROCESS_SPEEDUP_GATE}x)"
+        )

@@ -6,9 +6,11 @@ enough to run continuously: every case pays for a full deploy + inject
 walk, and one re-execution per applicable metamorphic check), yet a
 CI-sized corpus should still clear in seconds.  This benchmark pins:
 
-* **throughput** — cases/second through the full battery, serial and
-  on the 4-worker fleet (thread workers under the GIL, so the fleet
-  number documents rather than promises a speedup);
+* **throughput** — cases/second through the full battery: serial, the
+  4-worker thread fleet (under the GIL this documents rather than
+  promises a speedup), and the 4-worker process fleet (spawn-isolated
+  interpreters, the backend that can actually use multiple cores —
+  ``cpus`` in the JSON says how many this container had);
 * **coverage** — what fraction of the corpus the exact oracle diffed,
   and how many cases each metamorphic check ran on, so a generator
   regression that silently shrinks the deterministic domain shows up
@@ -40,9 +42,19 @@ def test_fuzz_throughput_and_coverage(report, bench_fuzz):
     fleet = run_fuzz(SEED, CASES, workers=FLEET_WORKERS, app_registry=APPS)
     fleet_s = time.perf_counter() - start
 
-    # Determinism contract: worker count changes wall clock, nothing else.
+    start = time.perf_counter()
+    procs = run_fuzz(
+        SEED, CASES, workers=FLEET_WORKERS, backend="processes", app_registry=APPS
+    )
+    procs_s = time.perf_counter() - start
+
+    # Determinism contract: worker count and backend change wall clock,
+    # nothing else.
     assert serial.to_dict()["failures"] == fleet.to_dict()["failures"]
+    assert serial.to_dict()["failures"] == procs.to_dict()["failures"]
     assert serial.metamorphic_counts == fleet.metamorphic_counts
+    assert serial.metamorphic_counts == procs.metamorphic_counts
+    assert serial.oracle_checked == procs.oracle_checked
     assert serial.passed, serial.summary()
 
     # The battery must stay fast enough for per-PR CI smoke runs.
@@ -56,8 +68,10 @@ def test_fuzz_throughput_and_coverage(report, bench_fuzz):
             "serial_s": round(serial_s, 3),
             "fleet_workers": FLEET_WORKERS,
             "fleet_s": round(fleet_s, 3),
+            "processes_s": round(procs_s, 3),
             "cases_per_s_serial": round(CASES / serial_s, 1),
             "cases_per_s_fleet": round(CASES / fleet_s, 1),
+            "cases_per_s_processes": round(CASES / procs_s, 1),
             "oracle_checked": serial.oracle_checked,
             "oracle_fraction": round(serial.oracle_checked / CASES, 3),
             "metamorphic_counts": dict(serial.metamorphic_counts),
@@ -67,7 +81,8 @@ def test_fuzz_throughput_and_coverage(report, bench_fuzz):
     lines = [
         f"corpus: seed={SEED}, {CASES} cases",
         f"serial:  {serial_s:.2f}s  ({CASES / serial_s:.1f} cases/s)",
-        f"fleet({FLEET_WORKERS}): {fleet_s:.2f}s  ({CASES / fleet_s:.1f} cases/s)",
+        f"threads({FLEET_WORKERS}): {fleet_s:.2f}s  ({CASES / fleet_s:.1f} cases/s)",
+        f"processes({FLEET_WORKERS}): {procs_s:.2f}s  ({CASES / procs_s:.1f} cases/s)",
         f"oracle-diffed: {serial.oracle_checked}/{CASES}",
     ]
     for name, count in sorted(serial.metamorphic_counts.items()):

@@ -153,6 +153,13 @@ class RuleMatcher:
         — the invariant the differential fuzzer's strategy-equivalence
         check relies on (pinned by tests/property/test_matcher_props).
         """
+        if not self._installed:
+            # Draw-neutral fast path: no rules means no candidates and
+            # no probability draws, so skipping the scan machinery is
+            # invisible to the strategy-equivalence invariant.  Most
+            # agents in a recipe carry zero rules, and this check sits
+            # on every proxied message.
+            return None
         for installed in self._structural_candidates(dst, direction, request_id):
             if installed.exhausted:
                 continue

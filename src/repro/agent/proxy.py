@@ -381,7 +381,10 @@ class GremlinAgent:
         # Shadow mirroring happens before fault matching (and before
         # span minting, so mirror copies stay outside the causal tree):
         # the copy runs its own matcher pass under its shadow-* identity.
-        self._maybe_mirror(dst_service, request)
+        # Guarded so the no-mirror common case pays one dict check, not
+        # a method call per proxied message.
+        if self._mirrors:
+            self._maybe_mirror(dst_service, request)
         span_id: _t.Optional[str] = None
         parent_span: _t.Optional[str] = None
         if self._span_ids is not None:

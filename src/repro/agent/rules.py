@@ -29,16 +29,53 @@ body*; the optional ``id_pattern`` scopes which flows are eligible.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import itertools
+import threading
 import typing as _t
 
 from repro.errors import RuleValidationError
 from repro.util import parse_duration
 
-__all__ = ["FaultType", "MessageDirection", "FaultRule", "abort", "delay", "modify"]
+__all__ = [
+    "FaultType",
+    "MessageDirection",
+    "FaultRule",
+    "abort",
+    "delay",
+    "fresh_rule_ids",
+    "modify",
+]
 
 _rule_ids = itertools.count(1)
+_rule_id_scope = threading.local()
+
+
+def _next_rule_id() -> int:
+    counter = getattr(_rule_id_scope, "counter", None)
+    return next(_rule_ids if counter is None else counter)
+
+
+@contextlib.contextmanager
+def fresh_rule_ids() -> _t.Iterator[None]:
+    """Number rules 1, 2, ... within this block (per thread).
+
+    Rule ids normally come off an interpreter-global counter, which is
+    fine interactively but makes ids depend on everything the process
+    ran before.  Harnesses that promise bit-for-bit reproducible output
+    — the campaign executor and the fuzz battery, on any fleet backend
+    and worker count — wrap each isolated execution in this scope so
+    the ids (and the ``Rule#N`` strings embedded in attributions and
+    repro artifacts) depend only on the recipe itself.  Scopes nest;
+    the previous counter is restored on exit.
+    """
+    previous = getattr(_rule_id_scope, "counter", None)
+    _rule_id_scope.counter = itertools.count(1)
+    try:
+        yield
+    finally:
+        _rule_id_scope.counter = previous
 
 
 class FaultType:
@@ -87,7 +124,7 @@ class FaultRule:
     replace_bytes: _t.Optional[bytes] = None
     id_pattern: _t.Optional[str] = None
     max_matches: _t.Optional[int] = None
-    rule_id: int = dataclasses.field(default_factory=lambda: next(_rule_ids))
+    rule_id: int = dataclasses.field(default_factory=_next_rule_id)
 
     def __post_init__(self) -> None:
         if not self.src or not self.dst:

@@ -4,8 +4,10 @@ The layer above the single-recipe control plane: a **planner** expands
 :func:`~repro.core.autogen.generate_recipes` (plus operator recipes)
 into a deduplicated, prioritized, per-recipe-seeded
 :class:`CampaignPlan`; a **runner** executes the plan across N parallel
-workers, each recipe on its own freshly-built deployment so outcomes
-are deterministic and worker-count-independent; the **results layer**
+workers — threads or spawn-isolated processes
+(``backend="processes"``, the multi-core path) — each recipe on its
+own freshly-built deployment so outcomes are deterministic,
+worker-count-independent, and backend-independent; the **results layer**
 folds outcomes into a per-service/per-pattern :class:`Scorecard`,
 reruns failures with perturbed seeds to separate broken from flaky
 behaviour, and :func:`diff_campaigns` compares two runs for regression
@@ -22,7 +24,7 @@ Quick start::
 """
 
 from repro.campaign.diff import CampaignDiff, StatusChange, diff_campaigns
-from repro.campaign.fleet import run_fleet
+from repro.campaign.fleet import BACKENDS, ProcessWorkerSpec, resolve_workers, run_fleet
 from repro.campaign.io import dump_jsonl, dumps, load_jsonl, loads
 from repro.campaign.plan import (
     CampaignPlan,
@@ -38,6 +40,7 @@ from repro.campaign.runner import CampaignRunner, RecipeExecutor
 from repro.campaign.scorecard import PatternScore, Scorecard
 
 __all__ = [
+    "BACKENDS",
     "CampaignDiff",
     "CampaignPlan",
     "CampaignResult",
@@ -46,6 +49,7 @@ __all__ = [
     "LoadSpec",
     "PatternScore",
     "PlannedRecipe",
+    "ProcessWorkerSpec",
     "RecipeExecutor",
     "RecipeOutcome",
     "Scorecard",
@@ -58,6 +62,7 @@ __all__ = [
     "loads",
     "plan_campaign",
     "recipe_signature",
+    "resolve_workers",
     "run_fleet",
     "scenario_target",
 ]

@@ -1,59 +1,169 @@
-"""Generic worker-fleet: drain a job queue through N threads.
+"""Generic worker-fleet: drain a job queue through N threads or processes.
 
 Extracted from :class:`~repro.campaign.runner.CampaignRunner` so every
 parallel harness in the codebase (campaigns, the differential fuzzer)
 shares one fleet implementation with one contract:
 
 * Jobs are independent: a result depends only on the job payload,
-  never on which worker ran it, how many workers there were, or the
-  drain order.  The fleet preserves this by keying results by job
-  *position* — callers get back exactly one slot per submitted job.
-* Workers are threads.  The simulated control/data plane is pure CPU
-  under the GIL, so threads cost nothing versus processes while still
-  overlapping anything that genuinely waits on the wall clock (pacing
-  floors, operator I/O).
+  never on which worker ran it, how many workers there were, which
+  backend executed it, or the drain order.  The fleet preserves this
+  by keying results by job *position* — callers get back exactly one
+  slot per submitted job.
+* Two interchangeable backends:
+
+  - ``"threads"`` — workers are threads pulling from a shared queue.
+    The simulated control/data plane is pure CPU, so under the GIL
+    thread workers canNOT speed up compute-bound suites; they exist to
+    overlap anything that genuinely waits on the wall clock (pacing
+    floors, operator I/O) at zero serialization cost.
+  - ``"processes"`` — workers are spawn-started interpreter processes
+    (:class:`ProcessWorkerSpec`).  Job payloads are serialized to the
+    worker, executed in an isolated interpreter, and the compact
+    serialized result ships back to the parent.  This is the backend
+    that parallelizes CPU-bound work across cores; it additionally
+    contains worker *crashes*: a job whose process dies is converted
+    to a failed result via ``on_crash`` and the dead worker is
+    replaced, so a crash can neither hang the fleet nor silently
+    shrink it.
+
 * ``stop_when`` implements fail-fast: once any completed job's result
   satisfies it, no further jobs are dispatched.  Jobs already running
   finish normally; undispatched jobs are simply absent from the result
-  map.
+  map.  With the thread backend, an optional ``stop_signal`` event is
+  set at the same moment so paced executors can cut their sleep short.
 
-``execute`` must never raise — wrap failures into the result type, as
+``execute`` / ``ProcessWorkerSpec.target`` must never raise — wrap
+failures into the result type, as
 :class:`~repro.campaign.runner.RecipeExecutor` does — because a raised
-exception would kill one worker thread and silently shrink the fleet.
+exception would otherwise take a worker down with it.  (The process
+backend survives even that, via the crash path, but a crash-converted
+result carries less detail than a properly wrapped one.)
 """
 
 from __future__ import annotations
 
 import collections
+import dataclasses
+import os
 import threading
 import typing as _t
 
 from repro.errors import CampaignError
 
-__all__ = ["run_fleet"]
+__all__ = [
+    "BACKENDS",
+    "ProcessWorkerSpec",
+    "resolve_workers",
+    "run_fleet",
+]
+
+#: The execution backends every fleet-driven harness accepts.
+BACKENDS = ("threads", "processes")
 
 R = _t.TypeVar("R")
 J = _t.TypeVar("J")
 
 
+def resolve_workers(workers: _t.Union[int, str]) -> int:
+    """Resolve a worker-count knob to a concrete fleet size.
+
+    ``"auto"`` (the CLI default) sizes the fleet to the machine: one
+    worker per CPU core.  Integers (or integer strings, as argparse
+    delivers them) pass through validated.
+    """
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(workers)
+    except (TypeError, ValueError):
+        raise CampaignError(
+            f"workers must be a positive integer or 'auto', got {workers!r}"
+        ) from None
+    if value < 1:
+        raise CampaignError(f"workers must be >= 1, got {value}")
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessWorkerSpec:
+    """How the ``processes`` backend runs one job in a worker process.
+
+    ``target(worker_id, job, context)`` must be an *importable*
+    (module-level) callable: spawn-started workers re-import it by
+    qualified name, so lambdas and closures are rejected by pickle.
+    ``context`` is pickled once per worker and handed to every call —
+    the place for the deployment factory, executor knobs, or an app
+    registry.  ``on_crash(job, detail)`` runs in the *parent* when a
+    worker process dies (or its result cannot be shipped back) while
+    holding ``job``; it must build the backend's failed-result shape.
+    """
+
+    target: _t.Callable[[int, _t.Any, _t.Any], _t.Any]
+    context: _t.Any = None
+    on_crash: _t.Optional[_t.Callable[[_t.Any, str], _t.Any]] = None
+    #: multiprocessing start method; spawn is the only one that is safe
+    #: on every platform and never inherits parent state.
+    start_method: str = "spawn"
+
+
 def run_fleet(
+    jobs: _t.Sequence[J],
+    execute: _t.Optional[_t.Callable[[int, J], R]],
+    *,
+    workers: _t.Union[int, str] = 1,
+    stop_when: _t.Optional[_t.Callable[[R], bool]] = None,
+    backend: str = "threads",
+    process_spec: _t.Optional[ProcessWorkerSpec] = None,
+    stop_signal: _t.Optional[threading.Event] = None,
+) -> dict[int, R]:
+    """Drain ``jobs`` through a fleet of ``workers`` threads or processes.
+
+    With the (default) thread backend, ``execute(worker_id, job)`` runs
+    each job in-process.  With ``backend="processes"``, ``execute`` is
+    unused and ``process_spec`` describes the spawn-side entry point.
+    Either way results come back keyed by the job's position in
+    ``jobs``; positions missing from the map were never dispatched
+    (fail-fast stopped the fleet first).
+    """
+    if backend not in BACKENDS:
+        raise CampaignError(
+            f"unknown fleet backend {backend!r}; expected one of {BACKENDS}"
+        )
+    fleet_size = resolve_workers(workers)
+    if backend == "processes":
+        if process_spec is None:
+            raise CampaignError("backend='processes' requires a process_spec")
+        return _run_process_fleet(
+            jobs, process_spec, workers=fleet_size, stop_when=stop_when
+        )
+    if execute is None:
+        raise CampaignError("backend='threads' requires an execute callable")
+    return _run_thread_fleet(
+        jobs,
+        execute,
+        workers=fleet_size,
+        stop_when=stop_when,
+        stop_signal=stop_signal,
+    )
+
+
+# -- thread backend -----------------------------------------------------------
+
+
+def _run_thread_fleet(
     jobs: _t.Sequence[J],
     execute: _t.Callable[[int, J], R],
     *,
-    workers: int = 1,
-    stop_when: _t.Optional[_t.Callable[[R], bool]] = None,
+    workers: int,
+    stop_when: _t.Optional[_t.Callable[[R], bool]],
+    stop_signal: _t.Optional[threading.Event],
 ) -> dict[int, R]:
-    """Drain ``jobs`` through a fleet of ``workers`` threads.
-
-    ``execute(worker_id, job)`` runs each job; results come back keyed
-    by the job's position in ``jobs``.  Positions missing from the map
-    were never dispatched (fail-fast stopped the fleet first).
-    """
-    if workers < 1:
-        raise CampaignError(f"workers must be >= 1, got {workers}")
     queue: collections.deque = collections.deque(enumerate(jobs))
     lock = threading.Lock()
-    stop = threading.Event()
+    # The caller may supply the stop event so in-flight executors (e.g.
+    # a paced recipe sleeping out its wall-clock floor) observe
+    # fail-fast the moment it trips instead of at their next dispatch.
+    stop = stop_signal if stop_signal is not None else threading.Event()
     results: dict[int, R] = {}
 
     def worker(worker_id: int) -> None:
@@ -82,4 +192,170 @@ def run_fleet(
             thread.start()
         for thread in threads:
             thread.join()
+    return results
+
+
+# -- process backend ----------------------------------------------------------
+
+
+def _process_worker_main(conn, target, context, worker_id: int) -> None:
+    """Loop of one worker process: recv job, run, send result.
+
+    Runs in the child.  A ``None`` message is the shutdown signal.  A
+    result that cannot be pickled is reported as an error message
+    rather than killing the worker, so one odd payload cannot eat the
+    rest of the queue.
+    """
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            key, job = message
+            try:
+                payload = (key, "ok", target(worker_id, job, context))
+            except BaseException as exc:  # noqa: BLE001 - ship, don't die
+                payload = (key, "error", f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(payload)
+            except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
+                conn.send((key, "error", f"result not serializable: {exc}"))
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        conn.close()
+
+
+class _ProcessWorker:
+    """Parent-side handle of one spawned worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "current")
+
+    def __init__(self, ctx, spec: ProcessWorkerSpec, worker_id: int) -> None:
+        self.worker_id = worker_id
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, spec.target, spec.context, worker_id),
+            name=f"fleet-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        #: (key, job) currently executing in the child, if any.
+        self.current: _t.Optional[tuple[int, _t.Any]] = None
+
+    def send_job(self, key: int, job: _t.Any) -> None:
+        self.current = (key, job)
+        self.conn.send((key, job))
+
+    def shut_down(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+
+    def reap(self, timeout: float = 5.0) -> None:
+        self.conn.close()
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(1.0)
+
+
+def _run_process_fleet(
+    jobs: _t.Sequence[J],
+    spec: ProcessWorkerSpec,
+    *,
+    workers: int,
+    stop_when: _t.Optional[_t.Callable[[R], bool]],
+) -> dict[int, R]:
+    """Drain jobs through spawn-started worker processes.
+
+    The parent owns the queue and dispatches one job at a time per
+    worker over a dedicated pipe, so crash attribution is exact: a
+    worker whose pipe hits EOF mid-job died holding exactly one known
+    job.  That job becomes ``on_crash(job, detail)`` and — while work
+    remains — a replacement worker is spawned, keeping the fleet at
+    full strength.
+    """
+    import multiprocessing
+    from multiprocessing.connection import wait as _wait_connections
+
+    results: dict[int, R] = {}
+    if not jobs:
+        return results
+    ctx = multiprocessing.get_context(spec.start_method)
+    queue: collections.deque = collections.deque(enumerate(jobs))
+    fleet_size = max(1, min(workers, len(jobs)))
+    stopping = False
+    finished: list[_ProcessWorker] = []
+
+    def crash_result(job: _t.Any, detail: str) -> R:
+        if spec.on_crash is None:
+            raise CampaignError(
+                f"fleet worker process died ({detail}) and no on_crash"
+                " handler was provided"
+            )
+        return spec.on_crash(job, detail)
+
+    workers_alive: list[_ProcessWorker] = []
+    try:
+        workers_alive = [
+            _ProcessWorker(ctx, spec, worker_id) for worker_id in range(fleet_size)
+        ]
+        for worker in workers_alive:
+            if queue:
+                key, job = queue.popleft()
+                worker.send_job(key, job)
+
+        while any(worker.current is not None for worker in workers_alive):
+            ready = _wait_connections(
+                [worker.conn for worker in workers_alive if worker.current is not None]
+            )
+            for worker in list(workers_alive):
+                if worker.conn not in ready or worker.current is None:
+                    continue
+                key, job = worker.current
+                try:
+                    got_key, kind, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    # The child died mid-job: fail the job, replace the
+                    # worker while there is still work left to do.
+                    exitcode = worker.process.exitcode
+                    results[key] = crash_result(
+                        job, f"worker process exited with code {exitcode}"
+                    )
+                    worker.current = None
+                    worker.reap(timeout=1.0)
+                    workers_alive.remove(worker)
+                    if queue and not stopping:
+                        replacement = _ProcessWorker(ctx, spec, worker.worker_id)
+                        workers_alive.append(replacement)
+                        next_key, next_job = queue.popleft()
+                        replacement.send_job(next_key, next_job)
+                    continue
+                worker.current = None
+                if kind == "ok":
+                    results[got_key] = payload
+                else:
+                    results[got_key] = crash_result(job, payload)
+                if (
+                    not stopping
+                    and stop_when is not None
+                    and stop_when(results[got_key])
+                ):
+                    stopping = True
+                if queue and not stopping:
+                    next_key, next_job = queue.popleft()
+                    worker.send_job(next_key, next_job)
+                else:
+                    worker.shut_down()
+                    workers_alive.remove(worker)
+                    finished.append(worker)
+    finally:
+        for worker in workers_alive + finished:
+            worker.shut_down()
+            worker.reap()
     return results

@@ -11,13 +11,21 @@ store, no agent state — so an outcome depends only on
 how many workers ran, or in what order the queue drained.  That is the
 determinism contract the campaign tests pin.
 
-Workers are threads pulling from a shared queue.  The simulated
-control/data plane is pure CPU under the GIL, so thread workers pay no
-serialization cost versus processes while still overlapping everything
-that *does* wait on the wall clock: the per-recipe ``pacing`` floor
-(modeling campaigns against live deployments, where an experiment
-occupies a test slot for real time — fault windows, log settling) and,
-in real-world embeddings, any operator-supplied I/O.
+Workers come from the shared fleet (:mod:`repro.campaign.fleet`) and
+run on one of two backends.  ``threads`` (the default) pays no
+serialization cost and overlaps everything that waits on the wall
+clock — the per-recipe ``pacing`` floor (modeling campaigns against
+live deployments, where an experiment occupies a test slot for real
+time — fault windows, log settling) and, in real-world embeddings,
+operator-supplied I/O — but the simulated control/data plane is pure
+CPU, so under the GIL threads cannot speed up compute-bound suites.
+``processes`` runs each recipe in an isolated spawn-started
+interpreter: the planned entry (+ seed) is pickled to the worker and
+the outcome ships back as its compact dict form, which is what lets a
+CPU-bound campaign scale across cores and lets a crashed worker be
+replaced without losing more than the one job it held.  Outcomes are
+bit-for-bit identical across backends and worker counts — the
+determinism contract the campaign tests pin.
 
 Guard rails: a per-recipe wall-clock ``timeout`` is enforced
 cooperatively by slicing the virtual-time run loop (the kernel's
@@ -29,12 +37,20 @@ seeds to separate *broken* behaviour (fails under every seed) from
 
 from __future__ import annotations
 
+import pickle
+import threading
 import time
 import typing as _t
 
-from repro.campaign.fleet import run_fleet
+from repro.agent.rules import fresh_rule_ids
+from repro.campaign.fleet import BACKENDS, ProcessWorkerSpec, resolve_workers, run_fleet
 from repro.campaign.plan import CampaignPlan, DeploymentFactory, PlannedRecipe, derive_seed
-from repro.campaign.results import CampaignResult, CheckOutcome, RecipeOutcome
+from repro.campaign.results import (
+    CONCLUSIVE_FAILURES,
+    CampaignResult,
+    CheckOutcome,
+    RecipeOutcome,
+)
 from repro.core.gremlin import Gremlin
 from repro.core.queries import QueryCache
 from repro.errors import CampaignError, CampaignTimeoutError
@@ -76,6 +92,7 @@ class RecipeExecutor:
         timeout: _t.Optional[float] = 60.0,
         pacing: float = 0.0,
         slice_virtual: float = 60.0,
+        stop_event: _t.Optional[threading.Event] = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise CampaignError(f"timeout must be > 0 or None, got {timeout}")
@@ -87,6 +104,11 @@ class RecipeExecutor:
         self.timeout = timeout
         self.pacing = pacing
         self.slice_virtual = slice_virtual
+        #: Fleet-wide fail-fast signal: while padding a recipe to its
+        #: pacing floor the executor waits on this event instead of
+        #: sleeping blind, so a conclusive failure elsewhere releases
+        #: the worker immediately rather than after the pacing interval.
+        self.stop_event = stop_event
 
     def execute(
         self, planned: PlannedRecipe, seed: _t.Optional[int] = None
@@ -116,7 +138,12 @@ class RecipeExecutor:
 
             window_start = sim.now
             orch_start = time.perf_counter()
-            installation = gremlin.inject(*recipe.scenarios)
+            # Scoped rule numbering: ids (and the Rule#N strings baked
+            # into attributions) restart at 1 for every recipe, so the
+            # outcome is bit-for-bit identical across fleet backends,
+            # worker counts, and whatever ran earlier in the process.
+            with fresh_rule_ids():
+                installation = gremlin.inject(*recipe.scenarios)
             outcome.orchestration_time = time.perf_counter() - orch_start
 
             load = ClosedLoopLoad(
@@ -178,8 +205,14 @@ class RecipeExecutor:
         outcome.wall_time = time.monotonic() - started
         if self.pacing > 0:
             remaining = self.pacing - outcome.wall_time
-            if remaining > 0:
-                time.sleep(remaining)
+            if remaining > 0 and not (
+                self.stop_event is not None and self.stop_event.is_set()
+            ):
+                if self.stop_event is not None:
+                    # Wakes early the moment fail-fast trips fleet-wide.
+                    self.stop_event.wait(remaining)
+                else:
+                    time.sleep(remaining)
             outcome.wall_time = time.monotonic() - started
         return outcome
 
@@ -193,6 +226,48 @@ class RecipeExecutor:
             sim.run(until=sim.now + self.slice_virtual)
 
 
+def _process_execute(
+    worker_id: int,
+    job: tuple[PlannedRecipe, _t.Optional[int]],
+    context: dict,
+) -> dict:
+    """Process-backend entry point: runs inside a worker interpreter.
+
+    Rebuilds an executor from the pickled context, runs one planned
+    recipe, and ships the outcome back in its compact serialized form
+    (checks, metrics snapshot, fault attributions — everything
+    :meth:`RecipeOutcome.to_dict` carries) for the parent to merge.
+    """
+    executor = RecipeExecutor(
+        context["factory"],
+        timeout=context["timeout"],
+        pacing=context["pacing"],
+        slice_virtual=context["slice_virtual"],
+    )
+    entry, seed = job
+    outcome = executor.execute(entry, seed=seed)
+    outcome.worker = worker_id
+    return outcome.to_dict()
+
+
+def _crashed_outcome(
+    job: tuple[PlannedRecipe, _t.Optional[int]], detail: str
+) -> dict:
+    """Parent-side conversion of a dead worker's job into a failed
+    outcome, so a crash is a reported result — never a hang and never a
+    silently missing plan entry."""
+    entry, seed = job
+    return RecipeOutcome(
+        index=entry.index,
+        name=entry.name,
+        pattern=entry.pattern,
+        service=entry.service,
+        seed=entry.seed if seed is None else seed,
+        status="error",
+        error=f"worker process died: {detail}",
+    ).to_dict()
+
+
 class CampaignRunner:
     """Executes a :class:`CampaignPlan` across N parallel workers.
 
@@ -200,9 +275,16 @@ class CampaignRunner:
     ----------
     factory:
         Deployment factory; each worker builds one fresh deployment per
-        recipe from it.
+        recipe from it.  The ``processes`` backend pickles it to the
+        workers, so it must be an importable module-level callable.
     workers:
-        Fleet size.  ``1`` executes serially (same code path).
+        Fleet size, or ``"auto"`` for one worker per CPU core.  ``1``
+        executes serially.
+    backend:
+        ``"threads"`` (default; zero serialization, overlaps paced /
+        I/O-bound recipes) or ``"processes"`` (spawn-isolated
+        interpreters that parallelize CPU-bound suites and contain
+        worker crashes).  Outcomes are identical either way.
     timeout:
         Per-recipe wall-clock budget in seconds (None disables).
     pacing:
@@ -223,31 +305,38 @@ class CampaignRunner:
         self,
         factory: DeploymentFactory,
         *,
-        workers: int = 1,
+        workers: _t.Union[int, str] = 1,
+        backend: str = "threads",
         timeout: _t.Optional[float] = 60.0,
         pacing: float = 0.0,
         fail_fast: bool = False,
         rerun_failures: int = 0,
         slice_virtual: float = 60.0,
     ) -> None:
-        if workers < 1:
-            raise CampaignError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise CampaignError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         if rerun_failures < 0:
             raise CampaignError(f"rerun_failures must be >= 0, got {rerun_failures}")
         self.factory = factory
-        self.workers = workers
+        self.workers = resolve_workers(workers)
+        self.backend = backend
         self.timeout = timeout
         self.pacing = pacing
         self.fail_fast = fail_fast
         self.rerun_failures = rerun_failures
         self.slice_virtual = slice_virtual
 
-    def _executor(self) -> RecipeExecutor:
+    def _executor(
+        self, stop_event: _t.Optional[threading.Event] = None
+    ) -> RecipeExecutor:
         return RecipeExecutor(
             self.factory,
             timeout=self.timeout,
             pacing=self.pacing,
             slice_virtual=self.slice_virtual,
+            stop_event=stop_event,
         )
 
     def run(self, plan: CampaignPlan) -> CampaignResult:
@@ -295,14 +384,19 @@ class CampaignRunner:
         """Drain ``(entry, seed_override)`` jobs through the worker
         fleet; returns outcomes keyed by job *position* (not plan
         index — flake reruns submit the same entry several times)."""
+        if self.backend == "processes":
+            return self._run_process_fleet(jobs, fail_fast)
         executors: dict[int, RecipeExecutor] = {}
+        stop_signal = threading.Event()
 
         def execute(worker_id: int, job: tuple[PlannedRecipe, _t.Optional[int]]) -> RecipeOutcome:
             # One executor per worker thread (run_fleet calls a given
             # worker_id from one thread only, so no lock is needed).
             executor = executors.get(worker_id)
             if executor is None:
-                executor = executors[worker_id] = self._executor()
+                executor = executors[worker_id] = self._executor(
+                    stop_event=stop_signal if fail_fast else None
+                )
             entry, seed = job
             outcome = executor.execute(entry, seed=seed)
             outcome.worker = worker_id
@@ -313,7 +407,53 @@ class CampaignRunner:
             execute,
             workers=self.workers,
             stop_when=(lambda outcome: outcome.conclusive_failure) if fail_fast else None,
+            stop_signal=stop_signal,
         )
+
+    def _run_process_fleet(
+        self,
+        jobs: _t.Sequence[tuple[PlannedRecipe, _t.Optional[int]]],
+        fail_fast: bool,
+    ) -> dict[int, RecipeOutcome]:
+        """Drain the same jobs through spawn-isolated worker processes.
+
+        Each job pickles ``(PlannedRecipe, seed_override)`` out to a
+        worker and gets back the outcome's compact dict form; the merge
+        back into :class:`RecipeOutcome` happens here, so callers see
+        identical objects whichever backend ran the campaign.
+        """
+        spec = ProcessWorkerSpec(
+            target=_process_execute,
+            context={
+                "factory": self.factory,
+                "timeout": self.timeout,
+                "pacing": self.pacing,
+                "slice_virtual": self.slice_virtual,
+            },
+            on_crash=_crashed_outcome,
+        )
+        try:
+            raw = run_fleet(
+                jobs,
+                None,
+                workers=self.workers,
+                stop_when=(
+                    (lambda doc: doc["status"] in CONCLUSIVE_FAILURES)
+                    if fail_fast
+                    else None
+                ),
+                backend="processes",
+                process_spec=spec,
+            )
+        except (TypeError, AttributeError, pickle.PicklingError) as exc:
+            raise CampaignError(
+                "the processes backend pickles the deployment factory and"
+                " plan entries to its workers; use a module-level factory"
+                f" (not a lambda/closure): {exc}"
+            ) from exc
+        return {
+            position: RecipeOutcome.from_dict(doc) for position, doc in raw.items()
+        }
 
     def _detect_flakes(
         self, plan: CampaignPlan, outcomes: list[RecipeOutcome]

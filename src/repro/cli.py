@@ -69,14 +69,23 @@ from repro.loadgen import ClosedLoopLoad
 from repro.microservice import Application
 from repro.observability import attribute_trace, reconstruct, to_json, to_prometheus
 
-__all__ = ["main", "APPS"]
+__all__ = ["main", "APPS", "build_tree3_app"]
 
-#: Name -> zero-argument builder for every prebuilt application.
+
+def build_tree3_app() -> Application:
+    """Depth-3 service tree (module-level so the ``processes`` fleet
+    backend can pickle the factory to its spawn-started workers)."""
+    return build_tree_app(3)
+
+
+#: Name -> zero-argument builder for every prebuilt application.  All
+#: builders are importable module-level callables, which is what lets
+#: ``--backend processes`` ship any of them to worker interpreters.
 APPS: dict[str, _t.Callable[[], Application]] = {
     "twotier": build_twotier,
     "wordpress": build_wordpress_app,
     "enterprise": build_enterprise_app,
-    "tree3": lambda: build_tree_app(3),
+    "tree3": build_tree3_app,
     "messagebus": build_messagebus_app,
     "database": build_database_app,
     "coreservice": build_coreservice_app,
@@ -285,11 +294,28 @@ def _plan_from_args(args: argparse.Namespace):
     return factory, plan
 
 
+def _workers_arg(value: str) -> _t.Union[int, str]:
+    """argparse type for ``--workers``: a positive int or ``auto``
+    (one worker per CPU core, resolved by the fleet)."""
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     factory, plan = _plan_from_args(args)
     runner = CampaignRunner(
         factory,
         workers=args.workers,
+        backend=args.backend,
         timeout=args.timeout,
         pacing=args.pacing,
         fail_fast=args.fail_fast,
@@ -323,7 +349,11 @@ def cmd_campaign_smoke(args: argparse.Namespace) -> int:
     """Capped fast campaign proving the fleet wiring end to end."""
     factory, plan = _plan_from_args(args)
     runner = CampaignRunner(
-        factory, workers=args.workers, timeout=args.timeout, rerun_failures=1
+        factory,
+        workers=args.workers,
+        backend=args.backend,
+        timeout=args.timeout,
+        rerun_failures=1,
     )
     result = runner.run(plan)
     broken_wiring = [
@@ -362,6 +392,7 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         args.seed,
         args.cases,
         workers=args.workers,
+        backend=args.backend,
         app_registry=APPS,
         artifacts_dir=args.artifacts,
         shrink_failures=not args.no_shrink,
@@ -513,11 +544,27 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--json", action="store_true", help="machine-readable output")
 
+    def add_fleet_args(p: argparse.ArgumentParser, default_workers) -> None:
+        p.add_argument(
+            "--workers",
+            type=_workers_arg,
+            default=default_workers,
+            help="parallel fleet size, or 'auto' for one worker per CPU core",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("threads", "processes"),
+            default="threads",
+            help="worker backend: threads (no serialization, overlaps paced"
+            " recipes) or processes (spawn-isolated interpreters;"
+            " parallelizes CPU-bound suites across cores)",
+        )
+
     run_parser = campaign_sub.add_parser(
         "run", help="execute a full campaign and print the scorecard"
     )
     add_plan_args(run_parser, max_recipes=None)
-    run_parser.add_argument("--workers", type=int, default=4, help="parallel fleet size")
+    add_fleet_args(run_parser, default_workers="auto")
     run_parser.add_argument(
         "--timeout", type=float, default=60.0, help="per-recipe wall-clock budget (s)"
     )
@@ -546,7 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
         "smoke", help="capped fast campaign proving the fleet wiring"
     )
     add_plan_args(smoke_parser, max_recipes=6)
-    smoke_parser.add_argument("--workers", type=int, default=2)
+    add_fleet_args(smoke_parser, default_workers=2)
     smoke_parser.add_argument("--timeout", type=float, default=30.0)
     smoke_parser.set_defaults(func=cmd_campaign_smoke, requests=5)
 
@@ -568,7 +615,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_run.add_argument("--seed", type=int, default=0, help="corpus master seed")
     fuzz_run.add_argument("--cases", type=int, default=100, help="corpus size")
-    fuzz_run.add_argument("--workers", type=int, default=4, help="parallel fleet size")
+    fuzz_run.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        help="parallel fleet size, or 'auto' for one worker per CPU core",
+    )
+    fuzz_run.add_argument(
+        "--backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="worker backend: threads or spawn-isolated processes",
+    )
     fuzz_run.add_argument(
         "--artifacts",
         default=None,

@@ -37,6 +37,7 @@ import random
 import time
 import typing as _t
 
+from repro.agent.rules import fresh_rule_ids
 from repro.core.gremlin import Gremlin
 from repro.core.scenarios import AbortCalls
 from repro.fuzz.oracle import OracleError, Prediction, predict
@@ -100,7 +101,10 @@ def execute_case(
 
     scenarios = [build_scenario(spec) for spec in case.scenarios]
     scenarios.extend(extra_scenarios)
-    rules = gremlin.translator.translate(scenarios)
+    # Scoped numbering: every execution's rules are 1..N, so artifacts
+    # and digests cannot depend on fleet backend or interpreter history.
+    with fresh_rule_ids():
+        rules = gremlin.translator.translate(scenarios)
     if rule_transform is not None:
         rules = rule_transform(list(rules))
     gremlin.orchestrator.apply(rules)

@@ -4,7 +4,12 @@
 by case — through the differential battery on the shared campaign
 worker fleet (:func:`~repro.campaign.fleet.run_fleet`), shrinks every
 failing case to its minimal form, and writes one JSON repro artifact
-per failure.  An artifact is self-contained: it embeds the full case
+per failure.  Both fleet backends are supported: ``threads`` (default)
+runs cases in-process; ``processes`` pickles each
+:class:`~repro.fuzz.spec.FuzzCase` to a spawn-isolated worker
+interpreter and ships the :class:`~repro.fuzz.differential.CaseReport`
+back, which parallelizes the CPU-bound battery across cores.  The
+report is identical across backends and worker counts.  An artifact is self-contained: it embeds the full case
 spec (topology, scenarios, checks, workload, deployment seed) plus the
 expected mismatch kinds and trace digest, so
 :func:`replay_artifact` can re-execute it bit-for-bit on any machine
@@ -19,7 +24,7 @@ import os
 import time
 import typing as _t
 
-from repro.campaign.fleet import run_fleet
+from repro.campaign.fleet import BACKENDS, ProcessWorkerSpec, run_fleet
 from repro.errors import GremlinError
 from repro.fuzz.differential import CaseReport, run_case
 from repro.fuzz.generator import FuzzGenerator
@@ -86,11 +91,41 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+def _process_case(
+    worker_id: int, case: FuzzCase, context: _t.Optional[_t.Mapping]
+) -> CaseReport:
+    """Process-backend entry point: run one case in a worker interpreter.
+
+    ``context`` is the (pickled) app registry; the returned
+    :class:`CaseReport` is plain data, so it ships back to the parent
+    unchanged — the fuzz verdict cannot depend on the backend.
+    """
+    try:
+        return run_case(case, app_registry=context)
+    except Exception as exc:  # noqa: BLE001 - fleet contract: never raise
+        report = CaseReport(case=case, digest="")
+        report.mismatches.append(
+            {"kind": "harness/error", "detail": f"{type(exc).__name__}: {exc}"}
+        )
+        return report
+
+
+def _crashed_case(case: FuzzCase, detail: str) -> CaseReport:
+    """Parent-side conversion of a dead worker's case into a failing
+    report, keeping the corpus fully accounted for."""
+    report = CaseReport(case=case, digest="")
+    report.mismatches.append(
+        {"kind": "harness/crash", "detail": f"worker process died: {detail}"}
+    )
+    return report
+
+
 def run_fuzz(
     seed: int,
     cases: int,
     *,
-    workers: int = 1,
+    workers: _t.Union[int, str] = 1,
+    backend: str = "threads",
     app_registry: _t.Optional[_t.Mapping] = None,
     artifacts_dir: _t.Optional[str] = None,
     shrink_failures: bool = True,
@@ -98,24 +133,32 @@ def run_fuzz(
     """Run the first ``cases`` cases of ``seed``'s corpus.
 
     Case generation, execution, and shrinking are all derived from
-    ``seed`` alone, so the report is identical across machines and
-    worker counts.
+    ``seed`` alone, so the report is identical across machines, worker
+    counts, and fleet backends.  ``backend="processes"`` requires a
+    picklable ``app_registry`` (module-level builders, not lambdas).
     """
+    if backend not in BACKENDS:
+        raise GremlinError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     started = time.perf_counter()
     generator = FuzzGenerator(seed, app_registry=app_registry)
     corpus = generator.generate(cases)
 
     def execute(worker_id: int, case: FuzzCase) -> CaseReport:
-        try:
-            return run_case(case, app_registry=app_registry)
-        except Exception as exc:  # noqa: BLE001 - fleet contract: never raise
-            report = CaseReport(case=case, digest="")
-            report.mismatches.append(
-                {"kind": "harness/error", "detail": f"{type(exc).__name__}: {exc}"}
-            )
-            return report
+        return _process_case(worker_id, case, app_registry)
 
-    results = run_fleet(corpus, execute, workers=workers)
+    if backend == "processes":
+        registry = dict(app_registry) if app_registry is not None else None
+        results = run_fleet(
+            corpus,
+            None,
+            workers=workers,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=_process_case, context=registry, on_crash=_crashed_case
+            ),
+        )
+    else:
+        results = run_fleet(corpus, execute, workers=workers)
     report = FuzzReport(seed=seed, cases=cases)
     for position in range(len(corpus)):
         case_report = results[position]

@@ -33,7 +33,7 @@ import fnmatch
 import re
 import typing as _t
 
-from repro.agent.rules import FaultRule, FaultType
+from repro.agent.rules import FaultRule, FaultType, fresh_rule_ids
 from repro.errors import GremlinError
 from repro.fuzz.spec import SOURCE_NAME, FuzzCase, build_check, build_scenario
 from repro.fuzz.spec import EdgeCountCheck, EdgeStatusCheck
@@ -118,8 +118,11 @@ class _Walker:
         self.topology = case.topology
         graph = self.topology.logical_graph()
         rules: _t.List[FaultRule] = []
-        for spec in case.scenarios:
-            rules.extend(build_scenario(spec).decompose(graph))
+        # Scoped numbering mirrors execute_case: the oracle's rules get
+        # the same 1..N ids the real stack assigns, backend-independent.
+        with fresh_rule_ids():
+            for spec in case.scenarios:
+                rules.extend(build_scenario(spec).decompose(graph))
         # The orchestrator installs in rule order, each rule on every
         # agent of its src; one replica per service => one agent.
         self.agents: _t.Dict[str, _t.List[_InstalledRule]] = {}

@@ -124,6 +124,17 @@ class ServiceContext:
         self._instance = instance
         #: Arbitrary per-instance state shared across requests.
         self.state: dict[str, _t.Any] = {}
+        # Resolve the configured compute time once: work() runs on every
+        # simulated request, and the isinstance/float() dance per call
+        # shows up in campaign profiles.  Contexts are rebuilt on every
+        # deploy, so definition edits between deploys still take effect.
+        service_time = instance.definition.service_time
+        if isinstance(service_time, LatencyModel):
+            self._latency_model: _t.Optional[LatencyModel] = service_time
+            self._fixed_work = 0.0
+        else:
+            self._latency_model = None
+            self._fixed_work = float(service_time)
 
     @property
     def sim(self) -> "Simulator":
@@ -156,13 +167,11 @@ class ServiceContext:
 
     def work(self) -> _t.Generator[_t.Any, _t.Any, None]:
         """Burn this service's configured compute time (subroutine)."""
-        service_time = self._instance.definition.service_time
-        if isinstance(service_time, LatencyModel):
-            duration = service_time.sample(self.sim)
-        else:
-            duration = float(service_time)
+        model = self._latency_model
+        sim = self._instance.sim
+        duration = self._fixed_work if model is None else model.sample(sim)
         if duration > 0:
-            yield self.sim.timeout(duration)
+            yield sim.timeout(duration)
 
     def call(
         self,

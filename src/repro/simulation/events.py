@@ -13,6 +13,7 @@ a timeout — the building block of the timeout resilience pattern.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush as _heappush
 
 from repro.errors import StaleEventError
 
@@ -55,6 +56,11 @@ class SimEvent:
     recorded by the kernel (``sim.unhandled_failures``) rather than
     silently dropped, so tests can assert that no error went unnoticed.
     """
+
+    # Events are the kernel's unit of allocation — a busy campaign makes
+    # millions — so the whole hierarchy is slotted: no per-instance
+    # __dict__, smaller objects, faster attribute access in the run loop.
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -102,7 +108,10 @@ class SimEvent:
             raise StaleEventError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._queue_triggered(self)
+        # Inlined Simulator._queue_triggered — triggering is a per-event
+        # cost on the request hot path.
+        sim = self.sim
+        _heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "SimEvent":
@@ -113,7 +122,8 @@ class SimEvent:
             raise StaleEventError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim._queue_triggered(self)
+        sim = self.sim
+        _heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def add_callback(self, callback: _t.Callable[["SimEvent"], None]) -> None:
@@ -140,14 +150,22 @@ class Timeout(SimEvent):
     units of virtual time.  A negative delay is rejected.
     """
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        # Inlined SimEvent.__init__ and Simulator._schedule_at: timeouts
+        # are the most-allocated event type (every injected delay, retry
+        # backoff, and client budget makes one), and a non-negative delay
+        # can never land in the past, so the scheduling guard is skipped.
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._schedule_at(sim.now + delay, self)
+        self.defused = False
+        self.delay = delay
+        _heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
 
     def succeed(self, value: _t.Any = None) -> "SimEvent":  # pragma: no cover
         raise StaleEventError("Timeout events trigger themselves")
@@ -165,6 +183,8 @@ class Condition(SimEvent):
     child is marked ``defused`` so the kernel does not also report an
     unhandled failure).
     """
+
+    __slots__ = ("events", "_evaluate", "_count")
 
     def __init__(
         self,
@@ -189,15 +209,15 @@ class Condition(SimEvent):
             ev.add_callback(self._check)
 
     def _check(self, ev: SimEvent) -> None:
-        if self.triggered:
-            if not ev.ok:
+        if self._value is not PENDING:
+            if not ev._ok:
                 # Condition already resolved; swallow late failures of
                 # the losing branches (e.g. a timeout raced and lost).
                 ev.defused = True
             return
-        if not ev.ok:
+        if not ev._ok:
             ev.defused = True
-            self.fail(_t.cast(BaseException, ev.value))
+            self.fail(ev._value)
             return
         self._count += 1
         if self._evaluate(len(self.events), self._count):
@@ -225,6 +245,8 @@ class AnyOf(Condition):
             ...                      # timed out
     """
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: _t.Sequence[SimEvent]) -> None:
         super().__init__(sim, events, lambda total, done: done >= 1)
 
@@ -235,6 +257,8 @@ class AllOf(Condition):
     Useful for fan-out handlers that call several downstream services
     concurrently and join on all the responses.
     """
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: _t.Sequence[SimEvent]) -> None:
         super().__init__(sim, events, lambda total, done: done >= total)

@@ -139,7 +139,7 @@ class Simulator:
         assert callbacks is not None, "event processed twice"
         for callback in callbacks:
             callback(event)
-        if not event.ok and not event.defused:
+        if not event._ok and not event.defused:
             self.unhandled_failures.append(event)
 
     def peek(self) -> float:
@@ -155,10 +155,28 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self.peek() > until:
+        # Inlined :meth:`step`: this loop dominates every simulation's
+        # profile, so the heap, the pop, and the failure list are bound
+        # to locals and the per-event ``peek``/``step`` calls and
+        # ``ok``/``value`` property hops are bypassed.  Any semantic
+        # change here must land in ``step`` too — the two are one
+        # algorithm in two shapes.
+        heap = self._heap
+        pop = heapq.heappop
+        unhandled = self.unhandled_failures
+        limit = float("inf") if until is None else until
+        while heap:
+            if heap[0][0] > limit:
                 break
-            self.step()
+            when, _seq, event = pop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            assert callbacks is not None, "event processed twice"
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                unhandled.append(event)
         if until is not None:
             self._now = max(self._now, until)
         if self._strict and self.unhandled_failures:

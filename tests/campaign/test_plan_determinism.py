@@ -5,11 +5,12 @@ plan depends only on ``(factory, master seed, knobs)`` and an outcome
 only on ``(factory, recipe, seed)``.  These tests pin both halves: the
 planner must emit the identical ordered, deduplicated, seeded plan on
 every invocation, and running that plan must produce identical
-outcomes whatever the worker count.
+outcomes whatever the worker count — and, since the fleet grew a
+``processes`` backend, whatever the execution backend.
 """
 
 from repro.apps import build_twotier, build_wordpress_app
-from repro.campaign import CampaignRunner, plan_campaign
+from repro.campaign import CampaignRunner, diff_campaigns, plan_campaign
 
 
 def plan_fingerprint(plan):
@@ -88,3 +89,48 @@ class TestExecutionDeterminism:
         assert outcome_fingerprint(runner.run(plan)) == outcome_fingerprint(
             runner.run(plan)
         )
+
+
+def outcome_doc(outcome):
+    """An outcome's full serialized form minus what legitimately varies
+    between runs: wall-clock timings and worker attribution."""
+    doc = outcome.to_dict()
+    for volatile in ("wall_time", "orchestration_time", "assertion_time", "worker"):
+        doc.pop(volatile, None)
+    return doc
+
+
+class TestBackendEquivalence:
+    """The ``processes`` backend is an execution detail, not a semantic
+    one: everything a campaign reports — statuses, checks, metrics
+    snapshots, fault attributions, scorecards, diff verdicts — must be
+    bit-for-bit identical to the thread backend at any worker count.
+
+    ``build_twotier`` is module-level (picklable), which is all the
+    process backend asks of a factory.
+    """
+
+    def test_full_outcome_docs_identical_across_backends_and_workers(self):
+        plan = plan_campaign(build_twotier, seed=9, requests=5, max_recipes=6)
+        baseline = CampaignRunner(build_twotier, workers=1, timeout=None).run(plan)
+        docs = [outcome_doc(o) for o in baseline.outcomes]
+        for backend, workers in (("threads", 3), ("processes", 1), ("processes", 3)):
+            result = CampaignRunner(
+                build_twotier, workers=workers, timeout=None, backend=backend
+            ).run(plan)
+            assert [outcome_doc(o) for o in result.outcomes] == docs, (
+                backend,
+                workers,
+            )
+
+    def test_scorecard_and_diff_verdicts_agree_across_backends(self):
+        plan = plan_campaign(build_twotier, seed=9, requests=5, max_recipes=6)
+        threads = CampaignRunner(build_twotier, workers=2, timeout=None).run(plan)
+        procs = CampaignRunner(
+            build_twotier, workers=2, timeout=None, backend="processes"
+        ).run(plan)
+        assert threads.scorecard().text() == procs.scorecard().text()
+        # A regression diff across backends of the same plan+seed must
+        # be a no-op in both directions.
+        assert diff_campaigns(threads, procs).clean
+        assert diff_campaigns(procs, threads).clean

@@ -1,0 +1,197 @@
+"""The process fleet backend: isolation, crash containment, fail-fast.
+
+The thread backend's contract (results keyed by job position, stop_when
+fail-fast, execute-never-raises) is pinned by the campaign runner
+tests; this module pins what the ``processes`` backend adds on top:
+
+* job payloads and contexts round-trip through spawn workers,
+* a worker process that *dies* mid-job costs exactly that job — the
+  job is converted via ``on_crash``, a replacement worker is spawned,
+  every other job completes, and the fleet exits (no hang, no silently
+  shrunken fleet),
+* a target that raises, or a result that cannot be pickled, degrades
+  to the same ``on_crash`` path instead of killing the worker,
+* fail-fast stops dispatching but lets in-flight jobs finish.
+
+Every target below is module-level: spawn workers import the target by
+qualified name, which is the one structural requirement the backend
+puts on callers (lambdas and closures are rejected by pickle).
+"""
+
+import os
+
+import pytest
+
+from repro.campaign.fleet import (
+    BACKENDS,
+    ProcessWorkerSpec,
+    resolve_workers,
+    run_fleet,
+)
+from repro.errors import CampaignError
+
+
+def echo_target(worker_id, job, context):
+    return {"job": job, "context": context, "pid": os.getpid()}
+
+
+def double_target(worker_id, job, context):
+    return job * 2
+
+
+def poison_target(worker_id, job, context):
+    if job == context["poison"]:
+        os._exit(13)  # simulate a segfault/OOM-kill: no exception, no cleanup
+    return job * 2
+
+
+def raising_target(worker_id, job, context):
+    if job == "boom":
+        raise ValueError("bad job")
+    return job
+
+
+def unpicklable_target(worker_id, job, context):
+    if job == "weird":
+        return lambda: None  # cannot ship back through the pipe
+    return job
+
+
+def on_crash(job, detail):
+    return ("crashed", job, detail)
+
+
+class TestResolveWorkers:
+    def test_auto_sizes_to_the_machine(self):
+        assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
+
+    def test_integers_and_integer_strings_pass_through(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers("3") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, "none", None])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(CampaignError):
+            resolve_workers(bad)
+
+
+class TestRunFleetValidation:
+    def test_backends_registry(self):
+        assert BACKENDS == ("threads", "processes")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CampaignError, match="unknown fleet backend"):
+            run_fleet([1], lambda w, j: j, backend="greenlets")
+
+    def test_processes_requires_spec(self):
+        with pytest.raises(CampaignError, match="process_spec"):
+            run_fleet([1], None, backend="processes")
+
+    def test_threads_requires_execute(self):
+        with pytest.raises(CampaignError, match="execute"):
+            run_fleet([1], None, backend="threads")
+
+
+class TestProcessFleet:
+    def test_results_keyed_by_position_with_context(self):
+        jobs = ["a", "b", "c"]
+        results = run_fleet(
+            jobs,
+            None,
+            workers=2,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=echo_target, context={"k": 1}, on_crash=on_crash
+            ),
+        )
+        assert sorted(results) == [0, 1, 2]
+        for position, job in enumerate(jobs):
+            assert results[position]["job"] == job
+            assert results[position]["context"] == {"k": 1}
+            # Isolation: the job really ran in another interpreter.
+            assert results[position]["pid"] != os.getpid()
+
+    def test_matches_thread_backend_results(self):
+        jobs = list(range(7))
+        threads = run_fleet(jobs, lambda w, j: j * 2, workers=3)
+        procs = run_fleet(
+            jobs,
+            None,
+            workers=3,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+        )
+        assert procs == threads
+
+    def test_worker_crash_fails_only_its_job_and_fleet_recovers(self):
+        jobs = list(range(6))
+        results = run_fleet(
+            jobs,
+            None,
+            workers=2,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=poison_target, context={"poison": 2}, on_crash=on_crash
+            ),
+        )
+        # Every job is accounted for: the fleet neither hung nor lost
+        # queued work when the worker holding job 2 died.
+        assert sorted(results) == jobs
+        assert results[2][0] == "crashed"
+        assert results[2][1] == 2
+        assert "exited with code" in results[2][2]
+        for position in (0, 1, 3, 4, 5):
+            assert results[position] == position * 2
+
+    def test_raising_target_degrades_to_on_crash(self):
+        results = run_fleet(
+            ["ok", "boom"],
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(target=raising_target, on_crash=on_crash),
+        )
+        assert results[0] == "ok"
+        assert results[1][0] == "crashed"
+        assert "ValueError: bad job" in results[1][2]
+
+    def test_unpicklable_result_degrades_to_on_crash(self):
+        results = run_fleet(
+            ["fine", "weird"],
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=unpicklable_target, on_crash=on_crash
+            ),
+        )
+        assert results[0] == "fine"
+        assert results[1][0] == "crashed"
+        assert "not serializable" in results[1][2]
+
+    def test_crash_without_handler_is_an_error(self):
+        with pytest.raises(CampaignError, match="on_crash"):
+            run_fleet(
+                [0, 1, 2],
+                None,
+                workers=1,
+                backend="processes",
+                process_spec=ProcessWorkerSpec(
+                    target=poison_target, context={"poison": 1}
+                ),
+            )
+
+    def test_fail_fast_stops_dispatching(self):
+        jobs = list(range(8))
+        results = run_fleet(
+            jobs,
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+            stop_when=lambda result: result == 4,  # job 2's doubled value
+        )
+        # One worker drains in order: jobs 0..2 ran, 3..7 never
+        # dispatched once stop_when tripped.
+        assert sorted(results) == [0, 1, 2]
+        assert results[2] == 4

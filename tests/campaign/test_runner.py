@@ -137,7 +137,7 @@ class _StubRunner(CampaignRunner):
         super().__init__(build_twotier, **kwargs)
         self._stub = stub
 
-    def _executor(self):
+    def _executor(self, stop_event=None):
         return self._stub
 
 
