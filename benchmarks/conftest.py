@@ -11,7 +11,10 @@ and the paper-shaped data.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+import subprocess
 
 import pytest
 
@@ -106,37 +109,46 @@ def bench_kernel() -> dict:
     return _BENCH_KERNEL
 
 
+def _provenance() -> dict:
+    """Where the numbers came from: every BENCH_*.json carries the same
+    machine/interpreter/revision block, so two dumps are comparable (or
+    visibly not) at a glance."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=pathlib.Path(__file__).parent,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        rev = ""
+    return {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_rev": rev or "unknown",
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if _BENCH_LOGSTORE:
-        payload = dict(_BENCH_LOGSTORE)
-        payload.setdefault("source", "benchmarks/test_bench_table3_assertions.py")
-        BENCH_LOGSTORE_PATH.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
-    if _BENCH_CAMPAIGN:
-        payload = dict(_BENCH_CAMPAIGN)
-        payload.setdefault("source", "benchmarks/test_bench_campaign.py")
-        BENCH_CAMPAIGN_PATH.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
-    if _BENCH_TRACING:
-        payload = dict(_BENCH_TRACING)
-        payload.setdefault("source", "benchmarks/test_bench_tracing.py")
-        BENCH_TRACING_PATH.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
-    if _BENCH_FUZZ:
-        payload = dict(_BENCH_FUZZ)
-        payload.setdefault("source", "benchmarks/test_bench_fuzz.py")
-        BENCH_FUZZ_PATH.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
-    if _BENCH_KERNEL:
-        payload = dict(_BENCH_KERNEL)
-        payload.setdefault("source", "benchmarks/test_bench_kernel.py")
-        BENCH_KERNEL_PATH.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
+    flushes = (
+        (_BENCH_LOGSTORE, BENCH_LOGSTORE_PATH, "benchmarks/test_bench_table3_assertions.py"),
+        (_BENCH_CAMPAIGN, BENCH_CAMPAIGN_PATH, "benchmarks/test_bench_campaign.py"),
+        (_BENCH_TRACING, BENCH_TRACING_PATH, "benchmarks/test_bench_tracing.py"),
+        (_BENCH_FUZZ, BENCH_FUZZ_PATH, "benchmarks/test_bench_fuzz.py"),
+        (_BENCH_KERNEL, BENCH_KERNEL_PATH, "benchmarks/test_bench_kernel.py"),
+    )
+    provenance = None
+    for data, path, source in flushes:
+        if not data:
+            continue
+        if provenance is None:
+            provenance = _provenance()
+        payload = dict(data)
+        payload.setdefault("source", source)
+        payload["provenance"] = provenance
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -13,6 +13,7 @@ from repro.agent.matcher import (
     LinearMatcher,
     PrefixIndexMatcher,
     RuleMatcher,
+    TableMatcher,
     make_matcher,
 )
 from repro.agent.proxy import GremlinAgent
@@ -37,6 +38,7 @@ __all__ = [
     "PrefixIndexMatcher",
     "RuleMatcher",
     "TCP_RESET",
+    "TableMatcher",
     "abort",
     "delay",
     "make_matcher",

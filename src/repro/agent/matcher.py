@@ -13,11 +13,19 @@ Two interchangeable strategies are provided:
   ("structured (e.g., prefix-based ...) request IDs"): rules are
   bucketed by ``(dst, direction)`` and by the literal prefix of their
   ID glob, so non-matching traffic usually touches zero regexes.
+* :class:`TableMatcher` — a precompiled ``(dst, direction)`` dispatch
+  table rebuilt on every install/remove.  Rule changes are rare (a
+  recipe installs its rules once) while proxied messages are constant,
+  so the per-message cost collapses to a single dict probe — and for
+  the overwhelmingly common agent with zero or irrelevant rules, that
+  probe misses and the message proceeds untouched.
 
-Both share runtime state handling: a per-rule match *budget*
+All strategies share runtime state handling: a per-rule match *budget*
 (``max_matches``) and probabilistic application, drawn from the
 simulator's seeded RNG when one is attached (falling back to a local
-PRNG for standalone wall-clock benchmarks).
+PRNG for standalone wall-clock benchmarks).  The scan-and-draw loop
+lives in exactly one place (:meth:`RuleMatcher._scan`), so every
+strategy consumes probability draws identically by construction.
 """
 
 from __future__ import annotations
@@ -30,7 +38,13 @@ import typing as _t
 from repro.agent.rules import FaultRule, FaultType
 from repro.errors import RuleValidationError
 
-__all__ = ["InstalledRule", "RuleMatcher", "LinearMatcher", "PrefixIndexMatcher"]
+__all__ = [
+    "InstalledRule",
+    "RuleMatcher",
+    "LinearMatcher",
+    "PrefixIndexMatcher",
+    "TableMatcher",
+]
 
 
 class InstalledRule:
@@ -160,7 +174,26 @@ class RuleMatcher:
             # agents in a recipe carry zero rules, and this check sits
             # on every proxied message.
             return None
-        for installed in self._structural_candidates(dst, direction, request_id):
+        return self._scan(
+            self._structural_candidates(dst, direction, request_id),
+            request_id,
+            body,
+        )
+
+    def _scan(
+        self,
+        candidates: _t.Iterable[InstalledRule],
+        request_id: str | None,
+        body: bytes | None,
+    ) -> InstalledRule | None:
+        """The shared scan-and-draw loop over structural candidates.
+
+        Every strategy funnels through this one loop (candidates must
+        arrive in installation order), so budget accounting and the RNG
+        draw discipline cannot diverge between strategies.
+        """
+        rng = self._rng
+        for installed in candidates:
             if installed.exhausted:
                 continue
             if not installed.matches_id(request_id):
@@ -170,7 +203,7 @@ class RuleMatcher:
                     continue
             installed.matched += 1
             probability = installed.rule.probability
-            if probability < 1.0 and self._rng.random() >= probability:
+            if probability < 1.0 and rng.random() >= probability:
                 continue
             return installed
         return None
@@ -330,6 +363,58 @@ class PrefixIndexMatcher(RuleMatcher):
         self._buckets.clear()
 
 
+class TableMatcher(RuleMatcher):
+    """Precompiled per-deployment dispatch table.
+
+    The full candidate list for every ``(dst, direction)`` slot is
+    recomputed whenever the rule set changes — installs and removes are
+    control-plane events, orders of magnitude rarer than proxied
+    messages — so the per-message structural pre-filter is one dict
+    probe returning a ready-made tuple in installation order.  The
+    common no-relevant-rules case is a dict miss: nothing is scanned,
+    no regex runs, no draw is taken.
+    """
+
+    def __init__(self, rng: _t.Optional[_random.Random] = None) -> None:
+        self._table: dict[tuple[str, str], tuple[InstalledRule, ...]] = {}
+        super().__init__(rng)
+
+    def match(
+        self,
+        dst: str,
+        direction: str,
+        request_id: str | None,
+        body: bytes | None = None,
+    ) -> InstalledRule | None:
+        # Single dict hit; the shared _scan keeps draw discipline
+        # identical to the other strategies (see RuleMatcher.match).
+        candidates = self._table.get((dst, direction))
+        if candidates is None:
+            return None
+        return self._scan(candidates, request_id, body)
+
+    def _structural_candidates(
+        self, dst: str, direction: str, request_id: str | None
+    ) -> _t.Iterable[InstalledRule]:
+        return self._table.get((dst, direction), ())
+
+    def _recompile(self) -> None:
+        table: dict[tuple[str, str], list[InstalledRule]] = {}
+        for installed in self._installed:
+            key = (installed.rule.dst, installed.rule.on)
+            table.setdefault(key, []).append(installed)
+        self._table = {key: tuple(group) for key, group in table.items()}
+
+    def _index(self, installed: InstalledRule) -> None:
+        self._recompile()
+
+    def _unindex(self, installed: InstalledRule) -> None:
+        self._recompile()
+
+    def _clear_index(self) -> None:
+        self._table.clear()
+
+
 def _literal_prefix(pattern: str) -> str:
     """Longest wildcard-free prefix of a glob (``"test-*"`` -> ``"test-"``)."""
     for index, char in enumerate(pattern):
@@ -339,11 +424,13 @@ def _literal_prefix(pattern: str) -> str:
 
 
 def make_matcher(strategy: str, rng: _t.Optional[_random.Random] = None) -> RuleMatcher:
-    """Factory: ``"linear"`` or ``"prefix"``."""
+    """Factory: ``"linear"``, ``"prefix"``, or ``"table"``."""
     if strategy == "linear":
         return LinearMatcher(rng)
     if strategy == "prefix":
         return PrefixIndexMatcher(rng)
+    if strategy == "table":
+        return TableMatcher(rng)
     raise RuleValidationError(f"unknown matcher strategy {strategy!r}")
 
 

@@ -76,7 +76,7 @@ class GremlinAgent:
         owner_instance: str,
         registry: ServiceRegistry,
         pipeline: LogPipeline,
-        matcher_strategy: str = "linear",
+        matcher_strategy: str = "table",
         canary_pattern: str = "test-*",
         metrics: "_t.Optional[MetricsRegistry]" = None,
         trace_spans: bool = True,

@@ -24,7 +24,13 @@ Quick start::
 """
 
 from repro.campaign.diff import CampaignDiff, StatusChange, diff_campaigns
-from repro.campaign.fleet import BACKENDS, ProcessWorkerSpec, resolve_workers, run_fleet
+from repro.campaign.fleet import (
+    BACKENDS,
+    ProcessPool,
+    ProcessWorkerSpec,
+    resolve_workers,
+    run_fleet,
+)
 from repro.campaign.io import dump_jsonl, dumps, load_jsonl, loads
 from repro.campaign.plan import (
     CampaignPlan,
@@ -49,6 +55,7 @@ __all__ = [
     "LoadSpec",
     "PatternScore",
     "PlannedRecipe",
+    "ProcessPool",
     "ProcessWorkerSpec",
     "RecipeExecutor",
     "RecipeOutcome",

@@ -17,14 +17,18 @@ shares one fleet implementation with one contract:
     overlap anything that genuinely waits on the wall clock (pacing
     floors, operator I/O) at zero serialization cost.
   - ``"processes"`` — workers are spawn-started interpreter processes
-    (:class:`ProcessWorkerSpec`).  Job payloads are serialized to the
-    worker, executed in an isolated interpreter, and the compact
-    serialized result ships back to the parent.  This is the backend
-    that parallelizes CPU-bound work across cores; it additionally
-    contains worker *crashes*: a job whose process dies is converted
-    to a failed result via ``on_crash`` and the dead worker is
-    replaced, so a crash can neither hang the fleet nor silently
-    shrink it.
+    (:class:`ProcessWorkerSpec`) managed by a :class:`ProcessPool`.
+    Job payloads are serialized to the worker — up to ``batch_size``
+    jobs per pipe message, amortizing the dispatch round-trip for
+    cheap jobs — executed in an isolated interpreter, and each compact
+    serialized result streams back to the parent as it finishes.  This
+    is the backend that parallelizes CPU-bound work across cores; it
+    additionally contains worker *crashes*: jobs whose process dies
+    are converted to failed results via ``on_crash`` and the dead
+    worker is replaced, so a crash can neither hang the fleet nor
+    silently shrink it.  Callers with several waves of jobs can hold a
+    :class:`ProcessPool` open across waves and reuse warm workers
+    instead of paying the interpreter-spawn tax per wave.
 
 * ``stop_when`` implements fail-fast: once any completed job's result
   satisfies it, no further jobs are dispatched.  Jobs already running
@@ -46,12 +50,14 @@ import collections
 import dataclasses
 import os
 import threading
+import time
 import typing as _t
 
 from repro.errors import CampaignError
 
 __all__ = [
     "BACKENDS",
+    "ProcessPool",
     "ProcessWorkerSpec",
     "resolve_workers",
     "run_fleet",
@@ -115,15 +121,17 @@ def run_fleet(
     backend: str = "threads",
     process_spec: _t.Optional[ProcessWorkerSpec] = None,
     stop_signal: _t.Optional[threading.Event] = None,
+    batch_size: int = 1,
 ) -> dict[int, R]:
     """Drain ``jobs`` through a fleet of ``workers`` threads or processes.
 
     With the (default) thread backend, ``execute(worker_id, job)`` runs
     each job in-process.  With ``backend="processes"``, ``execute`` is
-    unused and ``process_spec`` describes the spawn-side entry point.
-    Either way results come back keyed by the job's position in
-    ``jobs``; positions missing from the map were never dispatched
-    (fail-fast stopped the fleet first).
+    unused, ``process_spec`` describes the spawn-side entry point, and
+    up to ``batch_size`` jobs ship per dispatch (results still stream
+    back one per job).  Either way results come back keyed by the job's
+    position in ``jobs``; positions missing from the map were never
+    dispatched (fail-fast stopped the fleet first).
     """
     if backend not in BACKENDS:
         raise CampaignError(
@@ -133,9 +141,11 @@ def run_fleet(
     if backend == "processes":
         if process_spec is None:
             raise CampaignError("backend='processes' requires a process_spec")
-        return _run_process_fleet(
-            jobs, process_spec, workers=fleet_size, stop_when=stop_when
-        )
+        pool = ProcessPool(process_spec, size=fleet_size, batch_size=batch_size)
+        try:
+            return pool.run(jobs, stop_when=stop_when)
+        finally:
+            pool.close()
     if execute is None:
         raise CampaignError("backend='threads' requires an execute callable")
     return _run_thread_fleet(
@@ -199,27 +209,31 @@ def _run_thread_fleet(
 
 
 def _process_worker_main(conn, target, context, worker_id: int) -> None:
-    """Loop of one worker process: recv job, run, send result.
+    """Loop of one worker process: recv a batch of jobs, run, stream results.
 
-    Runs in the child.  A ``None`` message is the shutdown signal.  A
-    result that cannot be pickled is reported as an error message
-    rather than killing the worker, so one odd payload cannot eat the
-    rest of the queue.
+    Runs in the child.  Each message from the parent is a list of
+    ``(key, job)`` pairs — batching amortizes the per-dispatch pickle
+    and pipe round-trip — and ``None`` is the shutdown signal.  Results
+    stream back one ``(key, kind, payload)`` tuple per job as each
+    finishes, so crash attribution and fail-fast stay per-job even when
+    dispatch is batched.  A result that cannot be pickled is reported
+    as an error message rather than killing the worker, so one odd
+    payload cannot eat the rest of the queue.
     """
     try:
         while True:
-            message = conn.recv()
-            if message is None:
+            batch = conn.recv()
+            if batch is None:
                 return
-            key, job = message
-            try:
-                payload = (key, "ok", target(worker_id, job, context))
-            except BaseException as exc:  # noqa: BLE001 - ship, don't die
-                payload = (key, "error", f"{type(exc).__name__}: {exc}")
-            try:
-                conn.send(payload)
-            except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
-                conn.send((key, "error", f"result not serializable: {exc}"))
+            for key, job in batch:
+                try:
+                    payload = (key, "ok", target(worker_id, job, context))
+                except BaseException as exc:  # noqa: BLE001 - ship, don't die
+                    payload = (key, "error", f"{type(exc).__name__}: {exc}")
+                try:
+                    conn.send(payload)
+                except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
+                    conn.send((key, "error", f"result not serializable: {exc}"))
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
     finally:
@@ -229,7 +243,7 @@ def _process_worker_main(conn, target, context, worker_id: int) -> None:
 class _ProcessWorker:
     """Parent-side handle of one spawned worker process."""
 
-    __slots__ = ("worker_id", "process", "conn", "current")
+    __slots__ = ("worker_id", "process", "conn", "outstanding")
 
     def __init__(self, ctx, spec: ProcessWorkerSpec, worker_id: int) -> None:
         self.worker_id = worker_id
@@ -243,12 +257,19 @@ class _ProcessWorker:
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
-        #: (key, job) currently executing in the child, if any.
-        self.current: _t.Optional[tuple[int, _t.Any]] = None
+        #: key -> job for every dispatched-but-unanswered job.  Results
+        #: stream back per job, so a crash costs exactly the unanswered
+        #: slice of the last batch — with ``batch_size=1`` that is the
+        #: classic exactly-one-job guarantee.
+        self.outstanding: dict[int, _t.Any] = {}
 
-    def send_job(self, key: int, job: _t.Any) -> None:
-        self.current = (key, job)
-        self.conn.send((key, job))
+    @property
+    def busy(self) -> bool:
+        return bool(self.outstanding)
+
+    def send_batch(self, batch: list[tuple[int, _t.Any]]) -> None:
+        self.outstanding.update(batch)
+        self.conn.send(batch)
 
     def shut_down(self) -> None:
         try:
@@ -257,105 +278,181 @@ class _ProcessWorker:
             pass
 
     def reap(self, timeout: float = 5.0) -> None:
-        self.conn.close()
+        """Escalating teardown: join politely, then ``terminate()``,
+        then — the last resort a hung or signal-blocking child cannot
+        dodge — ``kill()``.  A straggler can therefore never stall
+        interpreter exit for more than ``timeout`` + two grace joins.
+        """
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
         self.process.join(timeout)
         if self.process.is_alive():  # pragma: no cover - stuck worker
             self.process.terminate()
             self.process.join(1.0)
+        if self.process.is_alive():  # pragma: no cover - SIGTERM ignored
+            self.process.kill()
+            self.process.join(1.0)
 
 
-def _run_process_fleet(
-    jobs: _t.Sequence[J],
-    spec: ProcessWorkerSpec,
-    *,
-    workers: int,
-    stop_when: _t.Optional[_t.Callable[[R], bool]],
-) -> dict[int, R]:
-    """Drain jobs through spawn-started worker processes.
+class ProcessPool:
+    """A warm, reusable fleet of spawn-started worker processes.
 
-    The parent owns the queue and dispatches one job at a time per
-    worker over a dedicated pipe, so crash attribution is exact: a
-    worker whose pipe hits EOF mid-job died holding exactly one known
-    job.  That job becomes ``on_crash(job, detail)`` and — while work
-    remains — a replacement worker is spawned, keeping the fleet at
-    full strength.
+    Spawning an interpreter and re-importing the target costs far more
+    than most individual jobs, so the pool keeps its workers alive
+    between :meth:`run` calls: callers issuing several waves of jobs
+    (a campaign's main pass followed by its flake-detection reruns,
+    successive fuzz generations) reuse the same warm interpreters
+    instead of paying the spawn tax per wave.  Dispatch is batched —
+    up to ``batch_size`` jobs per pipe message — amortizing
+    pickle/pipe round-trips for cheap jobs, while results still stream
+    back one per job so crash attribution and fail-fast stay precise.
+
+    The pool is also the shutdown-hardening point: :meth:`close` asks
+    every worker to exit, joins within a bounded timeout, and escalates
+    terminate -> kill for stragglers, so a hung worker can never wedge
+    the parent on exit.
     """
-    import multiprocessing
-    from multiprocessing.connection import wait as _wait_connections
 
-    results: dict[int, R] = {}
-    if not jobs:
-        return results
-    ctx = multiprocessing.get_context(spec.start_method)
-    queue: collections.deque = collections.deque(enumerate(jobs))
-    fleet_size = max(1, min(workers, len(jobs)))
-    stopping = False
-    finished: list[_ProcessWorker] = []
+    def __init__(
+        self, spec: ProcessWorkerSpec, size: int, *, batch_size: int = 1
+    ) -> None:
+        import multiprocessing
 
-    def crash_result(job: _t.Any, detail: str) -> R:
-        if spec.on_crash is None:
+        if size < 1:
+            raise CampaignError(f"pool size must be >= 1, got {size}")
+        if batch_size < 1:
+            raise CampaignError(f"batch_size must be >= 1, got {batch_size}")
+        self.spec = spec
+        self.size = size
+        self.batch_size = batch_size
+        self._ctx = multiprocessing.get_context(spec.start_method)
+        self._workers: list[_ProcessWorker] = []
+        self._next_id = 0
+        self._closed = False
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def workers_alive(self) -> int:
+        """Live worker processes currently held warm by the pool."""
+        return sum(1 for worker in self._workers if worker.process.is_alive())
+
+    def _spawn(self) -> _ProcessWorker:
+        worker = _ProcessWorker(self._ctx, self.spec, self._next_id)
+        self._next_id += 1
+        self._workers.append(worker)
+        return worker
+
+    def _crash_result(self, job: _t.Any, detail: str) -> _t.Any:
+        if self.spec.on_crash is None:
             raise CampaignError(
                 f"fleet worker process died ({detail}) and no on_crash"
                 " handler was provided"
             )
-        return spec.on_crash(job, detail)
+        return self.spec.on_crash(job, detail)
 
-    workers_alive: list[_ProcessWorker] = []
-    try:
-        workers_alive = [
-            _ProcessWorker(ctx, spec, worker_id) for worker_id in range(fleet_size)
-        ]
-        for worker in workers_alive:
-            if queue:
-                key, job = queue.popleft()
-                worker.send_job(key, job)
+    def run(
+        self,
+        jobs: _t.Sequence[J],
+        *,
+        stop_when: _t.Optional[_t.Callable[[R], bool]] = None,
+    ) -> dict[int, R]:
+        """Drain ``jobs`` through the pool; results keyed by position.
 
-        while any(worker.current is not None for worker in workers_alive):
+        Workers survive the call: a subsequent :meth:`run` reuses them
+        warm.  A worker whose pipe hits EOF mid-batch died holding
+        exactly its unanswered jobs; those become ``on_crash`` results
+        and — while undispatched work remains — a replacement worker is
+        spawned, keeping the pool at full strength.
+        """
+        from multiprocessing.connection import wait as _wait_connections
+
+        if self._closed:
+            raise CampaignError("cannot run jobs on a closed ProcessPool")
+        results: dict[int, R] = {}
+        if not jobs:
+            return results
+        queue: collections.deque = collections.deque(enumerate(jobs))
+        stopping = False
+
+        # Cull workers that died while idle between runs, then bring
+        # the pool up to strength (never more workers than jobs).
+        for worker in list(self._workers):
+            if not worker.busy and not worker.process.is_alive():
+                worker.reap(timeout=0.1)
+                self._workers.remove(worker)
+        while len(self._workers) < min(self.size, len(jobs)):
+            self._spawn()
+
+        def dispatch(worker: _ProcessWorker) -> None:
+            batch = []
+            while queue and len(batch) < self.batch_size:
+                batch.append(queue.popleft())
+            if batch:
+                worker.send_batch(batch)
+
+        for worker in self._workers:
+            if queue and not worker.busy:
+                dispatch(worker)
+
+        while any(worker.busy for worker in self._workers):
             ready = _wait_connections(
-                [worker.conn for worker in workers_alive if worker.current is not None]
+                [worker.conn for worker in self._workers if worker.busy]
             )
-            for worker in list(workers_alive):
-                if worker.conn not in ready or worker.current is None:
+            for worker in list(self._workers):
+                if worker.conn not in ready or not worker.busy:
                     continue
-                key, job = worker.current
                 try:
-                    got_key, kind, payload = worker.conn.recv()
+                    key, kind, payload = worker.conn.recv()
                 except (EOFError, OSError):
-                    # The child died mid-job: fail the job, replace the
-                    # worker while there is still work left to do.
+                    # The child died holding the unanswered slice of its
+                    # batch: fail those jobs, replace the worker while
+                    # there is still work left to do.
                     exitcode = worker.process.exitcode
-                    results[key] = crash_result(
-                        job, f"worker process exited with code {exitcode}"
-                    )
-                    worker.current = None
+                    detail = f"worker process exited with code {exitcode}"
+                    for lost_key, lost_job in worker.outstanding.items():
+                        results[lost_key] = self._crash_result(lost_job, detail)
+                    worker.outstanding.clear()
                     worker.reap(timeout=1.0)
-                    workers_alive.remove(worker)
+                    self._workers.remove(worker)
                     if queue and not stopping:
-                        replacement = _ProcessWorker(ctx, spec, worker.worker_id)
-                        workers_alive.append(replacement)
-                        next_key, next_job = queue.popleft()
-                        replacement.send_job(next_key, next_job)
+                        dispatch(self._spawn())
                     continue
-                worker.current = None
+                job = worker.outstanding.pop(key)
                 if kind == "ok":
-                    results[got_key] = payload
+                    results[key] = payload
                 else:
-                    results[got_key] = crash_result(job, payload)
+                    results[key] = self._crash_result(job, payload)
                 if (
                     not stopping
                     and stop_when is not None
-                    and stop_when(results[got_key])
+                    and stop_when(results[key])
                 ):
                     stopping = True
-                if queue and not stopping:
-                    next_key, next_job = queue.popleft()
-                    worker.send_job(next_key, next_job)
-                else:
-                    worker.shut_down()
-                    workers_alive.remove(worker)
-                    finished.append(worker)
-    finally:
-        for worker in workers_alive + finished:
+                if not worker.busy and queue and not stopping:
+                    dispatch(worker)
+        return results
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the pool down, hard-bounded in wall-clock time.
+
+        Every worker gets the polite shutdown message, then is joined
+        against a shared ``timeout`` deadline; anything still alive is
+        terminated and, failing that, killed (see
+        :meth:`_ProcessWorker.reap`).  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        workers, self._workers = self._workers, []
+        for worker in workers:
             worker.shut_down()
-            worker.reap()
-    return results
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.reap(timeout=max(0.1, deadline - time.monotonic()))

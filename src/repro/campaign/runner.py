@@ -37,13 +37,21 @@ seeds to separate *broken* behaviour (fails under every seed) from
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import pickle
 import threading
 import time
 import typing as _t
 
 from repro.agent.rules import fresh_rule_ids
-from repro.campaign.fleet import BACKENDS, ProcessWorkerSpec, resolve_workers, run_fleet
+from repro.campaign.fleet import (
+    BACKENDS,
+    ProcessPool,
+    ProcessWorkerSpec,
+    resolve_workers,
+    run_fleet,
+)
 from repro.campaign.plan import CampaignPlan, DeploymentFactory, PlannedRecipe, derive_seed
 from repro.campaign.results import (
     CONCLUSIVE_FAILURES,
@@ -299,6 +307,11 @@ class CampaignRunner:
         Flake detection: re-run each ``fail`` outcome this many times
         with perturbed seeds, classifying it ``flaky`` (passed at least
         once) or ``broken`` (failed every attempt).
+    batch_size:
+        Process backend only: how many recipes ship per worker
+        dispatch.  Batching amortizes the pickle/pipe round-trip when
+        recipes are cheap; results still stream back per recipe, so
+        crash attribution and fail-fast keep per-recipe precision.
     """
 
     def __init__(
@@ -312,6 +325,7 @@ class CampaignRunner:
         fail_fast: bool = False,
         rerun_failures: int = 0,
         slice_virtual: float = 60.0,
+        batch_size: int = 1,
     ) -> None:
         if backend not in BACKENDS:
             raise CampaignError(
@@ -319,6 +333,8 @@ class CampaignRunner:
             )
         if rerun_failures < 0:
             raise CampaignError(f"rerun_failures must be >= 0, got {rerun_failures}")
+        if batch_size < 1:
+            raise CampaignError(f"batch_size must be >= 1, got {batch_size}")
         self.factory = factory
         self.workers = resolve_workers(workers)
         self.backend = backend
@@ -327,6 +343,12 @@ class CampaignRunner:
         self.fail_fast = fail_fast
         self.rerun_failures = rerun_failures
         self.slice_virtual = slice_virtual
+        self.batch_size = batch_size
+        #: Warm worker pool (processes backend): built lazily on the
+        #: first fleet wave of a run and reused by the flake-rerun
+        #: wave, so reruns skip the interpreter-spawn tax.  Closed at
+        #: the end of every :meth:`run`.
+        self._pool: _t.Optional[ProcessPool] = None
 
     def _executor(
         self, stop_event: _t.Optional[threading.Event] = None
@@ -342,28 +364,103 @@ class CampaignRunner:
     def run(self, plan: CampaignPlan) -> CampaignResult:
         """Execute the whole plan; returns outcomes in plan order."""
         started = time.perf_counter()
-        executed = self._run_fleet(
-            [(entry, None) for entry in plan.entries], fail_fast=self.fail_fast
+        try:
+            executed = self._run_fleet(
+                [(entry, None) for entry in plan.entries], fail_fast=self.fail_fast
+            )
+
+            outcomes: list[RecipeOutcome] = []
+            for position, entry in enumerate(plan.entries):
+                outcome = executed.get(position)
+                if outcome is None:
+                    outcome = RecipeOutcome(
+                        index=entry.index,
+                        name=entry.name,
+                        pattern=entry.pattern,
+                        service=entry.service,
+                        seed=entry.seed,
+                        status="skipped",
+                    )
+                outcome.attempts = [outcome.status]
+                outcomes.append(outcome)
+
+            if self.rerun_failures > 0:
+                # The flake wave reuses the main wave's warm workers.
+                self._detect_flakes(plan, outcomes)
+        finally:
+            self._close_pool()
+
+        return CampaignResult(
+            name=plan.name,
+            app=plan.app,
+            seed=plan.seed,
+            workers=self.workers,
+            outcomes=outcomes,
+            wall_time=time.perf_counter() - started,
+            rerun_failures=self.rerun_failures,
         )
 
-        outcomes: list[RecipeOutcome] = []
-        for position, entry in enumerate(plan.entries):
-            outcome = executed.get(position)
-            if outcome is None:
-                outcome = RecipeOutcome(
-                    index=entry.index,
-                    name=entry.name,
-                    pattern=entry.pattern,
-                    service=entry.service,
-                    seed=entry.seed,
-                    status="skipped",
-                )
-            outcome.attempts = [outcome.status]
-            outcomes.append(outcome)
+    def run_sharded(self, plan: CampaignPlan, shards: int) -> CampaignResult:
+        """Execute the plan as ``shards`` independent partitions run
+        concurrently, merging outcomes back into plan order.
 
-        if self.rerun_failures > 0:
-            self._detect_flakes(plan, outcomes)
+        Entries are dealt round-robin so every shard sees the same
+        priority mix, and each shard runs as its own sub-campaign —
+        own fleet (``workers // shards`` each, minimum one), own warm
+        pool, own flake reruns.  Outcomes are merged by plan index into
+        a single :class:`CampaignResult`, so scorecards and reports
+        aggregate across shards exactly as for an unsharded run.
+        Determinism holds: per-recipe seeds derive from the campaign
+        seed and recipe name alone, so sharding changes which fleet ran
+        a recipe, never its outcome.  ``fail_fast`` applies within each
+        shard independently (a failure stops that shard's dispatching;
+        sibling shards run to completion).
+        """
+        if shards < 1:
+            raise CampaignError(f"shards must be >= 1, got {shards}")
+        shards = min(shards, len(plan.entries)) if plan.entries else 1
+        if shards <= 1:
+            return self.run(plan)
+        started = time.perf_counter()
+        partitions = [plan.entries[offset::shards] for offset in range(shards)]
+        shard_workers = max(1, self.workers // shards)
+        results: list[_t.Optional[CampaignResult]] = [None] * shards
+        errors: list[BaseException] = []
 
+        def run_shard(position: int) -> None:
+            sub_plan = dataclasses.replace(
+                plan,
+                name=f"{plan.name}[shard {position + 1}/{shards}]",
+                entries=partitions[position],
+            )
+            # A shallow copy inherits the full configuration (and any
+            # subclass behaviour); each shard just gets its slice of
+            # the worker budget and its own warm pool.
+            runner = copy.copy(self)
+            runner.workers = shard_workers
+            runner._pool = None
+            try:
+                results[position] = runner.run(sub_plan)
+            except BaseException as exc:  # noqa: BLE001 - reraised in parent
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=run_shard, args=(position,),
+                name=f"campaign-shard-{position}", daemon=True,
+            )
+            for position in range(shards)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        outcomes = [
+            outcome for result in results for outcome in result.outcomes
+        ]
+        outcomes.sort(key=lambda outcome: outcome.index)
         return CampaignResult(
             name=plan.name,
             app=plan.app,
@@ -420,32 +517,35 @@ class CampaignRunner:
         Each job pickles ``(PlannedRecipe, seed_override)`` out to a
         worker and gets back the outcome's compact dict form; the merge
         back into :class:`RecipeOutcome` happens here, so callers see
-        identical objects whichever backend ran the campaign.
+        identical objects whichever backend ran the campaign.  The
+        worker pool is kept warm between waves of the same run (main
+        pass, then flake reruns) and closed when the run finishes.
         """
-        spec = ProcessWorkerSpec(
-            target=_process_execute,
-            context={
-                "factory": self.factory,
-                "timeout": self.timeout,
-                "pacing": self.pacing,
-                "slice_virtual": self.slice_virtual,
-            },
-            on_crash=_crashed_outcome,
-        )
+        if self._pool is None:
+            spec = ProcessWorkerSpec(
+                target=_process_execute,
+                context={
+                    "factory": self.factory,
+                    "timeout": self.timeout,
+                    "pacing": self.pacing,
+                    "slice_virtual": self.slice_virtual,
+                },
+                on_crash=_crashed_outcome,
+            )
+            self._pool = ProcessPool(
+                spec, size=self.workers, batch_size=self.batch_size
+            )
         try:
-            raw = run_fleet(
+            raw = self._pool.run(
                 jobs,
-                None,
-                workers=self.workers,
                 stop_when=(
                     (lambda doc: doc["status"] in CONCLUSIVE_FAILURES)
                     if fail_fast
                     else None
                 ),
-                backend="processes",
-                process_spec=spec,
             )
         except (TypeError, AttributeError, pickle.PicklingError) as exc:
+            self._close_pool()
             raise CampaignError(
                 "the processes backend pickles the deployment factory and"
                 " plan entries to its workers; use a module-level factory"
@@ -454,6 +554,14 @@ class CampaignRunner:
         return {
             position: RecipeOutcome.from_dict(doc) for position, doc in raw.items()
         }
+
+    def _close_pool(self) -> None:
+        """Tear down the warm worker pool (hardened: join with timeout,
+        then terminate/kill stragglers).  Safe to call when no pool was
+        ever built."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.close()
 
     def _detect_flakes(
         self, plan: CampaignPlan, outcomes: list[RecipeOutcome]

@@ -320,10 +320,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         pacing=args.pacing,
         fail_fast=args.fail_fast,
         rerun_failures=args.rerun,
+        batch_size=args.batch_size,
     )
     if not args.json:
         print(plan.summary())
-    result = runner.run(plan)
+    if args.shards > 1:
+        result = runner.run_sharded(plan, shards=args.shards)
+    else:
+        result = runner.run(plan)
     if args.out:
         dump_jsonl(result, args.out)
     if args.metrics_out:
@@ -354,6 +358,7 @@ def cmd_campaign_smoke(args: argparse.Namespace) -> int:
         backend=args.backend,
         timeout=args.timeout,
         rerun_failures=1,
+        batch_size=args.batch_size,
     )
     result = runner.run(plan)
     broken_wiring = [
@@ -396,6 +401,7 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         app_registry=APPS,
         artifacts_dir=args.artifacts,
         shrink_failures=not args.no_shrink,
+        batch_size=args.batch_size,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -559,6 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
             " recipes) or processes (spawn-isolated interpreters;"
             " parallelizes CPU-bound suites across cores)",
         )
+        p.add_argument(
+            "--batch-size",
+            type=int,
+            default=1,
+            help="processes backend: recipes shipped per worker dispatch"
+            " (amortizes pickle/pipe round-trips for cheap recipes)",
+        )
 
     run_parser = campaign_sub.add_parser(
         "run", help="execute a full campaign and print the scorecard"
@@ -579,6 +592,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="reseeded reruns per failed recipe (flake detection; 0 disables)",
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the plan into N independent round-robin shards run"
+        " concurrently; outcomes merge back into one scorecard",
     )
     run_parser.add_argument("--fail-fast", action="store_true")
     run_parser.add_argument("--out", default=None, help="dump result JSON-lines here")
@@ -626,6 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("threads", "processes"),
         default="threads",
         help="worker backend: threads or spawn-isolated processes",
+    )
+    fuzz_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="processes backend: cases shipped per worker dispatch",
     )
     fuzz_run.add_argument(
         "--artifacts",

@@ -10,9 +10,13 @@ One :func:`run_case` call runs a battery against a single
   prediction (:mod:`repro.fuzz.oracle`).
 * **Metamorphic checks** (domain chosen per case):
 
-  - *matcher-strategy*: re-running with the prefix-index matcher must
-    produce a byte-identical trace digest — both strategies consume
-    probability draws identically given the same seeded RNG.
+  - *matcher-strategy*: re-running with the prefix-index and compiled
+    dispatch-table matchers must produce byte-identical trace digests
+    — every strategy consumes probability draws identically given the
+    same seeded RNG.
+  - *scheduler*: re-running on the reference heap scheduler must
+    produce a byte-identical digest — the calendar queue implements
+    the same (timestamp, sequence) total order.
   - *zero-probability*: appending a ``probability=0`` abort rule on
     the entry edge must not change the digest (deterministic cases
     only: elsewhere the extra draw legitimately shifts the stream).
@@ -80,6 +84,7 @@ def execute_case(
     case: FuzzCase,
     *,
     matcher_strategy: str = "linear",
+    scheduler: _t.Optional[str] = None,
     rule_transform: _t.Optional[_t.Callable[[list], list]] = None,
     extra_scenarios: _t.Sequence = (),
     app_registry: _t.Optional[_t.Mapping] = None,
@@ -89,11 +94,12 @@ def execute_case(
     ``rule_transform`` edits the translated rule list before the
     orchestrator installs it (metamorphic rule-order check);
     ``extra_scenarios`` are appended after the case's own scenarios
-    (metamorphic zero-probability check).
+    (metamorphic zero-probability check); ``scheduler`` picks the kernel
+    scheduler implementation (metamorphic scheduler check).
     """
     application = build_application(case.topology, app_registry=app_registry)
     deployment = application.deploy(
-        seed=case.seed, matcher_strategy=matcher_strategy
+        seed=case.seed, matcher_strategy=matcher_strategy, scheduler=scheduler
     )
     source = deployment.add_traffic_source(case.topology.entry, name=SOURCE_NAME)
     gremlin = Gremlin(deployment)
@@ -256,18 +262,35 @@ def run_case(
             report.mismatches.extend(_oracle_mismatches(prediction, base))
 
     # -- metamorphic: matcher strategy ---------------------------------------
-    # Applies to every case: the two strategies consume probability
-    # draws identically by construction, so even fractional-probability
-    # cases must produce identical digests.
+    # Applies to every case: all strategies consume probability draws
+    # identically by construction, so even fractional-probability cases
+    # must produce identical digests.  "table" is the production
+    # default; "prefix" keeps the index path honest.
     report.metamorphic_run.append("matcher-strategy")
-    prefixed = execute_case(
-        case, matcher_strategy="prefix", app_registry=app_registry
-    )
-    if prefixed.digest != base.digest:
+    for strategy in ("prefix", "table"):
+        other = execute_case(
+            case, matcher_strategy=strategy, app_registry=app_registry
+        )
+        if other.digest != base.digest:
+            report.mismatches.append(
+                {
+                    "kind": "metamorphic/matcher-strategy",
+                    "detail": f"[{strategy}] {_strategy_detail(base, other)}",
+                }
+            )
+
+    # -- metamorphic: kernel scheduler ---------------------------------------
+    # The calendar-queue and heap schedulers implement the same total
+    # order (timestamp, schedule sequence), so every case must produce a
+    # byte-identical digest on both — timestamps, record order, RNG
+    # draws, verdicts, everything.
+    report.metamorphic_run.append("scheduler")
+    heap_run = execute_case(case, scheduler="heap", app_registry=app_registry)
+    if heap_run.digest != base.digest:
         report.mismatches.append(
             {
-                "kind": "metamorphic/matcher-strategy",
-                "detail": _strategy_detail(base, prefixed),
+                "kind": "metamorphic/scheduler",
+                "detail": _strategy_detail(base, heap_run),
             }
         )
 

@@ -129,13 +129,16 @@ def run_fuzz(
     app_registry: _t.Optional[_t.Mapping] = None,
     artifacts_dir: _t.Optional[str] = None,
     shrink_failures: bool = True,
+    batch_size: int = 1,
 ) -> FuzzReport:
     """Run the first ``cases`` cases of ``seed``'s corpus.
 
     Case generation, execution, and shrinking are all derived from
     ``seed`` alone, so the report is identical across machines, worker
-    counts, and fleet backends.  ``backend="processes"`` requires a
-    picklable ``app_registry`` (module-level builders, not lambdas).
+    counts, fleet backends, and dispatch batch sizes.
+    ``backend="processes"`` requires a picklable ``app_registry``
+    (module-level builders, not lambdas); ``batch_size`` ships that
+    many cases per worker dispatch to amortize pickle/pipe round-trips.
     """
     if backend not in BACKENDS:
         raise GremlinError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -156,6 +159,7 @@ def run_fuzz(
             process_spec=ProcessWorkerSpec(
                 target=_process_case, context=registry, on_crash=_crashed_case
             ),
+            batch_size=batch_size,
         )
     else:
         results = run_fleet(corpus, execute, workers=workers)

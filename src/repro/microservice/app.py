@@ -93,7 +93,8 @@ class Application:
         self,
         sim: _t.Optional[Simulator] = None,
         seed: int = 0,
-        matcher_strategy: str = "linear",
+        matcher_strategy: str = "table",
+        scheduler: _t.Optional[str] = None,
         log_shipping_delay: float = 0.0,
         log_loss_probability: float = 0.0,
         log_flush_size: int = 1,
@@ -113,11 +114,16 @@ class Application:
         defers to :attr:`default_tracing`); disabling it keeps plain
         request/reply observation working but removes the causal-tree
         fields — the tracing-overhead ablation baseline.
+
+        ``scheduler`` picks the kernel scheduler implementation for a
+        freshly created simulator (``None`` = process default); ignored
+        when an existing ``sim`` is passed in.  Outcomes are identical
+        either way — the knob exists for equivalence testing.
         """
         self.validate()
         return Deployment(
             self,
-            sim=sim if sim is not None else Simulator(seed=seed),
+            sim=sim if sim is not None else Simulator(seed=seed, scheduler=scheduler),
             matcher_strategy=matcher_strategy,
             log_shipping_delay=log_shipping_delay,
             log_loss_probability=log_loss_probability,
@@ -139,7 +145,7 @@ class Deployment:
         self,
         application: Application,
         sim: Simulator,
-        matcher_strategy: str = "linear",
+        matcher_strategy: str = "table",
         log_shipping_delay: float = 0.0,
         log_loss_probability: float = 0.0,
         log_flush_size: int = 1,

@@ -108,10 +108,19 @@ class SimEvent:
             raise StaleEventError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        # Inlined Simulator._queue_triggered — triggering is a per-event
-        # cost on the request hot path.
+        # Triggering is a per-event cost on the request hot path, so both
+        # scheduler lanes are inlined.  Calendar lane: an event triggered
+        # while its timestamp's batch is draining joins that live batch
+        # directly — no heap traffic at all.
         sim = self.sim
-        _heappush(sim._heap, (sim._now, next(sim._counter), self))
+        if sim._calendar:
+            batch = sim._now_batch
+            if batch is not None:
+                batch.append(self)
+            else:
+                sim._queue_triggered(self)
+        else:
+            _heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "SimEvent":
@@ -123,7 +132,14 @@ class SimEvent:
         self._ok = False
         self._value = exception
         sim = self.sim
-        _heappush(sim._heap, (sim._now, next(sim._counter), self))
+        if sim._calendar:
+            batch = sim._now_batch
+            if batch is not None:
+                batch.append(self)
+            else:
+                sim._queue_triggered(self)
+        else:
+            _heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def add_callback(self, callback: _t.Callable[["SimEvent"], None]) -> None:
@@ -165,7 +181,19 @@ class Timeout(SimEvent):
         self._value = value
         self.defused = False
         self.delay = delay
-        _heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
+        if sim._calendar:
+            when = sim._now + delay
+            buckets = sim._buckets
+            bucket = buckets.get(when)
+            if bucket is not None:
+                bucket.append(self)
+            elif when <= sim._horizon:
+                buckets[when] = [self]
+                _heappush(sim._times, when)
+            else:
+                _heappush(sim._overflow, (when, next(sim._counter), self))
+        else:
+            _heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
 
     def succeed(self, value: _t.Any = None) -> "SimEvent":  # pragma: no cover
         raise StaleEventError("Timeout events trigger themselves")
@@ -196,17 +224,23 @@ class Condition(SimEvent):
         self.events = list(events)
         self._evaluate = evaluate
         self._count = 0
-        for ev in self.events:
-            if ev.sim is not sim:
-                raise ValueError("all events of a condition must share one Simulator")
         if not self.events:
             # Degenerate condition triggers immediately.
             self._ok = True
             self._value = {}
             sim._schedule_at(sim.now, self)
             return
+        check = self._check
         for ev in self.events:
-            ev.add_callback(self._check)
+            if ev.sim is not sim:
+                raise ValueError("all events of a condition must share one Simulator")
+            # Inlined add_callback: conditions are built on the request
+            # hot path (every timeout race makes one).
+            callbacks = ev.callbacks
+            if callbacks is None:
+                check(ev)
+            else:
+                callbacks.append(check)
 
     def _check(self, ev: SimEvent) -> None:
         if self._value is not PENDING:
@@ -233,6 +267,14 @@ class Condition(SimEvent):
         return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
 
 
+def _any_done(total: int, done: int) -> bool:
+    return done >= 1
+
+
+def _all_done(total: int, done: int) -> bool:
+    return done >= total
+
+
 class AnyOf(Condition):
     """Triggers as soon as *one* child event succeeds.
 
@@ -248,7 +290,47 @@ class AnyOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: _t.Sequence[SimEvent]) -> None:
-        super().__init__(sim, events, lambda total, done: done >= 1)
+        # Flattened Condition/SimEvent init: conditions are built on the
+        # request hot path (every timeout race makes one), and the
+        # three-deep super() chain showed up in profiles.
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
+        self.events = evs = list(events)
+        self._evaluate = _any_done
+        self._count = 0
+        if not evs:
+            self._ok = True
+            self._value = {}
+            sim._schedule_at(sim.now, self)
+            return
+        check = self._check
+        for ev in evs:
+            if ev.sim is not sim:
+                raise ValueError("all events of a condition must share one Simulator")
+            callbacks = ev.callbacks
+            if callbacks is None:
+                check(ev)
+            else:
+                callbacks.append(check)
+
+    def _check(self, ev: SimEvent) -> None:
+        # Specialized: triggers on the first success, collecting values
+        # with direct slot access (``callbacks is None`` == processed).
+        if self._value is not PENDING:
+            if not ev._ok:
+                ev.defused = True
+            return
+        if not ev._ok:
+            ev.defused = True
+            self.fail(ev._value)
+            return
+        self._count += 1
+        self.succeed(
+            {e: e._value for e in self.events if e.callbacks is None and e._ok}
+        )
 
 
 class AllOf(Condition):
@@ -261,4 +343,42 @@ class AllOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: _t.Sequence[SimEvent]) -> None:
-        super().__init__(sim, events, lambda total, done: done >= total)
+        # Flattened like AnyOf.__init__; see the comment there.
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
+        self.events = evs = list(events)
+        self._evaluate = _all_done
+        self._count = 0
+        if not evs:
+            self._ok = True
+            self._value = {}
+            sim._schedule_at(sim.now, self)
+            return
+        check = self._check
+        for ev in evs:
+            if ev.sim is not sim:
+                raise ValueError("all events of a condition must share one Simulator")
+            callbacks = ev.callbacks
+            if callbacks is None:
+                check(ev)
+            else:
+                callbacks.append(check)
+
+    def _check(self, ev: SimEvent) -> None:
+        # Specialized mirror of AnyOf._check for the join-on-all case.
+        if self._value is not PENDING:
+            if not ev._ok:
+                ev.defused = True
+            return
+        if not ev._ok:
+            ev.defused = True
+            self.fail(ev._value)
+            return
+        self._count += 1
+        if self._count >= len(self.events):
+            self.succeed(
+                {e: e._value for e in self.events if e.callbacks is None and e._ok}
+            )

@@ -49,7 +49,7 @@ class Process(SimEvent):
     code rarely instantiates this directly.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "_bootstrap")
+    __slots__ = ("generator", "name", "_waiting_on", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: _t.Generator, name: str | None = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -59,10 +59,17 @@ class Process(SimEvent):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if ready).
         self._waiting_on: SimEvent | None = None
-        # Kick off the process at the current simulation time.
-        self._bootstrap = sim.event()
-        self._bootstrap.add_callback(self._resume)
-        self._bootstrap.succeed()
+        # One bound method for the process's whole life: re-registering
+        # after every yield would otherwise allocate a fresh method
+        # object per resume, and resumes are the hottest path there is.
+        resume = self._resume_cb = self._resume
+        # Kick off the process at the current simulation time.  The
+        # bootstrap event is deliberately not stored on the process: once
+        # its callback has run nothing references it, so the kernel's
+        # free list can recycle it.
+        bootstrap = sim.event()
+        bootstrap.add_callback(resume)
+        bootstrap.succeed()
 
     # -- public API -------------------------------------------------------
 
@@ -84,8 +91,8 @@ class Process(SimEvent):
         if waiting_on is not None:
             # Detach from the event we were waiting on; its eventual
             # trigger must no longer resume us.
-            if waiting_on.callbacks is not None and self._resume in waiting_on.callbacks:
-                waiting_on.callbacks.remove(self._resume)
+            if waiting_on.callbacks is not None and self._resume_cb in waiting_on.callbacks:
+                waiting_on.callbacks.remove(self._resume_cb)
             self._waiting_on = None
         # Deliver the interrupt through a dedicated immediate event.
         interrupt_ev = self.sim.event()
@@ -104,8 +111,8 @@ class Process(SimEvent):
             return
         waiting_on = self._waiting_on
         if waiting_on is not None and waiting_on.callbacks is not None:
-            if self._resume in waiting_on.callbacks:
-                waiting_on.callbacks.remove(self._resume)
+            if self._resume_cb in waiting_on.callbacks:
+                waiting_on.callbacks.remove(self._resume_cb)
         self._waiting_on = None
         self.generator.close()
         self.defused = True
@@ -130,8 +137,6 @@ class Process(SimEvent):
         and the tail re-registration inlines ``add_callback``.
         """
         self._waiting_on = None
-        sim = self.sim
-        sim._active_process = self
         try:
             if ev._ok:
                 target = self.generator.send(ev._value)
@@ -148,8 +153,6 @@ class Process(SimEvent):
         except Exception as exc:  # noqa: BLE001 - process crashed
             self.fail(exc)
             return
-        finally:
-            sim._active_process = None
         if not isinstance(target, SimEvent):
             error = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield SimEvent"
@@ -157,7 +160,7 @@ class Process(SimEvent):
             self.generator.close()
             self.fail(error)
             return
-        if target.sim is not sim:
+        if target.sim is not self.sim:
             error = SimulationError(
                 f"process {self.name!r} yielded an event from a different Simulator"
             )
@@ -169,7 +172,7 @@ class Process(SimEvent):
         if callbacks is None:  # already processed: resume immediately
             self._resume(target)
         else:
-            callbacks.append(self._resume)
+            callbacks.append(self._resume_cb)
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else ("ok" if self.ok else "failed")

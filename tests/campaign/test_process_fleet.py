@@ -5,13 +5,18 @@ fail-fast, execute-never-raises) is pinned by the campaign runner
 tests; this module pins what the ``processes`` backend adds on top:
 
 * job payloads and contexts round-trip through spawn workers,
-* a worker process that *dies* mid-job costs exactly that job — the
-  job is converted via ``on_crash``, a replacement worker is spawned,
+* a worker process that *dies* mid-job costs exactly the jobs it held
+  unanswered (one job at the default ``batch_size=1``) — those jobs
+  are converted via ``on_crash``, a replacement worker is spawned,
   every other job completes, and the fleet exits (no hang, no silently
   shrunken fleet),
 * a target that raises, or a result that cannot be pickled, degrades
   to the same ``on_crash`` path instead of killing the worker,
-* fail-fast stops dispatching but lets in-flight jobs finish.
+* fail-fast stops dispatching but lets in-flight jobs finish,
+* batched dispatch changes only the wire traffic, never the results,
+* a :class:`ProcessPool` keeps its workers warm across runs and its
+  ``close()`` force-terminates even a wedged worker within a bounded
+  wall-clock budget.
 
 Every target below is module-level: spawn workers import the target by
 qualified name, which is the one structural requirement the backend
@@ -19,11 +24,14 @@ puts on callers (lambdas and closures are rejected by pickle).
 """
 
 import os
+import signal
+import time
 
 import pytest
 
 from repro.campaign.fleet import (
     BACKENDS,
+    ProcessPool,
     ProcessWorkerSpec,
     resolve_workers,
     run_fleet,
@@ -54,6 +62,16 @@ def raising_target(worker_id, job, context):
 def unpicklable_target(worker_id, job, context):
     if job == "weird":
         return lambda: None  # cannot ship back through the pipe
+    return job
+
+
+def stubborn_target(worker_id, job, context):
+    if job == "wedge":
+        # Simulate a worker stuck in uninterruptible work: it never
+        # returns to the recv loop (so the polite shutdown message goes
+        # unread) and shrugs off SIGTERM, leaving kill() as the only out.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(300)
     return job
 
 
@@ -195,3 +213,134 @@ class TestProcessFleet:
         # dispatched once stop_when tripped.
         assert sorted(results) == [0, 1, 2]
         assert results[2] == 4
+
+
+class TestBatchedDispatch:
+    """``batch_size`` amortizes dispatch round-trips without changing
+    any observable result: same result map at every batch size, crash
+    attribution still per job (only the unanswered slice of a dead
+    worker's batch is lost)."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 10, 100])
+    def test_results_identical_at_every_batch_size(self, batch_size):
+        jobs = list(range(10))
+        results = run_fleet(
+            jobs,
+            None,
+            workers=2,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+            batch_size=batch_size,
+        )
+        assert results == {position: job * 2 for position, job in enumerate(jobs)}
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(CampaignError, match="batch_size"):
+            run_fleet(
+                [1],
+                None,
+                backend="processes",
+                process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+                batch_size=0,
+            )
+
+    def test_crash_mid_batch_loses_only_unanswered_jobs(self):
+        # One worker gets all six jobs in a single batch and dies on
+        # job 2.  Jobs 0 and 1 already streamed their results back, so
+        # only the unanswered slice (2..5) degrades to on_crash.
+        results = run_fleet(
+            list(range(6)),
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=poison_target, context={"poison": 2}, on_crash=on_crash
+            ),
+            batch_size=10,
+        )
+        assert sorted(results) == [0, 1, 2, 3, 4, 5]
+        assert results[0] == 0
+        assert results[1] == 2
+        for position in (2, 3, 4, 5):
+            assert results[position][0] == "crashed"
+            assert "exited with code" in results[position][2]
+
+    def test_fail_fast_with_batches_skips_undispatched_batches(self):
+        jobs = list(range(9))
+        results = run_fleet(
+            jobs,
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+            stop_when=lambda result: result == 2,  # job 1's doubled value
+            batch_size=3,
+        )
+        # The first batch (0..2) was already shipped when stop_when
+        # tripped, so it completes; batches two and three never leave
+        # the parent.
+        assert sorted(results) == [0, 1, 2]
+
+
+class TestProcessPool:
+    """The warm pool: workers persist across runs, crashes replace,
+    close() is bounded and idempotent."""
+
+    def test_workers_stay_warm_across_runs(self):
+        spec = ProcessWorkerSpec(target=echo_target, context={"k": 1}, on_crash=on_crash)
+        with ProcessPool(spec, size=2) as pool:
+            first = pool.run(["a", "b", "c", "d"])
+            first_pids = {result["pid"] for result in first.values()}
+            assert pool.workers_alive == 2
+            second = pool.run(["e", "f", "g", "h"])
+            second_pids = {result["pid"] for result in second.values()}
+            # Same interpreters served both waves: no respawn between runs.
+            assert first_pids == second_pids
+        assert pool.workers_alive == 0
+
+    def test_crashed_worker_replaced_and_pool_stays_usable(self):
+        spec = ProcessWorkerSpec(
+            target=poison_target, context={"poison": "die"}, on_crash=on_crash
+        )
+        with ProcessPool(spec, size=1) as pool:
+            results = pool.run(["die", 1, 2])
+            assert results[0][0] == "crashed"
+            assert results[1] == 2
+            assert results[2] == 4
+            # The replacement worker survives into the next wave.
+            assert pool.run([5]) == {0: 10}
+
+    def test_run_after_close_rejected(self):
+        pool = ProcessPool(
+            ProcessWorkerSpec(target=echo_target, on_crash=on_crash), size=1
+        )
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(CampaignError, match="closed"):
+            pool.run([1])
+
+    @pytest.mark.parametrize("bad_size, bad_batch", [(0, 1), (1, 0)])
+    def test_invalid_knobs_rejected(self, bad_size, bad_batch):
+        with pytest.raises(CampaignError):
+            ProcessPool(
+                ProcessWorkerSpec(target=echo_target, on_crash=on_crash),
+                size=bad_size,
+                batch_size=bad_batch,
+            )
+
+    def test_close_force_kills_a_wedged_worker(self):
+        """Shutdown hardening: a worker that never reads the shutdown
+        message and ignores SIGTERM still cannot wedge close() — the
+        join deadline expires and the escalation ends in kill()."""
+        spec = ProcessWorkerSpec(target=stubborn_target, on_crash=on_crash)
+        pool = ProcessPool(spec, size=1)
+        assert pool.run(["warm"]) == {0: "warm"}
+        worker = pool._workers[0]
+        # Wedge the worker mid-job so the polite shutdown goes unread.
+        worker.send_batch([(0, "wedge")])
+        time.sleep(0.5)  # let the child install its SIGTERM ignore
+        started = time.monotonic()
+        pool.close(timeout=1.0)
+        elapsed = time.monotonic() - started
+        assert not worker.process.is_alive()
+        assert elapsed < 10.0

@@ -211,6 +211,66 @@ class TestFailFast:
         )
 
 
+class TestSharding:
+    """``run_sharded``: N independent round-robin partitions, one merged
+    result.  Sharding is an execution detail — outcomes, order, and
+    scorecards must match the unsharded run exactly."""
+
+    def test_sharded_matches_unsharded(self):
+        factory = build_wordpress_app
+        plan = plan_campaign(factory, seed=31, requests=5)
+        baseline = CampaignRunner(factory, workers=1).run(plan)
+        sharded = CampaignRunner(factory, workers=3).run_sharded(plan, shards=3)
+        assert [outcome_key(o) for o in sharded.outcomes] == [
+            outcome_key(o) for o in baseline.outcomes
+        ]
+        assert sharded.name == plan.name
+        assert sharded.workers == 3
+
+    def test_sharded_outcomes_in_plan_order(self):
+        factory = build_wordpress_app
+        plan = plan_campaign(factory, seed=31, requests=5)
+        result = CampaignRunner(factory, workers=2).run_sharded(plan, shards=2)
+        assert [o.index for o in result.outcomes] == [e.index for e in plan.entries]
+
+    def test_sharded_scorecard_merges_across_shards(self):
+        factory = build_wordpress_app
+        plan = plan_campaign(factory, seed=31, requests=5)
+        baseline = CampaignRunner(factory, workers=1).run(plan)
+        sharded = CampaignRunner(factory, workers=2).run_sharded(plan, shards=4)
+        assert sharded.scorecard().text() == baseline.scorecard().text()
+        assert sharded.counts() == baseline.counts()
+
+    def test_one_shard_degenerates_to_plain_run(self):
+        plan = twotier_plan(requests=3)
+        result = CampaignRunner(build_twotier, workers=1).run_sharded(plan, shards=1)
+        assert len(result.outcomes) == len(plan)
+        assert result.name == plan.name
+
+    def test_more_shards_than_entries_is_clamped(self):
+        plan = twotier_plan(requests=3)
+        result = CampaignRunner(build_twotier, workers=1).run_sharded(
+            plan, shards=len(plan.entries) + 50
+        )
+        assert [o.index for o in result.outcomes] == [e.index for e in plan.entries]
+
+    def test_invalid_shard_count_rejected(self):
+        plan = twotier_plan(requests=2)
+        with pytest.raises(CampaignError, match="shards"):
+            CampaignRunner(build_twotier).run_sharded(plan, shards=0)
+
+    def test_sharded_flake_detection_runs_per_shard(self):
+        plan = twotier_plan()
+        # Every recipe fails once then passes on rerun => flaky, in
+        # whichever shard it landed.
+        stub = _StubExecutor({entry.name: ["fail", "pass"] for entry in plan})
+        result = _StubRunner(stub, workers=1, rerun_failures=1).run_sharded(
+            plan, shards=2
+        )
+        assert len(result.outcomes) == len(plan)
+        assert all(o.classification == "flaky" for o in result.outcomes)
+
+
 class TestValidation:
     def test_worker_count(self):
         with pytest.raises(CampaignError):
@@ -219,6 +279,10 @@ class TestValidation:
     def test_rerun_count(self):
         with pytest.raises(CampaignError):
             CampaignRunner(build_twotier, rerun_failures=-1)
+
+    def test_batch_size(self):
+        with pytest.raises(CampaignError):
+            CampaignRunner(build_twotier, batch_size=0)
 
 
 class TestErrorIsolation:

@@ -1,11 +1,18 @@
-"""Property-based tests: the two matcher strategies are equivalent."""
+"""Property-based tests: the matcher strategies are equivalent.
+
+Three strategies (linear scan, prefix index, compiled dispatch table)
+must be observationally identical: same match for every probe, same
+budget accounting, and — the load-bearing part — the same RNG draw
+sequence, because the differential fuzzer's strategy-equivalence check
+diffs digests byte-for-byte across strategies.
+"""
 
 import random
 import string
 
 from hypothesis import given, settings, strategies as st
 
-from repro.agent import LinearMatcher, PrefixIndexMatcher, abort, delay
+from repro.agent import LinearMatcher, PrefixIndexMatcher, TableMatcher, abort, delay
 
 _service = st.sampled_from(["B", "C", "D"])
 _direction = st.sampled_from(["request", "response"])
@@ -15,6 +22,15 @@ _pattern = st.one_of(
     st.just("*"),
     st.sampled_from(["test-1", "test-1?", "re-match"]),
 )
+
+
+def _fresh_matchers(seed):
+    """One instance of every strategy, identically seeded."""
+    return (
+        LinearMatcher(random.Random(seed)),
+        PrefixIndexMatcher(random.Random(seed)),
+        TableMatcher(random.Random(seed)),
+    )
 
 
 @st.composite
@@ -63,22 +79,19 @@ def probes(draw):
 class TestStrategyEquivalence:
     @given(rules=st.lists(rule_specs(), max_size=8), queries=st.lists(probes(), max_size=20))
     @settings(max_examples=200, deadline=None)
-    def test_linear_and_prefix_agree(self, rules, queries):
-        linear = LinearMatcher(random.Random(0))
-        prefix = PrefixIndexMatcher(random.Random(0))
+    def test_all_strategies_agree(self, rules, queries):
+        matchers = _fresh_matchers(0)
         for rule in rules:
-            linear.install(rule)
-            prefix.install(rule)
+            for matcher in matchers:
+                matcher.install(rule)
         for dst, direction, request_id in queries:
-            left = linear.match(dst, direction, request_id)
-            right = prefix.match(dst, direction, request_id)
-            assert (left is None) == (right is None)
-            if left is not None:
-                assert left.rule.rule_id == right.rule.rule_id
-            # Keep budgets in sync for the next probe.
-            if left is not None:
-                left.consume()
-                right.consume()
+            hits = [m.match(dst, direction, request_id) for m in matchers]
+            assert len({hit is None for hit in hits}) == 1
+            if hits[0] is not None:
+                assert len({hit.rule.rule_id for hit in hits}) == 1
+                # Keep budgets in sync for the next probe.
+                for hit in hits:
+                    hit.consume()
 
     @given(
         rules=st.lists(probabilistic_rule_specs(), max_size=8),
@@ -86,7 +99,7 @@ class TestStrategyEquivalence:
     )
     @settings(max_examples=200, deadline=None)
     def test_rng_consumption_identical(self, rules, queries):
-        """Both strategies burn probability draws in lockstep.
+        """All strategies burn probability draws in lockstep.
 
         The differential fuzzer's strategy-equivalence check demands
         byte-identical behaviour given the same seeded RNG, which only
@@ -94,25 +107,54 @@ class TestStrategyEquivalence:
         pairs in exactly the same order.  Identically seeded PRNGs must
         therefore stay state-synchronized through any probe sequence.
         """
-        linear = LinearMatcher(random.Random(1234))
-        prefix = PrefixIndexMatcher(random.Random(1234))
+        matchers = _fresh_matchers(1234)
+        reference = matchers[0]
         for rule in rules:
-            linear.install(rule)
-            prefix.install(rule)
+            for matcher in matchers:
+                matcher.install(rule)
         for dst, direction, request_id in queries:
-            left = linear.match(dst, direction, request_id)
-            right = prefix.match(dst, direction, request_id)
-            assert (left is None) == (right is None)
-            if left is not None:
-                assert left.rule.rule_id == right.rule.rule_id
-                left.consume()
-                right.consume()
+            hits = [m.match(dst, direction, request_id) for m in matchers]
+            assert len({hit is None for hit in hits}) == 1
+            if hits[0] is not None:
+                assert len({hit.rule.rule_id for hit in hits}) == 1
+                for hit in hits:
+                    hit.consume()
             # State sync after every probe, not just at the end, so a
             # counterexample shrinks to the first diverging message.
-            assert linear._rng.getstate() == prefix._rng.getstate()
-        for lrule, prule in zip(linear.rules, prefix.rules):
-            assert lrule.matched == prule.matched
-            assert lrule.applied == prule.applied
+            for other in matchers[1:]:
+                assert reference._rng.getstate() == other._rng.getstate()
+        for other in matchers[1:]:
+            for lrule, orule in zip(reference.rules, other.rules):
+                assert lrule.matched == orule.matched
+                assert lrule.applied == orule.applied
+
+    @given(
+        rules=st.lists(probabilistic_rule_specs(), min_size=1, max_size=6),
+        remove_at=st.integers(0, 5),
+        queries=st.lists(probes(), max_size=15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equivalence_survives_removal(self, rules, remove_at, queries):
+        """Removing a rule mid-stream (recipe teardown) must leave every
+        strategy's index consistent — the compiled table recompiles, the
+        prefix buckets prune — and the strategies still in lockstep."""
+        matchers = _fresh_matchers(99)
+        installed_ids = []
+        for rule in rules:
+            for matcher in matchers:
+                handle = matcher.install(rule)
+            installed_ids.append(handle.rule.rule_id)
+        victim = installed_ids[remove_at % len(installed_ids)]
+        for matcher in matchers:
+            matcher.remove(victim)
+        for dst, direction, request_id in queries:
+            hits = [m.match(dst, direction, request_id) for m in matchers]
+            assert len({hit is None for hit in hits}) == 1
+            if hits[0] is not None:
+                assert len({hit.rule.rule_id for hit in hits}) == 1
+                assert hits[0].rule.rule_id != victim
+                for hit in hits:
+                    hit.consume()
 
     @given(rules=st.lists(rule_specs(), min_size=1, max_size=6))
     @settings(max_examples=100, deadline=None)

@@ -1,0 +1,219 @@
+"""The calendar-queue and heap schedulers are bit-for-bit equivalent.
+
+The calendar queue (tentpole of the throughput PR) only counts if it is
+*invisible*: identical event processing order, identical RNG draw
+order, identical timestamps, identical outcomes — across everything the
+repo can express.  Three layers of evidence:
+
+* randomized kernel-level scripts (mixed timeouts, races, joins,
+  failures, interrupts, zero delays, far-future overflow) traced on
+  both schedulers;
+* adversarial horizon settings, so bucket<->overflow migration happens
+  constantly and at batch boundaries;
+* the fuzz corpus: full-stack executions whose strict digests
+  (records + timestamps + latencies + samples + verdicts) must match
+  between schedulers — the same property the fuzz battery's
+  ``metamorphic/scheduler`` check enforces on every fuzzed case.
+"""
+
+import random
+
+import pytest
+
+from repro.cli import APPS
+from repro.fuzz import FuzzGenerator, execute_case
+from repro.simulation import Simulator
+from repro.simulation.kernel import _HeapSimulator
+from repro.simulation.process import Interrupt
+
+#: Fixed master seeds naming the reproducible fuzz corpora CI smokes.
+CORPUS_SEEDS = (0, 21)
+CASES_PER_SEED = 6
+
+
+def _trace_scenario(sim, script_seed):
+    """Run one randomized multi-process scenario; return its trace.
+
+    Every trace entry carries ``sim.now`` plus a draw from a *shared*
+    RNG stream, so any difference in cross-process interleaving shows
+    up even when per-process behaviour happens to match.
+    """
+    script = random.Random(script_seed)
+    trace = []
+    shared = sim.rng("shared")
+
+    def sleeper(name, delays):
+        for delay in delays:
+            yield sim.timeout(delay)
+            trace.append(("sleep", name, sim.now, shared.random()))
+
+    def racer(name, iters, budget):
+        for i in range(iters):
+            response = sim.event()
+            deadline = sim.timeout(budget)
+            if shared.random() < 0.5:
+                response.succeed(i)
+            result = yield sim.any_of([response, deadline])
+            trace.append(("race", name, sim.now, response in result))
+
+    def joiner(name, delays):
+        result = yield sim.all_of([sim.timeout(d) for d in delays])
+        trace.append(("join", name, sim.now, sorted(result.values(), key=str)))
+
+    def failer(name, delay):
+        yield sim.timeout(delay)
+        trace.append(("fail", name, sim.now))
+        raise RuntimeError(name)
+
+    def supervisor(name, child):
+        try:
+            value = yield child
+            trace.append(("sup-ok", name, sim.now, value))
+        except RuntimeError as exc:
+            trace.append(("sup-caught", name, sim.now, str(exc)))
+
+    def interrupter(name, victim, after):
+        yield sim.timeout(after)
+        if victim.is_alive:
+            victim.interrupt(cause=name)
+            trace.append(("intr", name, sim.now))
+
+    def patient(name, nap):
+        try:
+            yield sim.timeout(nap)
+            trace.append(("patient-done", name, sim.now))
+        except Interrupt as exc:
+            trace.append(("patient-intr", name, sim.now, exc.cause))
+
+    for pid in range(script.randint(6, 14)):
+        kind = script.choice(["sleep", "race", "join", "fail", "patient"])
+        if kind == "sleep":
+            delays = [
+                script.choice([0.0, 0.1, 0.5, 0.5, 1.0, 2.0, 300.0, 4000.0])
+                for _ in range(script.randint(1, 6))
+            ]
+            sim.process(sleeper(f"s{pid}", delays))
+        elif kind == "race":
+            sim.process(
+                racer(f"r{pid}", script.randint(1, 5), script.choice([0.5, 2.0]))
+            )
+        elif kind == "join":
+            delays = [script.choice([0.0, 0.5, 1.5, 270.0]) for _ in range(3)]
+            sim.process(joiner(f"j{pid}", delays))
+        elif kind == "fail":
+            child = sim.process(failer(f"f{pid}", script.choice([0.5, 1.0, 350.0])))
+            sim.process(supervisor(f"v{pid}", child))
+        else:
+            victim = sim.process(patient(f"p{pid}", script.choice([1.0, 500.0])))
+            sim.process(interrupter(f"i{pid}", victim, script.choice([0.5, 2.0])))
+
+    sim.run()
+    return trace
+
+
+class TestKernelTraceEquivalence:
+    @pytest.mark.parametrize("script_seed", range(12))
+    def test_randomized_scenarios_trace_identically(self, script_seed):
+        calendar = Simulator(seed=script_seed, strict=False, scheduler="calendar")
+        heap = Simulator(seed=script_seed, strict=False, scheduler="heap")
+        left = _trace_scenario(calendar, script_seed)
+        right = _trace_scenario(heap, script_seed)
+        assert left == right
+        assert calendar.now == heap.now
+        assert [repr(ev.value) for ev in calendar.unhandled_failures] == [
+            repr(ev.value) for ev in heap.unhandled_failures
+        ]
+
+    @pytest.mark.parametrize("horizon", [0.25, 1.0, 300.0])
+    def test_adversarial_horizons_trace_identically(self, horizon):
+        """Shrinking the calendar horizon forces constant overflow
+        migration; the total order must not care."""
+        calendar = Simulator(seed=5, strict=False, scheduler="calendar", horizon=horizon)
+        heap = Simulator(seed=5, strict=False, scheduler="heap")
+        assert _trace_scenario(calendar, 5) == _trace_scenario(heap, 5)
+        assert calendar.now == heap.now
+
+    def test_run_until_slicing_is_equivalent(self):
+        """Slice one scheduler's run into many run(until=...) windows —
+        exactly how the campaign runner drives deployments — and compare
+        against the other scheduler's single uninterrupted run."""
+        sliced = Simulator(seed=11, strict=False, scheduler="calendar")
+        straight = Simulator(seed=11, strict=False, scheduler="heap")
+
+        def drive_sliced(sim):
+            trace = _start_mixed(sim)
+            while sim.peek() != float("inf"):
+                sim.run(until=sim.now + 0.75)
+            return trace
+
+        def drive_straight(sim):
+            trace = _start_mixed(sim)
+            sim.run()
+            return trace
+
+        left, right = drive_sliced(sliced), drive_straight(straight)
+        assert left == right
+
+    def test_fifo_tie_break_matches_heap(self):
+        """A same-timestamp storm (the calendar's batched fast path)
+        keeps strict schedule order, like the heap's sequence counter."""
+        calendar = Simulator(scheduler="calendar")
+        heap = Simulator(scheduler="heap")
+        for sim in (calendar, heap):
+            order = []
+            for tag in range(50):
+                ev = sim.event()
+                ev.add_callback(lambda _e, t=tag, o=order: o.append(t))
+                ev.succeed()
+                sim.timeout(0.0, tag).add_callback(
+                    lambda e, o=order: o.append(("t", e.value))
+                )
+            sim.run()
+            sim._order = order
+        assert calendar._order == heap._order
+
+    def test_scheduler_dispatch_and_env_default(self, monkeypatch):
+        assert Simulator(scheduler="calendar").scheduler == "calendar"
+        heap = Simulator(scheduler="heap")
+        assert heap.scheduler == "heap"
+        assert isinstance(heap, _HeapSimulator)
+        import repro.simulation.kernel as kernel
+
+        monkeypatch.setattr(kernel, "DEFAULT_SCHEDULER", "heap")
+        assert Simulator().scheduler == "heap"
+        with pytest.raises(Exception):
+            Simulator(scheduler="wheel-of-fortune")
+
+
+def _start_mixed(sim):
+    trace = []
+
+    def worker(wid):
+        for i in range(4):
+            yield sim.timeout(0.3 + 0.2 * ((wid + i) % 3))
+            trace.append((wid, i, sim.now))
+        if wid % 3 == 0:
+            response = sim.event()
+            result = yield sim.any_of([response, sim.timeout(1.0)])
+            trace.append((wid, "race", sim.now, response in result))
+
+    for wid in range(8):
+        sim.process(worker(wid))
+    return trace
+
+
+class TestFuzzCorpusEquivalence:
+    """Full-stack equivalence across the fuzz corpus's fixed seeds."""
+
+    @pytest.mark.parametrize("master_seed", CORPUS_SEEDS)
+    def test_corpus_digests_match_across_schedulers(self, master_seed):
+        cases = FuzzGenerator(master_seed, app_registry=APPS).generate(CASES_PER_SEED)
+        for case in cases:
+            calendar = execute_case(
+                case, scheduler="calendar", app_registry=APPS
+            )
+            heap = execute_case(case, scheduler="heap", app_registry=APPS)
+            assert calendar.records == heap.records, case.case_id
+            assert calendar.samples == heap.samples, case.case_id
+            assert calendar.verdicts == heap.verdicts, case.case_id
+            assert calendar.digest == heap.digest, case.case_id
