@@ -23,6 +23,7 @@ BENCH_CAMPAIGN_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
 BENCH_TRACING_PATH = pathlib.Path(__file__).parent / "BENCH_tracing.json"
 BENCH_FUZZ_PATH = pathlib.Path(__file__).parent / "BENCH_fuzz.json"
 BENCH_KERNEL_PATH = pathlib.Path(__file__).parent / "BENCH_kernel.json"
+BENCH_EXPLORE_PATH = pathlib.Path(__file__).parent / "BENCH_explore.json"
 
 
 class ExperimentReport:
@@ -62,6 +63,11 @@ _BENCH_FUZZ: dict = {}
 # pre-optimization baseline).  Populated by the kernel benchmark;
 # flushed to BENCH_kernel.json at session end.
 _BENCH_KERNEL: dict = {}
+
+# Machine-readable exploration numbers (prioritized vs random
+# executions-to-all-bugs, coverage stats per seeded app).  Populated by
+# the explore benchmark; flushed to BENCH_explore.json at session end.
+_BENCH_EXPLORE: dict = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -109,6 +115,12 @@ def bench_kernel() -> dict:
     return _BENCH_KERNEL
 
 
+@pytest.fixture(scope="session")
+def bench_explore() -> dict:
+    """Mutable dict the explore benchmark records its numbers into."""
+    return _BENCH_EXPLORE
+
+
 def _provenance() -> dict:
     """Where the numbers came from: every BENCH_*.json carries the same
     machine/interpreter/revision block, so two dumps are comparable (or
@@ -138,6 +150,7 @@ def pytest_sessionfinish(session, exitstatus):
         (_BENCH_TRACING, BENCH_TRACING_PATH, "benchmarks/test_bench_tracing.py"),
         (_BENCH_FUZZ, BENCH_FUZZ_PATH, "benchmarks/test_bench_fuzz.py"),
         (_BENCH_KERNEL, BENCH_KERNEL_PATH, "benchmarks/test_bench_kernel.py"),
+        (_BENCH_EXPLORE, BENCH_EXPLORE_PATH, "benchmarks/test_bench_explore.py"),
     )
     provenance = None
     for data, path, source in flushes:
@@ -162,6 +175,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"fuzz numbers written to {BENCH_FUZZ_PATH}")
     if _BENCH_KERNEL:
         terminalreporter.write_line(f"kernel numbers written to {BENCH_KERNEL_PATH}")
+    if _BENCH_EXPLORE:
+        terminalreporter.write_line(f"explore numbers written to {BENCH_EXPLORE_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

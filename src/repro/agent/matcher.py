@@ -54,6 +54,13 @@ class InstalledRule:
         self.rule = rule
         self.regex = _compile_glob(rule.flow_pattern)
         self.remaining: int | None = rule.max_matches
+        #: Structural matches still to let through untouched before the
+        #: fault arms (``skip_matches``).  A skipped match takes no
+        #: probability draw and burns no budget, so skipping is
+        #: deterministic and invisible to the RNG-draw sequence of later
+        #: rules — the property the exploration layer's per-invocation
+        #: coordinates rely on.
+        self.to_skip = rule.skip_matches
         #: Installation order within the owning matcher (first-match-wins).
         self.order = 0
         #: Messages this rule structurally matched (before probability).
@@ -202,6 +209,9 @@ class RuleMatcher:
                 if body is None or installed.rule.search_bytes not in body:
                     continue
             installed.matched += 1
+            if installed.to_skip > 0:
+                installed.to_skip -= 1
+                continue
             probability = installed.rule.probability
             if probability < 1.0 and rng.random() >= probability:
                 continue

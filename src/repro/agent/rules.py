@@ -21,6 +21,14 @@ direction the rule applies to, default ``request``), ``probability``
 how the paper's Fig 6 experiment "aborted 100 consecutive requests ...
 then immediately delayed the next 100" is expressed.
 
+``skip_matches`` lets the first K structural matches pass untouched
+before the fault starts applying.  Combined with an exact-ID pattern
+and ``max_matches=1`` it addresses a *single invocation* — the K-th
+call on one edge within one request — which is how the exploration
+layer (:mod:`repro.explore`) replays an execution-index coordinate as
+exactly one injection.  Skipping is deterministic: a skipped match
+consumes no probability draw and no budget.
+
 For Abort and Delay, ``pattern`` is a glob over the request ID (the
 paper's ``Pattern='test-*'``).  For Modify, following Table 2's
 wording, ``pattern`` is the byte pattern to match *inside the message
@@ -124,6 +132,7 @@ class FaultRule:
     replace_bytes: _t.Optional[bytes] = None
     id_pattern: _t.Optional[str] = None
     max_matches: _t.Optional[int] = None
+    skip_matches: int = 0
     rule_id: int = dataclasses.field(default_factory=_next_rule_id)
 
     def __post_init__(self) -> None:
@@ -143,6 +152,8 @@ class FaultRule:
             )
         if self.max_matches is not None and self.max_matches < 1:
             raise RuleValidationError(f"max_matches must be >= 1, got {self.max_matches}")
+        if self.skip_matches < 0:
+            raise RuleValidationError(f"skip_matches must be >= 0, got {self.skip_matches}")
         if self.fault_type == FaultType.ABORT:
             if self.error is None:
                 raise RuleValidationError("Abort rule requires the Error parameter")
@@ -205,6 +216,7 @@ class FaultRule:
             f"Rule#{self.rule_id}[{self.describe()} {self.src}->{self.dst}"
             f" on={self.on} pattern={self.flow_pattern!r} p={self.probability:g}"
             + (f" budget={self.max_matches}" if self.max_matches is not None else "")
+            + (f" skip={self.skip_matches}" if self.skip_matches else "")
             + "]"
         )
 
@@ -220,6 +232,7 @@ def abort(
     on: str = MessageDirection.REQUEST,
     probability: float = 1.0,
     max_matches: _t.Optional[int] = None,
+    skip_matches: int = 0,
 ) -> FaultRule:
     """``Abort(Src, Dst, Error, Pattern)`` — Table 2's first primitive.
 
@@ -234,6 +247,7 @@ def abort(
         on=on,
         probability=probability,
         max_matches=max_matches,
+        skip_matches=skip_matches,
     )
 
 
@@ -245,6 +259,7 @@ def delay(
     on: str = MessageDirection.REQUEST,
     probability: float = 1.0,
     max_matches: _t.Optional[int] = None,
+    skip_matches: int = 0,
 ) -> FaultRule:
     """``Delay(Src, Dst, Interval, Pattern)`` — Table 2's second primitive.
 
@@ -260,6 +275,7 @@ def delay(
         on=on,
         probability=probability,
         max_matches=max_matches,
+        skip_matches=skip_matches,
     )
 
 

@@ -4,17 +4,24 @@
 * :mod:`repro.apps.wordpress` — WordPress + ElasticPress (Figs 5-6)
 * :mod:`repro.apps.enterprise` — the IBM case-study portal (Fig 4)
 * :mod:`repro.apps.trees` — binary trees of services (Fig 7)
-* :mod:`repro.apps.outages` — the Table 1 outage recreations
+* :mod:`repro.apps.outages` — the Table 1 outage recreations, plus the
+  seeded-resilience-bug fixtures the exploration layer is scored on
 """
 
 from repro.apps.enterprise import build_enterprise_app
 from repro.apps.outages import (
     OUTAGE_SUITE,
+    SEEDED_BUG_SUITE,
+    SeededBug,
+    SeededBugManifest,
     billing_recipe,
     build_billing_app,
     build_coreservice_app,
     build_database_app,
+    build_deepfanout_app,
     build_messagebus_app,
+    build_retrystorm_app,
+    build_stuckbreaker_app,
     coreservice_recipe,
     database_overload_recipe,
     messagebus_recipe,
@@ -27,14 +34,20 @@ __all__ = [
     "ELASTICSEARCH",
     "MYSQL",
     "OUTAGE_SUITE",
+    "SEEDED_BUG_SUITE",
+    "SeededBug",
+    "SeededBugManifest",
     "TREE_ROOT",
     "WORDPRESS",
     "billing_recipe",
     "build_billing_app",
     "build_coreservice_app",
     "build_database_app",
+    "build_deepfanout_app",
     "build_enterprise_app",
     "build_messagebus_app",
+    "build_retrystorm_app",
+    "build_stuckbreaker_app",
     "build_tree_app",
     "build_twotier",
     "build_wordpress_app",

@@ -25,9 +25,15 @@ Twilio 2013          Datastore failure on the *response* path makes the billing
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
-from repro.core.patterns import HasBoundedRetries, HasCircuitBreaker, HasTimeouts
+from repro.core.patterns import (
+    HasBoundedRetries,
+    HasCircuitBreaker,
+    HasTimeouts,
+    PatternCheck,
+)
 from repro.core.recipe import Recipe
 from repro.core.scenarios import Crash, Degrade, Overload
 from repro.errors import HttpError, NetworkError
@@ -47,6 +53,12 @@ __all__ = [
     "build_billing_app",
     "billing_recipe",
     "OUTAGE_SUITE",
+    "SeededBug",
+    "SeededBugManifest",
+    "SEEDED_BUG_SUITE",
+    "build_deepfanout_app",
+    "build_retrystorm_app",
+    "build_stuckbreaker_app",
 ]
 
 
@@ -321,3 +333,329 @@ OUTAGE_SUITE: list[tuple[str, _t.Callable[..., Application], _t.Callable[..., Re
     ("spotify-coreservice", build_coreservice_app, coreservice_recipe),
     ("twilio-billing", build_billing_app, billing_recipe),
 ]
+
+
+# ---------------------------------------------------------------------------
+# Seeded-resilience-bug fixtures: ground truth for exploration efficacy
+# ---------------------------------------------------------------------------
+#
+# Each app below plants exactly one known resilience bug at a known
+# location, with a manifest recording which pattern check conclusively
+# fails once the right fault hits the right edge.  Fault-free, every
+# manifest check either passes or is inconclusive (the triggering
+# failure was never exercised), so the apps double as negative
+# controls.  ``hardened=True`` repairs the planted bug, turning every
+# manifest check green under the same faults — the measurement
+# baseline the exploration layer (:mod:`repro.explore`) and the fuzz
+# efficacy benchmarks are scored against.
+
+
+@dataclasses.dataclass(frozen=True)
+class SeededBug:
+    """Ground truth for one planted resilience bug."""
+
+    #: Stable identifier (reported by coverage reports and benchmarks).
+    bug_id: str
+    #: Names of manifest checks whose *conclusive* failure evidences
+    #: this bug — the bug counts as found when any of them fails
+    #: non-inconclusively.
+    check_names: _t.Tuple[str, ...]
+    #: The (src, dst) dependency edge whose fault exposes the bug.
+    trigger_edge: _t.Tuple[str, str]
+    #: Fault primitive guaranteed to expose it ("abort" or "delay").
+    trigger_fault: str
+    #: One-line description for reports.
+    summary: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SeededBugManifest:
+    """Everything needed to run and score one seeded-bug app."""
+
+    name: str
+    builder: _t.Callable[..., Application]
+    entry: str
+    #: Zero-arg factory producing fresh check instances (checks are
+    #: rebuilt inside fleet workers, never pickled).
+    checks: _t.Callable[[], _t.List[PatternCheck]]
+    bugs: _t.Tuple[SeededBug, ...]
+    #: Closed-loop workload shape used for every execution of this app.
+    requests: int = 40
+    think_time: float = 0.04
+    #: Canonical Delay interval (seconds) for delay-fault coordinates.
+    delay_interval: float = 2.0
+
+    def bug_ids(self) -> _t.List[str]:
+        return [bug.bug_id for bug in self.bugs]
+
+    def bugs_found(
+        self, verdicts: _t.Iterable[_t.Tuple[str, bool, bool]]
+    ) -> _t.Set[str]:
+        """Which planted bugs a verdict list evidences.
+
+        ``verdicts`` uses the fuzz/explore convention:
+        ``(check_name, passed, inconclusive)``.  Only conclusive
+        failures count — an inconclusive check means the fault never
+        exercised the trigger, not that the pattern is proven absent.
+        """
+        failed = {
+            name for name, passed, inconclusive in verdicts
+            if not passed and not inconclusive
+        }
+        return {
+            bug.bug_id
+            for bug in self.bugs
+            if failed.intersection(bug.check_names)
+        }
+
+
+def build_deepfanout_app(hardened: bool = False) -> Application:
+    """Missing timeout buried two levels down a fan-out.
+
+    ``gateway`` fans out to ``catalog`` and ``search``; ``catalog``
+    fans out to ``inventory`` and ``pricing``; ``pricing`` calls
+    ``quotes``.  Every edge carries a sensible timeout **except**
+    ``catalog -> pricing`` — the classic review miss: the outer edges
+    were hardened during an incident, the inner one was added later.
+    A Delay parked on ``catalog -> pricing`` therefore drags catalog's
+    (and the gateway's) end-to-end latency up unboundedly, while the
+    same Delay on any other edge is absorbed by that edge's timeout.
+    """
+    pricing_policy = (
+        PolicySpec(
+            timeout=0.3,
+            fallback=lambda request: HttpResponse(200, body=b"price list cached"),
+        )
+        if hardened
+        else PolicySpec.naive()
+    )
+    app = Application("deepfanout-missing-timeout")
+    app.add_service(
+        ServiceDefinition(
+            "gateway",
+            handler=fanout_handler(["catalog", "search"], partial_ok=True),
+            dependencies={
+                # Coarse outer timeout, sized for worst-case normal
+                # operation — present, but far too loose to contain an
+                # inner stall (the point of the planted bug).
+                "catalog": PolicySpec(timeout=8.0),
+                "search": PolicySpec(timeout=1.0),
+            },
+            service_time=0.001,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            "catalog",
+            handler=fanout_handler(["inventory", "pricing"], partial_ok=False),
+            dependencies={
+                "inventory": PolicySpec(timeout=0.5),
+                "pricing": pricing_policy,  # <-- the planted bug
+            },
+            service_time=0.001,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            "pricing",
+            handler=fanout_handler(["quotes"], partial_ok=True),
+            dependencies={"quotes": PolicySpec(timeout=0.25)},
+            service_time=0.001,
+        )
+    )
+    app.add_service(ServiceDefinition("search", service_time=0.002))
+    app.add_service(ServiceDefinition("inventory", service_time=0.002))
+    app.add_service(ServiceDefinition("quotes", service_time=0.002))
+    return app
+
+
+def _deepfanout_checks() -> _t.List[PatternCheck]:
+    return [
+        HasTimeouts("gateway", "3s"),
+        HasTimeouts("catalog", "1s"),
+        HasTimeouts("search", "1s"),
+        HasTimeouts("inventory", "1s"),
+    ]
+
+
+def build_retrystorm_app(hardened: bool = False) -> Application:
+    """Retry-storm amplifier: stacked eager retries multiply load.
+
+    ``frontend -> aggregator -> backend``, plus a well-behaved
+    ``aggregator -> cache`` edge.  The fragile aggregator retries the
+    backend eight times with flat, near-zero backoff and no breaker;
+    the frontend retries the aggregator three times on failure.  One
+    failing backend therefore sees each user request amplified into
+    dozens of hammering calls — the storm.  Hardened, the aggregator
+    keeps one retry but adds a breaker with a cached fallback, so a
+    failing backend goes quiet after the threshold instead.
+    """
+    if hardened:
+        backend_policy = PolicySpec(
+            timeout=0.3,
+            max_retries=1,
+            breaker_failure_threshold=5,
+            breaker_recovery_timeout=10.0,
+            fallback=lambda request: HttpResponse(200, body=b"stale aggregate"),
+        )
+    else:
+        backend_policy = PolicySpec(
+            timeout=0.3,
+            max_retries=8,
+            retry_backoff_base=0.002,
+            retry_backoff_factor=1.0,
+        )
+    app = Application("retrystorm-amplifier")
+    app.add_service(
+        ServiceDefinition(
+            "frontend",
+            handler=fanout_handler(["aggregator"], partial_ok=False),
+            dependencies={
+                "aggregator": PolicySpec(
+                    timeout=5.0, max_retries=3, retry_backoff_base=0.005
+                )
+            },
+            service_time=0.001,
+        )
+    )
+    app.add_service(
+        ServiceDefinition(
+            "aggregator",
+            handler=fanout_handler(["cache", "backend"], partial_ok=False),
+            dependencies={
+                "cache": PolicySpec(timeout=0.2),
+                "backend": backend_policy,  # <-- the planted bug
+            },
+            service_time=0.001,
+        )
+    )
+    app.add_service(ServiceDefinition("cache", service_time=0.001))
+    app.add_service(ServiceDefinition("backend", service_time=0.003))
+    return app
+
+
+def _retrystorm_checks() -> _t.List[PatternCheck]:
+    return [
+        HasBoundedRetries(
+            "aggregator", "backend", max_tries=5, failure_status=None
+        ),
+        HasTimeouts("cache", "1s"),
+    ]
+
+
+def build_stuckbreaker_app(hardened: bool = False) -> Application:
+    """A circuit breaker that opens correctly but never closes.
+
+    ``portal`` depends on ``sessions`` (breaker-protected, with a
+    fallback) and ``assets``.  The fragile build's breaker has an
+    effectively infinite recovery timeout — a real bug class: the
+    breaker was tuned during an incident to "stop the bleeding" and
+    nobody restored the recovery timer, so one blip permanently
+    severs the dependency until a redeploy.  Hardened, the breaker
+    half-opens after 300 ms and sends probes, re-closing once the
+    dependency heals.
+    """
+    sessions_policy = PolicySpec(
+        timeout=0.2,
+        breaker_failure_threshold=4,
+        breaker_recovery_timeout=0.3 if hardened else 3600.0,  # <-- the planted bug
+        fallback=lambda request: HttpResponse(200, body=b"anonymous session"),
+    )
+    app = Application("stuckbreaker-never-closes")
+    app.add_service(
+        ServiceDefinition(
+            "portal",
+            handler=fanout_handler(["sessions", "assets"], partial_ok=True),
+            dependencies={
+                "sessions": sessions_policy,
+                "assets": PolicySpec(timeout=0.5),
+            },
+            service_time=0.001,
+        )
+    )
+    app.add_service(ServiceDefinition("sessions", service_time=0.002))
+    app.add_service(ServiceDefinition("assets", service_time=0.001))
+    return app
+
+
+def _stuckbreaker_checks() -> _t.List[PatternCheck]:
+    return [
+        HasCircuitBreaker(
+            "portal",
+            "sessions",
+            threshold=4,
+            tdelta="250ms",
+            check_recovery=True,
+            recovery_window="1s",
+        ),
+        HasTimeouts("assets", "1s"),
+    ]
+
+
+#: Registry of the seeded-bug fixtures, keyed by app name.  Module
+#: level so fleet process workers can rebuild apps and checks from a
+#: plain app-name string instead of pickling closures.
+SEEDED_BUG_SUITE: _t.Dict[str, SeededBugManifest] = {
+    manifest.name: manifest
+    for manifest in (
+        SeededBugManifest(
+            name="deepfanout",
+            builder=build_deepfanout_app,
+            entry="gateway",
+            checks=_deepfanout_checks,
+            bugs=(
+                SeededBug(
+                    bug_id="deepfanout/missing-timeout",
+                    check_names=(
+                        "HasTimeouts(catalog, 1s)",
+                        "HasTimeouts(gateway, 3s)",
+                    ),
+                    trigger_edge=("catalog", "pricing"),
+                    trigger_fault="delay",
+                    summary=(
+                        "catalog -> pricing has no timeout; a Delay on that"
+                        " edge stalls catalog (and the gateway) unboundedly"
+                    ),
+                ),
+            ),
+        ),
+        SeededBugManifest(
+            name="retrystorm",
+            builder=build_retrystorm_app,
+            entry="frontend",
+            checks=_retrystorm_checks,
+            bugs=(
+                SeededBug(
+                    bug_id="retrystorm/unbounded-retries",
+                    check_names=("HasBoundedRetries(aggregator, backend, 5)",),
+                    trigger_edge=("aggregator", "backend"),
+                    trigger_fault="abort",
+                    summary=(
+                        "aggregator retries a failing backend 8x with flat"
+                        " backoff and no breaker; frontend retries multiply"
+                        " the hammering further"
+                    ),
+                ),
+            ),
+        ),
+        SeededBugManifest(
+            name="stuckbreaker",
+            builder=build_stuckbreaker_app,
+            entry="portal",
+            checks=_stuckbreaker_checks,
+            bugs=(
+                SeededBug(
+                    bug_id="stuckbreaker/never-closes",
+                    check_names=("HasCircuitBreaker(portal, sessions, 4, 0.25s)",),
+                    trigger_edge=("portal", "sessions"),
+                    trigger_fault="abort",
+                    summary=(
+                        "portal's breaker on sessions opens but its recovery"
+                        " timeout is effectively infinite, so it never"
+                        " half-opens again"
+                    ),
+                ),
+            ),
+        ),
+    )
+}

@@ -40,8 +40,11 @@ from repro.apps import (
     build_billing_app,
     build_coreservice_app,
     build_database_app,
+    build_deepfanout_app,
     build_enterprise_app,
     build_messagebus_app,
+    build_retrystorm_app,
+    build_stuckbreaker_app,
     build_tree_app,
     build_twotier,
     build_wordpress_app,
@@ -90,6 +93,10 @@ APPS: dict[str, _t.Callable[[], Application]] = {
     "database": build_database_app,
     "coreservice": build_coreservice_app,
     "billing": build_billing_app,
+    # Seeded-resilience-bug fixtures (ground truth for `fuzz explore`).
+    "deepfanout": build_deepfanout_app,
+    "retrystorm": build_retrystorm_app,
+    "stuckbreaker": build_stuckbreaker_app,
 }
 
 _SCENARIOS = {
@@ -461,6 +468,44 @@ def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz_explore(args: argparse.Namespace) -> int:
+    from repro.apps.outages import SEEDED_BUG_SUITE
+    from repro.explore import run_explore
+
+    apps = sorted(SEEDED_BUG_SUITE) if args.app == "all" else [args.app]
+    reports = []
+    for app in apps:
+        result = run_explore(
+            app,
+            budget=args.budget,
+            seed=args.seed,
+            strategy=args.strategy,
+            workers=args.workers,
+            backend=args.backend,
+            batch_size=args.batch_size,
+        )
+        reports.append(result.report)
+    doc = {
+        "seed": args.seed,
+        "budget": args.budget,
+        "strategy": args.strategy,
+        "all_bugs_found": all(report.all_bugs_found for report in reports),
+        "apps": [report.to_dict() for report in reports],
+    }
+    if args.coverage_out:
+        with open(args.coverage_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+        if args.coverage_out:
+            print(f"coverage report written to {args.coverage_out}")
+    return 0 if doc["all_bugs_found"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -681,6 +726,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the minimized artifact here instead"
     )
     fuzz_shrink.set_defaults(func=cmd_fuzz_shrink)
+
+    fuzz_explore = fuzz_sub.add_parser(
+        "explore",
+        help="systematic fault-space exploration of a seeded-bug app",
+    )
+    fuzz_explore.add_argument(
+        "app",
+        help='seeded-bug app name (repro apps | "all" for the whole suite)',
+    )
+    fuzz_explore.add_argument(
+        "--budget", type=int, default=150, help="fault-execution budget per app"
+    )
+    fuzz_explore.add_argument("--seed", type=int, default=0, help="deployment seed")
+    fuzz_explore.add_argument(
+        "--strategy",
+        choices=("prioritized", "random"),
+        default="prioritized",
+        help="frontier ordering (random = unprioritized baseline)",
+    )
+    fuzz_explore.add_argument(
+        "--coverage-out", default=None, help="write the coverage report JSON here"
+    )
+    fuzz_explore.add_argument(
+        "--workers", default="1", help='fleet size (int or "auto")'
+    )
+    fuzz_explore.add_argument(
+        "--backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="fleet backend executing fault waves",
+    )
+    fuzz_explore.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="tasks per process-backend dispatch",
+    )
+    fuzz_explore.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    fuzz_explore.set_defaults(func=cmd_fuzz_explore)
     return parser
 
 

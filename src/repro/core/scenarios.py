@@ -82,6 +82,7 @@ class AbortCalls(FailureScenario):
         on: str = "request",
         probability: float = 1.0,
         max_matches: _t.Optional[int] = None,
+        skip_matches: int = 0,
     ) -> None:
         self.src = src
         self.dst = dst
@@ -90,6 +91,7 @@ class AbortCalls(FailureScenario):
         self.on = on
         self.probability = probability
         self.max_matches = max_matches
+        self.skip_matches = skip_matches
 
     def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
         graph.validate_services([self.src, self.dst])
@@ -102,6 +104,7 @@ class AbortCalls(FailureScenario):
                 on=self.on,
                 probability=self.probability,
                 max_matches=self.max_matches,
+                skip_matches=self.skip_matches,
             )
         ]
 
@@ -123,6 +126,7 @@ class DelayCalls(FailureScenario):
         on: str = "request",
         probability: float = 1.0,
         max_matches: _t.Optional[int] = None,
+        skip_matches: int = 0,
     ) -> None:
         self.src = src
         self.dst = dst
@@ -131,6 +135,7 @@ class DelayCalls(FailureScenario):
         self.on = on
         self.probability = probability
         self.max_matches = max_matches
+        self.skip_matches = skip_matches
 
     def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
         graph.validate_services([self.src, self.dst])
@@ -143,6 +148,7 @@ class DelayCalls(FailureScenario):
                 on=self.on,
                 probability=self.probability,
                 max_matches=self.max_matches,
+                skip_matches=self.skip_matches,
             )
         ]
 

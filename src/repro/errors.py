@@ -131,6 +131,11 @@ class CampaignTimeoutError(CampaignError):
     runner records the recipe as ``timeout`` and moves on."""
 
 
+class ExploreError(GremlinError):
+    """The fault-space exploration layer was misused (unknown seeded
+    app, malformed coordinate, unserializable fault primitive, ...)."""
+
+
 class ObservabilityError(ReproError):
     """Base class for errors raised by the observability subsystem
     (metrics registry, trace reconstruction, fault attribution)."""

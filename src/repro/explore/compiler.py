@@ -1,0 +1,92 @@
+"""Deterministic compilation of coordinates into recipes and rules.
+
+A coordinate names an injection point; this module turns it into the
+exact data-plane programming that hits that point and nothing else,
+reusing the same scenario vocabulary (and JSON codec) as the rest of
+the stack:
+
+* :func:`scenario_specs` — the portable ``{"kind", "params"}`` dicts
+  (:mod:`repro.fuzz.spec` codec) that fleet workers rebuild in-process;
+* :func:`compile_scenarios` — live :class:`FailureScenario` objects;
+* :func:`coordinate_recipe` — a full :class:`~repro.core.recipe.Recipe`
+  pairing the fault with the app manifest's pattern checks, runnable
+  by the :class:`~repro.core.gremlin.Gremlin` facade like any
+  hand-written recipe.
+
+Compilation is a pure function of (coordinate, manifest): the same
+coordinate always yields the same rules, which is what makes replay
+bit-for-bit reproducible across backends, schedulers, and machines.
+
+Targeting one invocation uses the rule plumbing end to end: an exact
+request-ID ``pattern`` selects the request, ``skip_matches=ordinal``
+lets earlier calls on the edge pass untouched, and ``max_matches=1``
+retires the rule after the one injection.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.apps.outages import SeededBugManifest
+from repro.core.recipe import Recipe
+from repro.core.scenarios import FailureScenario
+from repro.errors import ExploreError
+from repro.explore.coords import Coordinate, fault_primitives
+from repro.fuzz.spec import build_scenario
+
+__all__ = ["compile_scenarios", "coordinate_recipe", "scenario_specs"]
+
+
+def scenario_specs(
+    coordinate: Coordinate, manifest: SeededBugManifest
+) -> _t.List[dict]:
+    """The coordinate's fault as portable scenario-spec dicts."""
+    if coordinate.app != manifest.name:
+        raise ExploreError(
+            f"coordinate {coordinate.key()!r} belongs to app"
+            f" {coordinate.app!r}, not {manifest.name!r}"
+        )
+    params_by_fault = dict(fault_primitives(manifest))
+    fault_params = params_by_fault[coordinate.fault]
+    kind = "delay" if "interval" in fault_params else "abort"
+    params: _t.Dict[str, _t.Any] = {
+        "src": coordinate.src,
+        "dst": coordinate.dst,
+        "pattern": coordinate.request_id,
+        "on": "request",
+        "probability": 1.0,
+    }
+    params.update(fault_params)
+    if coordinate.mode == "single":
+        # Exactly one injection: the ordinal-th call on this edge
+        # within the one named request.
+        params["max_matches"] = 1
+        params["skip_matches"] = coordinate.ordinal
+    else:
+        params["max_matches"] = None
+        params["skip_matches"] = 0
+    return [{"kind": kind, "params": params}]
+
+
+def compile_scenarios(
+    coordinate: Coordinate, manifest: SeededBugManifest
+) -> _t.List[FailureScenario]:
+    """Live scenario objects for one coordinate."""
+    return [build_scenario(spec) for spec in scenario_specs(coordinate, manifest)]
+
+
+def coordinate_recipe(
+    coordinate: Coordinate, manifest: SeededBugManifest
+) -> Recipe:
+    """A complete recipe: the coordinate's fault + the manifest checks.
+
+    The recipe is indistinguishable from a hand-written one, so the
+    whole existing tooling (``Gremlin.run_recipe``, the campaign
+    planner, recipe serialization in repro artifacts) applies to
+    explored coordinates unchanged.
+    """
+    return Recipe(
+        name=f"explore/{manifest.name}/{coordinate.key()}",
+        scenarios=compile_scenarios(coordinate, manifest),
+        checks=manifest.checks(),
+    )

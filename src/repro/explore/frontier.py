@@ -1,0 +1,165 @@
+"""Prioritized frontier over the coordinate universe.
+
+The frontier decides *what to try next*.  Scores are "smaller is
+sooner" and composed from static structure plus live feedback:
+
+Static priors (computed once from the exploration space):
+
+* **Sweeps before singles** — persistent per-edge faults (the
+  FastFI-style seed frontier) screen the whole edge cheaply; surgical
+  per-invocation faults refine afterwards.
+* **Primitive bands** — all edges get probed with one primitive before
+  any edge sees its second: a breadth-first rotation (abort, then
+  delay, then reset, then short delay), because two primitives on the
+  same edge are far more correlated than one primitive on two edges.
+* **Blast radius, then shallow-before-deep** — within a band, edges
+  whose fault-free subtree is larger come first (a fault there
+  exercises more downstream handling), ties broken by shallower depth
+  and then enumeration order, so the order is total and deterministic.
+
+Live feedback (applied between waves):
+
+* **Coverage boost** — an execution that produced a previously unseen
+  trace-shape digest marks its neighborhood interesting: pending
+  candidates on the same edge or touching the same callee service move
+  earlier within their band.
+* **No-effect deferral** — an execution whose shapes were all already
+  known (the fault fired invisibly or not at all) defers the rest of
+  that edge's candidates within their band.
+* **Masking-based pruning** — once a coordinate *confirms* a bug (a
+  manifest check conclusively fails), every pending candidate whose
+  call-path strictly extends the confirmed coordinate's path is
+  removed: a deeper fault's effect propagates to the confirmed edge,
+  whose broken failure-handling already surfaces it, so those
+  executions cannot add evidence.
+
+Boost and deferral magnitudes are smaller than the band gap: feedback
+reorders within a band but never jumps a later primitive ahead of an
+unprobed earlier one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.explore.coords import FAULT_PRIMITIVES, Coordinate, ExplorationSpace
+
+__all__ = ["Frontier"]
+
+#: Score gap between primitive bands (feedback never crosses it).
+BAND = 1000.0
+#: Singles start this far after all sweep bands.
+SINGLE_OFFSET = BAND * len(FAULT_PRIMITIVES)
+#: Coverage boost / no-effect deferral magnitudes (within-band only).
+BOOST = 300.0
+DEFER = 200.0
+
+#: Band order is a *search* choice, deliberately different from the
+#: enumeration order of :data:`FAULT_PRIMITIVES`: aborts first (cheap,
+#: high-signal), long delays second (they are what trips missing
+#: timeouts), TCP resets third, sub-timeout blips last.
+_PRIMITIVE_BAND = {"abort": 0, "delay": 1, "reset": 2, "delay_short": 3}
+assert set(_PRIMITIVE_BAND) == set(FAULT_PRIMITIVES)
+
+
+class Frontier:
+    """Deterministic priority queue over pending coordinates."""
+
+    def __init__(self, space: ExplorationSpace) -> None:
+        self._edge_rank = self._rank_edges(space)
+        self._scores: _t.Dict[str, float] = {}
+        self._pending: _t.Dict[str, Coordinate] = {}
+        self._heap: _t.List[_t.Tuple[float, int, str]] = []
+        self._enum_index: _t.Dict[str, int] = {}
+        self.pruned: _t.List[str] = []
+        for index, coordinate in enumerate(space.coordinates):
+            key = coordinate.key()
+            self._enum_index[key] = index
+            self._pending[key] = coordinate
+            self._scores[key] = self._static_score(coordinate, index)
+            heapq.heappush(self._heap, (self._scores[key], index, key))
+
+    @staticmethod
+    def _rank_edges(space: ExplorationSpace) -> _t.Dict[_t.Tuple[str, str], int]:
+        """Edge -> rank: big blast radius first, then shallow, then
+        discovery order (the DFS order of the fault-free tree)."""
+        discovery = list(space.edges)
+        ordered = sorted(
+            discovery,
+            key=lambda edge: (
+                -space.edges[edge][1],          # subtree span count
+                len(space.edges[edge][0]) - 1,  # depth of first occurrence
+                discovery.index(edge),
+            ),
+        )
+        return {edge: rank for rank, edge in enumerate(ordered)}
+
+    def _static_score(self, coordinate: Coordinate, index: int) -> float:
+        score = _PRIMITIVE_BAND[coordinate.fault] * BAND
+        score += self._edge_rank.get(coordinate.edge, len(self._edge_rank))
+        if coordinate.mode == "single":
+            score += SINGLE_OFFSET
+            # Deeper single coordinates and later ordinals refine later.
+            score += coordinate.depth + coordinate.ordinal * 0.5
+        return score
+
+    # -- consumption ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def pop_wave(self, size: int) -> _t.List[Coordinate]:
+        """Up to ``size`` best pending coordinates, best first."""
+        wave: _t.List[Coordinate] = []
+        while len(wave) < size and self._heap:
+            score, _index, key = heapq.heappop(self._heap)
+            coordinate = self._pending.get(key)
+            if coordinate is None or score != self._scores.get(key):
+                continue  # pruned, already popped, or stale entry
+            del self._pending[key]
+            wave.append(coordinate)
+        return wave
+
+    # -- feedback ------------------------------------------------------------
+
+    def _reschedule(self, key: str, delta: float) -> None:
+        if key not in self._pending:
+            return
+        self._scores[key] += delta
+        heapq.heappush(
+            self._heap, (self._scores[key], self._enum_index[key], key)
+        )
+
+    def boost_neighborhood(self, coordinate: Coordinate) -> int:
+        """An execution found a new trace shape: pull its edge's and
+        callee's pending candidates earlier.  Returns how many moved."""
+        moved = 0
+        for key, pending in list(self._pending.items()):
+            if pending.edge == coordinate.edge or pending.dst == coordinate.dst:
+                self._reschedule(key, -BOOST)
+                moved += 1
+        return moved
+
+    def defer_edge(self, coordinate: Coordinate) -> int:
+        """An execution changed nothing observable: push the rest of
+        that edge's candidates later.  Returns how many moved."""
+        moved = 0
+        for key, pending in list(self._pending.items()):
+            if pending.edge == coordinate.edge:
+                self._reschedule(key, DEFER)
+                moved += 1
+        return moved
+
+    def prune_masked(self, coordinate: Coordinate) -> _t.List[str]:
+        """Remove candidates masked by a confirmed failure at
+        ``coordinate``: everything whose call-path strictly extends the
+        confirmed path.  Returns the pruned keys."""
+        prefix = coordinate.path
+        removed: _t.List[str] = []
+        for key, pending in list(self._pending.items()):
+            if len(pending.path) > len(prefix) and pending.path[: len(prefix)] == prefix:
+                del self._pending[key]
+                removed.append(key)
+        self.pruned.extend(removed)
+        return removed

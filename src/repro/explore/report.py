@@ -1,0 +1,136 @@
+"""Coverage accounting for an exploration run.
+
+The report is the run's auditable summary: how big the discovered
+coordinate space was, how much of it was actually executed versus
+pruned away, which trace shapes the faults provoked beyond the
+fault-free baseline, and — against the seeded apps' ground truth —
+which planted bugs surfaced and how many executions that took.
+It serializes to JSON (``--coverage-out``) and renders as the CLI's
+human summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["BugFinding", "CoverageReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BugFinding:
+    """One planted bug surfacing during exploration."""
+
+    bug_id: str
+    #: Coordinate whose execution produced the conclusive failure.
+    coordinate: str
+    #: 1-based count of executions spent when the bug surfaced.
+    execution_index: int
+    #: Manifest checks that failed conclusively on that execution.
+    failed_checks: _t.Tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "bug_id": self.bug_id,
+            "coordinate": self.coordinate,
+            "execution_index": self.execution_index,
+            "failed_checks": list(self.failed_checks),
+        }
+
+
+@dataclasses.dataclass
+class CoverageReport:
+    """What one exploration run covered, found, and skipped."""
+
+    app: str
+    strategy: str
+    seed: int
+    budget: int
+    edges_discovered: int
+    coordinates_enumerated: int
+    sweep_coordinates: int
+    single_coordinates: int
+    executed: int
+    #: Coordinates removed by masking-based pruning (never executed).
+    pruned: int
+    #: Executions that errored (worker crash or in-worker exception).
+    errors: int
+    #: Distinct trace shapes in the fault-free baseline.
+    baseline_shapes: int
+    #: Distinct trace shapes observed across the whole run.
+    shapes_seen: int
+    #: Shapes provoked by faults that the baseline never produced.
+    new_shapes: int
+    bugs_planted: _t.List[str]
+    findings: _t.List[BugFinding]
+    #: 1-based execution count at which the *last* planted bug
+    #: surfaced; ``None`` when the run missed at least one.
+    executions_to_all_bugs: _t.Optional[int]
+
+    @property
+    def bugs_found(self) -> _t.List[str]:
+        return [finding.bug_id for finding in self.findings]
+
+    @property
+    def all_bugs_found(self) -> bool:
+        return set(self.bugs_found) >= set(self.bugs_planted)
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "edges_discovered": self.edges_discovered,
+            "coordinates_enumerated": self.coordinates_enumerated,
+            "sweep_coordinates": self.sweep_coordinates,
+            "single_coordinates": self.single_coordinates,
+            "executed": self.executed,
+            "pruned": self.pruned,
+            "errors": self.errors,
+            "baseline_shapes": self.baseline_shapes,
+            "shapes_seen": self.shapes_seen,
+            "new_shapes": self.new_shapes,
+            "bugs_planted": list(self.bugs_planted),
+            "bugs_found": self.bugs_found,
+            "all_bugs_found": self.all_bugs_found,
+            "executions_to_all_bugs": self.executions_to_all_bugs,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"exploration of {self.app!r} ({self.strategy}, seed={self.seed})",
+            (
+                f"  space     : {self.coordinates_enumerated} coordinates"
+                f" ({self.sweep_coordinates} sweeps,"
+                f" {self.single_coordinates} singles)"
+                f" over {self.edges_discovered} edges"
+            ),
+            (
+                f"  executed  : {self.executed}/{self.budget} budget"
+                f" ({self.pruned} pruned as masked, {self.errors} errors)"
+            ),
+            (
+                f"  shapes    : {self.shapes_seen} seen"
+                f" ({self.baseline_shapes} baseline, {self.new_shapes} new)"
+            ),
+            (
+                f"  bugs      : {len(self.bugs_found)}/{len(self.bugs_planted)}"
+                f" planted bugs found"
+                + (
+                    f" after {self.executions_to_all_bugs} executions"
+                    if self.executions_to_all_bugs is not None
+                    else ""
+                )
+            ),
+        ]
+        for finding in self.findings:
+            lines.append(
+                f"    [{finding.execution_index:>3}] {finding.bug_id}"
+                f"  <-  {finding.coordinate}"
+            )
+        missed = sorted(set(self.bugs_planted) - set(self.bugs_found))
+        for bug_id in missed:
+            lines.append(f"    [---] {bug_id}  MISSED")
+        return "\n".join(lines)

@@ -54,8 +54,9 @@ from repro.fuzz.spec import (
 )
 from repro.loadgen import ClosedLoopLoad
 from repro.logstore.store import EventStore
+from repro.observability.trace import reconstruct_from_records, trace_shape_digest
 
-__all__ = ["CaseReport", "Execution", "execute_case", "run_case"]
+__all__ = ["CaseReport", "Execution", "execute_case", "run_case", "shape_digests_of"]
 
 
 @dataclasses.dataclass
@@ -78,6 +79,10 @@ class Execution:
     store: EventStore
     #: (src, dst, on) per installed rule, in install order.
     rule_edges: _t.List[tuple]
+    #: request_id -> causal-tree shape digest (observability layer's
+    #: :func:`trace_shape_digest`) — the ID-insensitive view the shape
+    #: metamorphic check and the exploration coverage signal consume.
+    shape_digests: _t.Dict[str, str] = dataclasses.field(default_factory=dict)
 
 
 def execute_case(
@@ -165,7 +170,22 @@ def execute_case(
         digest=digest,
         store=store,
         rule_edges=[(rule.src, rule.dst, rule.on) for rule in rules],
+        shape_digests=shape_digests_of(store),
     )
+
+
+def shape_digests_of(store: EventStore) -> _t.Dict[str, str]:
+    """Per-request causal-tree shape digests for a whole store."""
+    by_request: _t.Dict[str, list] = {}
+    for record in store.all_records():
+        if record.request_id is not None:
+            by_request.setdefault(record.request_id, []).append(record)
+    return {
+        request_id: trace_shape_digest(
+            reconstruct_from_records(request_id, group)
+        )
+        for request_id, group in by_request.items()
+    }
 
 
 def _round(value: _t.Optional[float]) -> _t.Optional[float]:
@@ -350,6 +370,25 @@ def run_case(
     )
     if found is not None:
         report.mismatches.append(found)
+    # Shape digests are span-ID- and order-insensitive by construction,
+    # so reassembling trees from the shuffled store must reproduce every
+    # per-request shape exactly.
+    shuffled_shapes = shape_digests_of(shuffled_store)
+    if shuffled_shapes != base.shape_digests:
+        diverged = sorted(
+            rid
+            for rid in set(base.shape_digests) | set(shuffled_shapes)
+            if base.shape_digests.get(rid) != shuffled_shapes.get(rid)
+        )
+        report.mismatches.append(
+            {
+                "kind": "metamorphic/shuffle-shape",
+                "detail": (
+                    "trace shape digests changed under ingestion-order"
+                    f" shuffle for request(s) {diverged[:5]}"
+                ),
+            }
+        )
 
     report.wall_time = time.perf_counter() - started
     return report

@@ -174,8 +174,14 @@ class EdgeCountCheck(PatternCheck):
 
 #: kind -> (class, ordered constructor parameter names).
 _SCENARIO_KINDS: dict[str, tuple[type, tuple[str, ...]]] = {
-    "abort": (AbortCalls, ("src", "dst", "error", "pattern", "on", "probability", "max_matches")),
-    "delay": (DelayCalls, ("src", "dst", "interval", "pattern", "on", "probability", "max_matches")),
+    "abort": (
+        AbortCalls,
+        ("src", "dst", "error", "pattern", "on", "probability", "max_matches", "skip_matches"),
+    ),
+    "delay": (
+        DelayCalls,
+        ("src", "dst", "interval", "pattern", "on", "probability", "max_matches", "skip_matches"),
+    ),
     "modify": (ModifyReplies, ("src", "dst", "pattern", "replace_bytes", "id_pattern")),
     "disconnect": (Disconnect, ("service1", "service2", "error", "pattern")),
     "crash": (Crash, ("service", "pattern", "probability")),

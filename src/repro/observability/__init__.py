@@ -38,6 +38,7 @@ from repro.observability.trace import (
     TraceNode,
     reconstruct,
     reconstruct_from_records,
+    trace_shape_digest,
 )
 
 __all__ = [
@@ -59,5 +60,6 @@ __all__ = [
     "reconstruct",
     "reconstruct_from_records",
     "to_json",
+    "trace_shape_digest",
     "to_prometheus",
 ]

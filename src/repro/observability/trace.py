@@ -16,6 +16,8 @@ what makes ``repro trace`` interactive even on large runs.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import typing as _t
 
 from repro.errors import TraceError
@@ -26,7 +28,13 @@ from repro.observability.spans import Span, assemble_spans
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.logstore.store import EventStore
 
-__all__ = ["Trace", "TraceNode", "reconstruct", "reconstruct_from_records"]
+__all__ = [
+    "Trace",
+    "TraceNode",
+    "reconstruct",
+    "reconstruct_from_records",
+    "trace_shape_digest",
+]
 
 
 @dataclasses.dataclass
@@ -231,6 +239,50 @@ class Trace:
             self._render_node(
                 child, child_indent, index == len(children) - 1, critical, lines
             )
+
+
+def _shape_form(node: TraceNode) -> _t.List[_t.Any]:
+    """Canonical nested form of one subtree, independent of span IDs.
+
+    Each node contributes what the call *was* and how it *ended* —
+    (src, dst, status, error?, fault applied) — never the identifiers
+    minted along the way (span IDs, timestamps, instance names), so two
+    runs of the same behaviour canonicalize identically even when IDs
+    are renumbered.  Children are ordered by their own canonical form,
+    making the result insensitive to sibling enumeration order too.
+    """
+    span = node.span
+    children = sorted(
+        (_shape_form(child) for child in node.children),
+        key=lambda form: json.dumps(form, separators=(",", ":")),
+    )
+    return [
+        span.src,
+        span.dst,
+        span.status,
+        bool(span.error),
+        span.fault_applied,
+        children,
+    ]
+
+
+def trace_shape_digest(trace: Trace) -> str:
+    """Stable hash of a causal tree's *shape*.
+
+    Two traces digest equally iff their trees have the same structure
+    of (src, dst, status, errored?, fault-applied) nodes — regardless
+    of span-ID numbering, record arrival order, scheduler lane, fleet
+    backend, or wall-clock jitter.  The exploration layer uses this as
+    its coverage signal ("new shape ⇒ interesting input") and the fuzz
+    metamorphic battery uses it to compare executions whose absolute
+    digests legitimately differ (e.g. after rule-ID reassignment).
+    """
+    forms = sorted(
+        (_shape_form(root) for root in trace.roots),
+        key=lambda form: json.dumps(form, separators=(",", ":")),
+    )
+    payload = json.dumps(forms, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
 
 
 def reconstruct_from_records(

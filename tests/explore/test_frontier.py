@@ -1,0 +1,139 @@
+"""Frontier unit tests on a small synthetic exploration space."""
+
+from repro.explore import Coordinate, ExplorationSpace, Frontier
+
+
+def make_space():
+    """a->b fans out to two edges; b->c's subtree is bigger than b->d's."""
+    def coord(mode, path, fault, ordinal=0):
+        return Coordinate(
+            app="synthetic", entry="b", mode=mode, path=path, ordinal=ordinal,
+            fault=fault, request_id="test-1" if mode == "single" else "test-*",
+        )
+
+    edges = {
+        ("a", "b"): (("a", "b"), 4),
+        ("b", "c"): (("a", "b", "c"), 2),
+        ("b", "d"): (("a", "b", "d"), 1),
+        ("c", "e"): (("a", "b", "c", "e"), 1),
+    }
+    sweeps = [
+        coord("sweep", path, fault)
+        for path, _size in edges.values()
+        for fault in ("abort", "reset", "delay", "delay_short")
+    ]
+    singles = [
+        coord("single", path, fault)
+        for path, _size in edges.values()
+        for fault in ("abort", "reset", "delay", "delay_short")
+    ]
+    return ExplorationSpace(
+        app="synthetic", entry="b", seed=0, sweeps=sweeps, singles=singles,
+        edges=edges, baseline_shapes=["base"],
+    )
+
+
+class TestStaticOrder:
+    def test_first_band_is_aborts_by_blast_radius(self):
+        frontier = Frontier(make_space())
+        wave = frontier.pop_wave(4)
+        assert [(c.fault, c.edge) for c in wave] == [
+            ("abort", ("a", "b")),
+            ("abort", ("b", "c")),
+            ("abort", ("b", "d")),
+            ("abort", ("c", "e")),
+        ]
+
+    def test_delay_band_precedes_reset_and_short_delay(self):
+        frontier = Frontier(make_space())
+        faults = [c.fault for c in frontier.pop_wave(16)]
+        assert faults == (
+            ["abort"] * 4 + ["delay"] * 4 + ["reset"] * 4 + ["delay_short"] * 4
+        )
+
+    def test_all_sweeps_precede_all_singles(self):
+        frontier = Frontier(make_space())
+        modes = [c.mode for c in frontier.pop_wave(32)]
+        assert modes == ["sweep"] * 16 + ["single"] * 16
+
+    def test_pop_wave_drains_exactly_once(self):
+        frontier = Frontier(make_space())
+        seen = []
+        while True:
+            wave = frontier.pop_wave(5)
+            if not wave:
+                break
+            seen.extend(c.key() for c in wave)
+        assert len(seen) == len(set(seen)) == 32
+        assert len(frontier) == 0
+
+
+class TestFeedback:
+    def test_boost_pulls_edge_forward_within_band(self):
+        space = make_space()
+        frontier = Frontier(space)
+        frontier.pop_wave(4)  # consume the abort band
+        # New shape on the *smallest* edge: its remaining candidates
+        # jump ahead of bigger edges in the delay band.
+        boosted_on = next(c for c in space.sweeps if c.edge == ("c", "e"))
+        assert frontier.boost_neighborhood(boosted_on) > 0
+        wave = frontier.pop_wave(4)
+        assert wave[0].edge == ("c", "e")
+        assert wave[0].fault == "delay"
+
+    def test_boost_never_crosses_band_boundaries(self):
+        space = make_space()
+        frontier = Frontier(space)
+        frontier.pop_wave(4)
+        boosted_on = next(c for c in space.sweeps if c.edge == ("c", "e"))
+        frontier.boost_neighborhood(boosted_on)
+        faults = [c.fault for c in frontier.pop_wave(4)]
+        assert faults == ["delay"] * 4  # no reset/delay_short jumped in
+
+    def test_defer_pushes_edge_back_within_band(self):
+        space = make_space()
+        frontier = Frontier(space)
+        frontier.pop_wave(4)
+        deferred = next(c for c in space.sweeps if c.edge == ("a", "b"))
+        assert frontier.defer_edge(deferred) > 0
+        wave = frontier.pop_wave(4)
+        assert [c.edge for c in wave] == [
+            ("b", "c"), ("b", "d"), ("c", "e"), ("a", "b"),
+        ]
+
+    def test_stale_heap_entries_are_skipped(self):
+        space = make_space()
+        frontier = Frontier(space)
+        target = next(c for c in space.sweeps if c.edge == ("b", "d"))
+        frontier.boost_neighborhood(target)
+        frontier.defer_edge(target)
+        drained = []
+        while len(frontier):
+            drained.extend(frontier.pop_wave(8))
+        assert len(drained) == len({c.key() for c in drained}) == 32
+
+
+class TestPruning:
+    def test_prune_removes_strict_path_extensions_only(self):
+        space = make_space()
+        frontier = Frontier(space)
+        confirmed = next(c for c in space.sweeps if c.edge == ("b", "c"))
+        pruned = frontier.prune_masked(confirmed)
+        # Everything under a->b->c (i.e. the c->e edge, both modes, all
+        # primitives) is masked; a->b->c itself and siblings survive.
+        assert len(pruned) == 8
+        assert all("c->e" in key for key in pruned)
+        remaining = []
+        while len(frontier):
+            remaining.extend(frontier.pop_wave(8))
+        assert all(c.edge != ("c", "e") for c in remaining)
+        assert any(c.edge == ("b", "c") for c in remaining)
+
+    def test_pruned_keys_are_recorded(self):
+        space = make_space()
+        frontier = Frontier(space)
+        confirmed = next(c for c in space.sweeps if c.edge == ("a", "b"))
+        pruned = frontier.prune_masked(confirmed)
+        assert frontier.pruned == pruned
+        # a->b masks every deeper edge: b->c, b->d, c->e in both modes.
+        assert len(pruned) == 24

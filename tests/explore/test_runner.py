@@ -1,0 +1,148 @@
+"""The exploration loop end to end: replay fidelity, bug finding,
+prioritization, and coverage accounting."""
+
+import json
+
+import pytest
+
+from repro.apps.outages import SEEDED_BUG_SUITE
+from repro.errors import ExploreError
+from repro.explore import (
+    ExploreTask,
+    discover_space,
+    execute_task,
+    run_explore,
+    run_wave,
+    scenario_specs,
+)
+
+
+def task_for(app, coordinate, **overrides):
+    manifest = SEEDED_BUG_SUITE[app]
+    return ExploreTask(
+        app=app,
+        seed=0,
+        key=coordinate.key(),
+        scenarios=tuple(scenario_specs(coordinate, manifest)),
+        **overrides,
+    )
+
+
+class TestReplayFidelity:
+    """A serialized coordinate replays bit-for-bit everywhere."""
+
+    def test_digest_identical_across_thread_worker_counts(self):
+        space = discover_space("deepfanout", seed=0)
+        task = task_for("deepfanout", space.sweeps[0])
+        baseline = execute_task(task)
+        for workers in (1, 3):
+            outcomes = run_wave([task, task], workers=workers, backend="threads")
+            assert [o.digest for o in outcomes] == [baseline.digest] * 2
+
+    @pytest.mark.slow
+    def test_digest_identical_on_process_backend(self):
+        space = discover_space("deepfanout", seed=0)
+        task = task_for("deepfanout", space.sweeps[0])
+        baseline = execute_task(task)
+        outcomes = run_wave([task, task], workers=2, backend="processes")
+        assert all(o.ok for o in outcomes)
+        assert [o.digest for o in outcomes] == [baseline.digest] * 2
+
+    def test_digest_identical_across_scheduler_lanes(self):
+        space = discover_space("stuckbreaker", seed=0)
+        coordinate = space.sweeps[0]
+        digests = {
+            execute_task(task_for("stuckbreaker", coordinate, scheduler=lane)).digest
+            for lane in ("calendar", "heap")
+        }
+        assert len(digests) == 1
+
+    def test_round_tripped_coordinate_replays_identically(self):
+        from repro.explore import Coordinate
+
+        space = discover_space("retrystorm", seed=0)
+        coordinate = space.sweeps[0]
+        clone = Coordinate.from_dict(json.loads(json.dumps(coordinate.to_dict())))
+        assert (
+            execute_task(task_for("retrystorm", coordinate)).digest
+            == execute_task(task_for("retrystorm", clone)).digest
+        )
+
+    def test_error_outcome_instead_of_raise(self):
+        outcome = run_wave(
+            [ExploreTask(app="no-such-app", seed=0, key="x")], workers=1
+        )[0]
+        assert not outcome.ok
+        assert "no-such-app" in outcome.error
+
+
+class TestRunExplore:
+    @pytest.mark.parametrize("app", sorted(SEEDED_BUG_SUITE))
+    def test_finds_every_planted_bug(self, app):
+        result = run_explore(app, budget=150, seed=0, stop_when_found=True)
+        assert result.all_bugs_found
+        assert result.executions_to_all_bugs is not None
+        assert result.executions_to_all_bugs <= result.report.executed <= 150
+
+    def test_deterministic_at_any_thread_worker_count(self):
+        runs = [
+            run_explore(
+                "stuckbreaker", budget=24, seed=0, workers=workers,
+                stop_when_found=True,
+            )
+            for workers in (1, 4)
+        ]
+        assert runs[0].executed == runs[1].executed
+        assert runs[0].report.to_dict() == runs[1].report.to_dict()
+
+    def test_prioritized_beats_random_on_suite(self):
+        total = {"prioritized": 0, "random": 0}
+        for app in sorted(SEEDED_BUG_SUITE):
+            for strategy in total:
+                result = run_explore(
+                    app, budget=150, seed=0, strategy=strategy,
+                    stop_when_found=True,
+                )
+                assert result.all_bugs_found, (app, strategy)
+                total[strategy] += result.executions_to_all_bugs
+        assert total["prioritized"] <= 0.5 * total["random"]
+
+    def test_masking_prunes_deepfanout_descendants(self):
+        result = run_explore("deepfanout", budget=150, seed=0, stop_when_found=True)
+        assert result.report.pruned > 0
+        assert result.report.pruned == len(result.pruned)
+        confirmed = result.findings[0]
+        # Pruned keys were never executed.
+        executed_keys = {key for key, _digest in result.executed}
+        assert not executed_keys.intersection(result.pruned)
+        assert confirmed.coordinate in executed_keys
+
+    def test_coverage_report_accounting(self):
+        result = run_explore("stuckbreaker", budget=24, seed=0)
+        report = result.report
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["executed"] == len(result.executed) <= 24
+        assert doc["coordinates_enumerated"] == (
+            doc["sweep_coordinates"] + doc["single_coordinates"]
+        )
+        assert doc["shapes_seen"] == doc["baseline_shapes"] + doc["new_shapes"]
+        assert doc["bugs_planted"] == ["stuckbreaker/never-closes"]
+        assert doc["all_bugs_found"] is True
+        rendered = report.render()
+        assert "stuckbreaker/never-closes" in rendered
+        assert "planted bugs found" in rendered
+
+    def test_fault_free_baseline_passes_all_checks(self):
+        for app in sorted(SEEDED_BUG_SUITE):
+            outcome = execute_task(ExploreTask(app=app, seed=0, key="baseline"))
+            assert outcome.ok
+            for name, passed, inconclusive in outcome.verdicts:
+                assert passed or inconclusive, (app, name)
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ExploreError):
+            run_explore("deepfanout", budget=0)
+        with pytest.raises(ExploreError):
+            run_explore("deepfanout", strategy="exhaustive")
+        with pytest.raises(ExploreError):
+            run_explore("no-such-app")

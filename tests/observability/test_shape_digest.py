@@ -1,0 +1,75 @@
+"""trace_shape_digest: span-ID/order invariance, shape sensitivity."""
+
+from repro.observability import trace_shape_digest
+from repro.observability.trace import reconstruct_from_records
+from tests.observability.test_spans_trace import (
+    reply_record,
+    request_record,
+    two_hop_records,
+)
+
+
+def digest_of(records):
+    return trace_shape_digest(reconstruct_from_records("test-1", records))
+
+
+def fanout_records(ids=("u#1", "a#1", "a#2"), statuses=(200, 200, 200)):
+    """user -> a -> {b, c}: a fan-out of two sibling calls."""
+    root, left, right = ids
+    return [
+        request_record(root, None, "user", "a", 0.0),
+        request_record(left, root, "a", "b", 0.1),
+        request_record(right, root, "a", "c", 0.2),
+        reply_record(left, root, "a", "b", 0.3, latency=0.2, status=statuses[1]),
+        reply_record(right, root, "a", "c", 0.4, latency=0.2, status=statuses[2]),
+        reply_record(root, None, "user", "a", 0.5, latency=0.5, status=statuses[0]),
+    ]
+
+
+class TestInvariance:
+    def test_stable_across_span_id_renumbering(self):
+        renamed = fanout_records(ids=("x#7", "q#3", "q#9"))
+        assert digest_of(fanout_records()) == digest_of(renamed)
+
+    def test_stable_across_record_order(self):
+        records = fanout_records()
+        assert digest_of(records) == digest_of(list(reversed(records)))
+
+    def test_stable_across_sibling_timing(self):
+        base = fanout_records()
+        # Same tree, siblings started in the opposite wall-clock order.
+        swapped = [
+            request_record("u#1", None, "user", "a", 0.0),
+            request_record("a#2", "u#1", "a", "c", 0.1),
+            request_record("a#1", "u#1", "a", "b", 0.2),
+            reply_record("a#2", "u#1", "a", "c", 0.3, latency=0.2),
+            reply_record("a#1", "u#1", "a", "b", 0.4, latency=0.2),
+            reply_record("u#1", None, "user", "a", 0.5, latency=0.5),
+        ]
+        assert digest_of(base) == digest_of(swapped)
+
+
+class TestSensitivity:
+    def test_different_topology_different_digest(self):
+        assert digest_of(two_hop_records()) != digest_of(fanout_records())
+
+    def test_status_changes_the_digest(self):
+        assert digest_of(fanout_records()) != digest_of(
+            fanout_records(statuses=(200, 503, 200))
+        )
+
+    def test_fault_attribution_changes_the_digest(self):
+        faulted = fanout_records()
+        faulted[3] = reply_record(
+            "a#1", "u#1", "a", "b", 0.3, latency=0.2, status=503,
+            fault_applied=True, gremlin_generated=True,
+        )
+        clean_error = fanout_records(statuses=(200, 503, 200))
+        assert digest_of(faulted) != digest_of(clean_error)
+
+    def test_which_sibling_failed_does_not_collapse(self):
+        # (b fails) vs (c fails): same multiset of child forms only if
+        # the services were identical; here they differ, so digests do.
+        left_fails = fanout_records(statuses=(200, 503, 200))
+        right_fails = fanout_records(statuses=(200, 200, 503))
+        assert digest_of(left_fails) != digest_of(right_fails)

@@ -358,3 +358,36 @@ class TestFuzz:
         out = capsys.readouterr().out
         assert code == 1
         assert "nothing to shrink" in out
+
+
+class TestFuzzExplore:
+    def test_explore_finds_the_planted_bug(self, capsys, tmp_path):
+        coverage = tmp_path / "coverage.json"
+        code = main(
+            [
+                "fuzz", "explore", "stuckbreaker",
+                "--budget", "40", "--seed", "0",
+                "--coverage-out", str(coverage),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 planted bugs found" in out
+        doc = json.loads(coverage.read_text())
+        assert doc["all_bugs_found"] is True
+        assert doc["apps"][0]["bugs_found"] == ["stuckbreaker/never-closes"]
+
+    def test_explore_json_output(self, capsys):
+        code = main(
+            ["fuzz", "explore", "stuckbreaker", "--budget", "40", "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["strategy"] == "prioritized"
+        assert doc["apps"][0]["executed"] <= 40
+
+    def test_explore_unknown_app_raises(self):
+        from repro.errors import ExploreError
+
+        with pytest.raises(ExploreError):
+            main(["fuzz", "explore", "no-such-app"])
