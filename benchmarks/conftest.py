@@ -24,6 +24,7 @@ BENCH_TRACING_PATH = pathlib.Path(__file__).parent / "BENCH_tracing.json"
 BENCH_FUZZ_PATH = pathlib.Path(__file__).parent / "BENCH_fuzz.json"
 BENCH_KERNEL_PATH = pathlib.Path(__file__).parent / "BENCH_kernel.json"
 BENCH_EXPLORE_PATH = pathlib.Path(__file__).parent / "BENCH_explore.json"
+BENCH_REPORT_PATH = pathlib.Path(__file__).parent / "BENCH_report.json"
 
 
 class ExperimentReport:
@@ -68,6 +69,12 @@ _BENCH_KERNEL: dict = {}
 # executions-to-all-bugs, coverage stats per seeded app).  Populated by
 # the explore benchmark; flushed to BENCH_explore.json at session end.
 _BENCH_EXPLORE: dict = {}
+
+# Machine-readable resilience-report numbers (report build overhead vs
+# campaign wall clock, whatif triage vs prioritized frontier).
+# Populated by the report benchmark; flushed to BENCH_report.json at
+# session end.
+_BENCH_REPORT: dict = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -121,6 +128,12 @@ def bench_explore() -> dict:
     return _BENCH_EXPLORE
 
 
+@pytest.fixture(scope="session")
+def bench_report() -> dict:
+    """Mutable dict the report benchmark records its numbers into."""
+    return _BENCH_REPORT
+
+
 def _provenance() -> dict:
     """Where the numbers came from: every BENCH_*.json carries the same
     machine/interpreter/revision block, so two dumps are comparable (or
@@ -151,6 +164,7 @@ def pytest_sessionfinish(session, exitstatus):
         (_BENCH_FUZZ, BENCH_FUZZ_PATH, "benchmarks/test_bench_fuzz.py"),
         (_BENCH_KERNEL, BENCH_KERNEL_PATH, "benchmarks/test_bench_kernel.py"),
         (_BENCH_EXPLORE, BENCH_EXPLORE_PATH, "benchmarks/test_bench_explore.py"),
+        (_BENCH_REPORT, BENCH_REPORT_PATH, "benchmarks/test_bench_report.py"),
     )
     provenance = None
     for data, path, source in flushes:
@@ -177,6 +191,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"kernel numbers written to {BENCH_KERNEL_PATH}")
     if _BENCH_EXPLORE:
         terminalreporter.write_line(f"explore numbers written to {BENCH_EXPLORE_PATH}")
+    if _BENCH_REPORT:
+        terminalreporter.write_line(f"report numbers written to {BENCH_REPORT_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

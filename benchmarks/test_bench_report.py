@@ -1,0 +1,126 @@
+"""Cascade-analytics efficacy: report overhead and what-if triage.
+
+Two claims, two experiments:
+
+1. **Report overhead** — folding a campaign into the full resilience
+   report (dependency graph, blast radii, root-cause ranking, what-if
+   predictions, JSON + HTML rendering) must cost **under 5%** of the
+   campaign's own wall clock, measured on the 42-recipe ``tree3``
+   campaign.  Observability that competes with execution for time
+   doesn't get turned on.
+
+2. **What-if triage** — ordering exploration candidates by graph
+   simulation alone (static schedule, no online feedback) must reach
+   every planted bug in **at most 60%** of the fault executions the
+   prioritized learning frontier needs, summed over the seeded-bug
+   suite.  That is the subsystem's reason to exist: the discovered
+   graph plus a cheap propagation model replaces most of the feedback
+   loop's runtime learning.
+
+Numbers land in ``BENCH_report.json`` via the session-finish hook in
+``conftest.py``.
+"""
+
+import time
+
+from repro.apps import build_tree_app
+from repro.apps.outages import SEEDED_BUG_SUITE
+from repro.campaign import CampaignRunner, plan_campaign
+from repro.explore import run_explore
+
+SEED = 0
+BUDGET = 150
+MAX_OVERHEAD = 0.05
+MAX_TRIAGE_RATIO = 0.6
+
+
+def test_report_build_overhead_under_5_percent(report, bench_report):
+    factory = lambda: build_tree_app(3)  # noqa: E731 - matches campaign idiom
+    plan = plan_campaign(factory, seed=SEED, requests=6)
+    assert len(plan.entries) == 42, "tree3 is the 42-recipe campaign"
+
+    start = time.perf_counter()
+    result = CampaignRunner(factory, workers=1).run(plan)
+    campaign_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resilience = result.resilience_report()
+    json_text = resilience.to_json()
+    html_text = resilience.to_html()
+    report_s = time.perf_counter() - start
+
+    assert json_text and html_text
+    overhead = report_s / campaign_s
+    assert overhead < MAX_OVERHEAD, (
+        f"report build took {report_s:.3f}s against a {campaign_s:.3f}s"
+        f" campaign ({overhead:.1%} > {MAX_OVERHEAD:.0%})"
+    )
+
+    bench_report.update(
+        {
+            "overhead": {
+                "recipes": len(plan.entries),
+                "campaign_wall_s": round(campaign_s, 4),
+                "report_build_s": round(report_s, 4),
+                "overhead_fraction": round(overhead, 5),
+                "max_overhead": MAX_OVERHEAD,
+                "report_json_bytes": len(json_text),
+                "report_html_bytes": len(html_text),
+            }
+        }
+    )
+    report.add(
+        "resilience report: build overhead on the 42-recipe campaign",
+        f"campaign {campaign_s:.2f}s, report {report_s*1000:.0f}ms"
+        f" ({overhead:.1%}, required < {MAX_OVERHEAD:.0%})",
+    )
+
+
+def test_whatif_triage_beats_prioritized_frontier(report, bench_report):
+    per_app: dict = {}
+    totals = {"whatif": 0, "prioritized": 0}
+    for app in sorted(SEEDED_BUG_SUITE):
+        per_app[app] = {}
+        for strategy in ("whatif", "prioritized"):
+            result = run_explore(
+                app, budget=BUDGET, seed=SEED, strategy=strategy,
+                stop_when_found=True,
+            )
+            assert result.all_bugs_found, (
+                f"{strategy} missed bugs on {app}: {result.report.render()}"
+            )
+            totals[strategy] += result.executions_to_all_bugs
+            per_app[app][strategy] = result.executions_to_all_bugs
+
+    ratio = totals["whatif"] / totals["prioritized"]
+    assert ratio <= MAX_TRIAGE_RATIO, (
+        f"whatif needed {totals['whatif']} executions vs prioritized's"
+        f" {totals['prioritized']} (ratio {ratio:.2f} > {MAX_TRIAGE_RATIO})"
+    )
+
+    bench_report.update(
+        {
+            "whatif_triage": {
+                "seed": SEED,
+                "budget": BUDGET,
+                "apps": per_app,
+                "whatif_total": totals["whatif"],
+                "prioritized_total": totals["prioritized"],
+                "ratio": round(ratio, 4),
+                "max_ratio": MAX_TRIAGE_RATIO,
+            }
+        }
+    )
+    lines = [
+        f"{'app':14s} {'whatif':>7s} {'prioritized':>11s}",
+        *(
+            f"{app:14s} {per_app[app]['whatif']:>7d}"
+            f" {per_app[app]['prioritized']:>11d}"
+            for app in sorted(per_app)
+        ),
+        f"{'TOTAL':14s} {totals['whatif']:>7d} {totals['prioritized']:>11d}"
+        f"   ratio={ratio:.2f} (required <= {MAX_TRIAGE_RATIO})",
+    ]
+    report.add(
+        "what-if triage: executions to find all planted bugs", "\n".join(lines)
+    )

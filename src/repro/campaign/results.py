@@ -177,6 +177,14 @@ class CampaignResult:
 
         return Scorecard.from_outcomes(self.outcomes)
 
+    def resilience_report(self):
+        """Full cascade analysis of this campaign (lazy import, same
+        reasoning as :meth:`scorecard`): dependency graph, blast radii,
+        ranked root causes, and the JSON/HTML report artifact."""
+        from repro.observability.cascade.report import build_report
+
+        return build_report(self)
+
     def merged_metrics(self) -> dict:
         """Campaign-wide metrics: every recipe's snapshot folded.
 

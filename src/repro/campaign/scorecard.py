@@ -133,6 +133,29 @@ class Scorecard:
                 merged.merge(score)
         return merged
 
+    def service_verdicts(self) -> dict[str, str]:
+        """Per-service verdict for the resilience report.
+
+        * ``vulnerable`` — at least one deterministic failure (a failed
+          cell that no reseeded rerun passed);
+        * ``at-risk`` — only flaky failures, or inconclusive/unscored
+          executions clouding the evidence;
+        * ``resilient`` — every conclusive execution passed;
+        * ``untested`` — no executions produced a verdict at all.
+        """
+        verdicts: dict[str, str] = {}
+        for service in self.services:
+            merged = self.service_score(service)
+            if merged.failed > merged.flaky:
+                verdicts[service] = "vulnerable"
+            elif merged.flaky or merged.inconclusive or merged.unscored:
+                verdicts[service] = "at-risk"
+            elif merged.passed:
+                verdicts[service] = "resilient"
+            else:
+                verdicts[service] = "untested"
+        return verdicts
+
     def totals(self) -> PatternScore:
         """Everything merged — the campaign's headline numbers."""
         merged = PatternScore()

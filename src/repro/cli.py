@@ -22,7 +22,11 @@ paper's operators interacted with Gremlin from scripts:
 * ``python -m repro campaign smoke <app>`` — capped, fast campaign
   proving the fleet wiring end to end;
 * ``python -m repro campaign diff <a> <b>`` — regression detection
-  between two dumped campaign results.
+  between two dumped campaign results;
+* ``python -m repro report <dump>`` — render the operator resilience
+  report (deterministic JSON or standalone HTML) from a dumped
+  campaign; ``campaign run --report-out`` and ``fuzz explore
+  --report-out`` produce the same artifact inline.
 
 ``repro recipes``/``repro test``/``campaign`` accept ``--json`` for
 machine-readable output, so campaign tooling and scripts can consume
@@ -67,7 +71,7 @@ from repro.core import (
     Overload,
     generate_recipes,
 )
-from repro.errors import CampaignError, TraceError
+from repro.errors import AnalysisError, CampaignError, ExploreError, TraceError
 from repro.loadgen import ClosedLoopLoad
 from repro.microservice import Application
 from repro.observability import attribute_trace, reconstruct, to_json, to_prometheus
@@ -229,6 +233,10 @@ def _faulted_run(args: argparse.Namespace):
     deployment = app.deploy(seed=args.seed)
     graph = deployment.graph
     entry = args.entry or graph.entry_services()[0]
+    if entry not in graph.services():
+        raise SystemExit(
+            f"unknown entry {entry!r}; services: {', '.join(graph.services())}"
+        )
     source = deployment.add_traffic_source(entry)
     gremlin = Gremlin(deployment)
     rules = []
@@ -286,11 +294,25 @@ def _plan_from_args(args: argparse.Namespace):
     if getattr(args, "criticality_high", False):
         services = factory().logical_graph().services()
         annotations = {s: EdgeAnnotation(criticality="high") for s in services}
+    extra_recipes: _t.Sequence = ()
+    if getattr(args, "recipes", None):
+        from repro.explore import read_recipe_suite
+
+        try:
+            suite_app, extra_recipes = read_recipe_suite(args.recipes)
+        except ExploreError as exc:
+            raise SystemExit(str(exc)) from None
+        if suite_app != args.app:
+            raise SystemExit(
+                f"recipe suite {args.recipes!r} targets app {suite_app!r},"
+                f" not {args.app!r}"
+            )
     try:
         plan = plan_campaign(
             factory,
             seed=args.seed,
             annotations=annotations,
+            extra_recipes=extra_recipes,
             entry=args.entry,
             requests=args.requests,
             think_time=args.think,
@@ -340,6 +362,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(to_json(result.merged_metrics()))
+    if args.report_out:
+        result.resilience_report().save(args.report_out)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -353,6 +377,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             print(f"result written to {args.out}")
         if args.metrics_out:
             print(f"merged metrics written to {args.metrics_out}")
+        if args.report_out:
+            print(f"resilience report written to {args.report_out}")
     return 0 if result.passed else 1
 
 
@@ -371,12 +397,16 @@ def cmd_campaign_smoke(args: argparse.Namespace) -> int:
     broken_wiring = [
         outcome for outcome in result.outcomes if outcome.status in ("error", "timeout")
     ]
+    if args.report_out:
+        result.resilience_report().save(args.report_out)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         for outcome in result.outcomes:
             print(f"  [{outcome.status.upper():^12}] {outcome.name}")
         print(result.summary())
+        if args.report_out:
+            print(f"resilience report written to {args.report_out}")
     return 1 if broken_wiring else 0
 
 
@@ -468,12 +498,24 @@ def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _per_app_path(path: str, app: str, multi: bool) -> str:
+    """``report.html`` -> ``report.deepfanout.html`` when exploring
+    several apps into one ``--*-out`` flag (one artifact per app)."""
+    if not multi:
+        return path
+    stem, dot, ext = path.rpartition(".")
+    return f"{stem}.{app}.{ext}" if dot else f"{path}.{app}"
+
+
 def cmd_fuzz_explore(args: argparse.Namespace) -> int:
     from repro.apps.outages import SEEDED_BUG_SUITE
-    from repro.explore import run_explore
+    from repro.explore import dump_recipe_suite, run_explore
+    from repro.observability.cascade import build_explore_report
 
     apps = sorted(SEEDED_BUG_SUITE) if args.app == "all" else [args.app]
+    multi = len(apps) > 1
     reports = []
+    written: list[str] = []
     for app in apps:
         result = run_explore(
             app,
@@ -485,6 +527,14 @@ def cmd_fuzz_explore(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
         )
         reports.append(result.report)
+        if args.report_out:
+            path = _per_app_path(args.report_out, app, multi)
+            build_explore_report(result.report, result.space.graph).save(path)
+            written.append(path)
+        if args.recipes_out:
+            path = _per_app_path(args.recipes_out, app, multi)
+            dump_recipe_suite(result, path)
+            written.append(path)
     doc = {
         "seed": args.seed,
         "budget": args.budget,
@@ -503,7 +553,27 @@ def cmd_fuzz_explore(args: argparse.Namespace) -> int:
             print(report.render())
         if args.coverage_out:
             print(f"coverage report written to {args.coverage_out}")
+        for path in written:
+            print(f"written: {path}")
     return 0 if doc["all_bugs_found"] else 1
+
+
+# -- report subcommand ---------------------------------------------------------
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the resilience report from a dumped campaign."""
+    try:
+        result = load_jsonl(args.dump)
+    except (OSError, CampaignError) as exc:
+        raise SystemExit(str(exc)) from None
+    report = result.resilience_report()
+    if args.out:
+        report.save(args.out)
+        print(f"resilience report written to {args.out}")
+    else:
+        print(report.to_json(), end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -652,6 +722,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the merged campaign metrics snapshot (JSON) here",
     )
+    run_parser.add_argument(
+        "--report-out",
+        default=None,
+        help="write the resilience report here (.json = deterministic"
+        " JSON, anything else = standalone HTML)",
+    )
+    run_parser.add_argument(
+        "--recipes",
+        default=None,
+        help="recipe suite JSON (from `fuzz explore --recipes-out`)"
+        " added to the plan as extra recipes",
+    )
     run_parser.set_defaults(func=cmd_campaign_run)
 
     smoke_parser = campaign_sub.add_parser(
@@ -660,6 +742,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_plan_args(smoke_parser, max_recipes=6)
     add_fleet_args(smoke_parser, default_workers=2)
     smoke_parser.add_argument("--timeout", type=float, default=30.0)
+    smoke_parser.add_argument(
+        "--report-out",
+        default=None,
+        help="write the resilience report here (.json = JSON, else HTML)",
+    )
     smoke_parser.set_defaults(func=cmd_campaign_smoke, requests=5)
 
     diff_parser = campaign_sub.add_parser(
@@ -741,12 +828,26 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_explore.add_argument("--seed", type=int, default=0, help="deployment seed")
     fuzz_explore.add_argument(
         "--strategy",
-        choices=("prioritized", "random"),
+        choices=("prioritized", "random", "whatif"),
         default="prioritized",
-        help="frontier ordering (random = unprioritized baseline)",
+        help="candidate ordering: prioritized (learning frontier),"
+        " random (unprioritized baseline), or whatif (static ranking"
+        " by graph what-if simulation)",
     )
     fuzz_explore.add_argument(
         "--coverage-out", default=None, help="write the coverage report JSON here"
+    )
+    fuzz_explore.add_argument(
+        "--report-out",
+        default=None,
+        help="write the resilience report here (.json = JSON, else HTML;"
+        ' with app "all", one file per app)',
+    )
+    fuzz_explore.add_argument(
+        "--recipes-out",
+        default=None,
+        help="export bug-finding coordinates as a campaign-loadable"
+        ' recipe suite JSON (with app "all", one file per app)',
     )
     fuzz_explore.add_argument(
         "--workers", default="1", help='fleet size (int or "auto")'
@@ -767,13 +868,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     fuzz_explore.set_defaults(func=cmd_fuzz_explore)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render the resilience report from a dumped campaign",
+    )
+    report_parser.add_argument(
+        "dump", help="JSON-lines campaign dump (from `campaign run --out`)"
+    )
+    report_parser.add_argument(
+        "--out",
+        default=None,
+        help="write here (.json = deterministic JSON, anything else ="
+        " standalone HTML); omitted = print JSON to stdout",
+    )
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv: _t.Optional[list[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Analysis-layer failures (malformed dumps, impossible graph or
+    report inputs) exit with a one-line message instead of a
+    traceback — they describe operator input, not repro bugs.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except AnalysisError as exc:
+        raise SystemExit(f"analysis error: {exc}") from None
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -17,6 +17,7 @@ Modules:
 * :mod:`~repro.explore.executor` — fleet execution of coordinates
 * :mod:`~repro.explore.runner` — the exploration loop
 * :mod:`~repro.explore.report` — coverage accounting
+* :mod:`~repro.explore.suite` — findings exported as campaign recipes
 
 Entry point: :func:`~repro.explore.runner.run_explore` (CLI verb
 ``fuzz explore``).
@@ -39,6 +40,12 @@ from repro.explore.runner import (
     discover_space,
     run_explore,
 )
+from repro.explore.suite import (
+    dump_recipe_suite,
+    export_recipe_suite,
+    load_recipe_suite,
+    read_recipe_suite,
+)
 
 __all__ = [
     "FAULT_PRIMITIVES",
@@ -54,9 +61,13 @@ __all__ = [
     "compile_scenarios",
     "coordinate_recipe",
     "discover_space",
+    "dump_recipe_suite",
     "enumerate_space",
     "execute_task",
+    "export_recipe_suite",
     "fault_primitives",
+    "load_recipe_suite",
+    "read_recipe_suite",
     "run_explore",
     "run_wave",
     "scenario_specs",

@@ -49,6 +49,9 @@ from repro.observability.spans import Span
 from repro.observability.trace import Trace, trace_shape_digest
 from repro.tracing.context import TEST_ID_PREFIX
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.cascade.graph import DependencyGraph
+
 __all__ = [
     "FAULT_PRIMITIVES",
     "SHORT_DELAY",
@@ -181,6 +184,10 @@ class ExplorationSpace:
     edges: _t.Dict[_t.Tuple[str, str], _t.Tuple[_t.Tuple[str, ...], int]]
     #: Shape digests observed fault-free (the coverage baseline).
     baseline_shapes: _t.List[str]
+    #: Weighted dependency graph folded from the discovery run's
+    #: traces (when the discoverer built one) — the substrate the
+    #: ``whatif`` strategy simulates over.
+    graph: _t.Optional["DependencyGraph"] = None
 
     @property
     def coordinates(self) -> _t.List[Coordinate]:
@@ -199,6 +206,7 @@ class ExplorationSpace:
                 for (src, dst), (path, subtree) in sorted(self.edges.items())
             },
             "baseline_shapes": list(self.baseline_shapes),
+            "graph": self.graph.to_dict() if self.graph is not None else None,
         }
 
 

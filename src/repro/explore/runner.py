@@ -33,19 +33,26 @@ import typing as _t
 from repro.apps.outages import SEEDED_BUG_SUITE, SeededBugManifest
 from repro.errors import ExploreError
 from repro.explore.compiler import scenario_specs
-from repro.explore.coords import Coordinate, ExplorationSpace, enumerate_space
+from repro.explore.coords import (
+    Coordinate,
+    ExplorationSpace,
+    enumerate_space,
+    fault_primitives,
+)
 from repro.explore.executor import ExploreTask, run_wave
 from repro.explore.frontier import Frontier
 from repro.explore.report import BugFinding, CoverageReport
 from repro.fuzz.differential import shape_digests_of
 from repro.fuzz.spec import SOURCE_NAME
 from repro.loadgen import ClosedLoopLoad
+from repro.observability.cascade.graph import discover_graph
+from repro.observability.cascade.whatif import order_candidates
 from repro.observability.trace import reconstruct
 from repro.tracing.context import TEST_ID_PREFIX
 
 __all__ = ["ExploreResult", "STRATEGIES", "discover_space", "run_explore"]
 
-STRATEGIES = ("prioritized", "random")
+STRATEGIES = ("prioritized", "random", "whatif")
 
 #: Coordinates dispatched per fleet wave.  Fixed (never derived from
 #: the worker count) so exploration order is workers-independent.
@@ -124,13 +131,22 @@ def discover_space(
         for name, instances in deployment.instances.items()
         if len(instances) > 1
     }
-    return enumerate_space(
+    # Fold *every* discovery trace (not just the representative one)
+    # into the weighted dependency graph: call counts across the whole
+    # fault-free workload are what the whatif simulation weighs.
+    traces = [trace] + [
+        reconstruct(store, f"{TEST_ID_PREFIX}{i}")
+        for i in range(2, manifest.requests + 1)
+    ]
+    space = enumerate_space(
         manifest,
         trace,
         seed=seed,
         baseline_shapes=shape_digests_of(store).values(),
         multi_instance_srcs=multi_instance,
     )
+    space.graph = discover_graph(traces)
+    return space
 
 
 def _random_order(space: ExplorationSpace, seed: int) -> _t.List[Coordinate]:
@@ -139,6 +155,29 @@ def _random_order(space: ExplorationSpace, seed: int) -> _t.List[Coordinate]:
     order = space.coordinates
     _random.Random(seed).shuffle(order)
     return order
+
+
+def _whatif_order(
+    space: ExplorationSpace, manifest: SeededBugManifest
+) -> _t.List[Coordinate]:
+    """The whatif strategy's schedule: every candidate's fault is
+    simulated over the discovered dependency graph and the schedule is
+    the resulting static ranking — predicted blast first, no online
+    feedback (contrast with the prioritized frontier, which learns)."""
+    if space.graph is None:
+        raise ExploreError(
+            "whatif strategy needs the discovery run's dependency graph"
+        )
+    intervals = {
+        name: params.get("interval", 0.0)
+        for name, params in fault_primitives(manifest)
+    }
+    return order_candidates(
+        space.coordinates,
+        space.graph,
+        intervals=intervals,
+        requests=manifest.requests,
+    )
 
 
 def run_explore(
@@ -174,7 +213,12 @@ def run_explore(
     )
 
     frontier = Frontier(space) if strategy == "prioritized" else None
-    schedule = _random_order(space, seed) if frontier is None else None
+    if frontier is not None:
+        schedule = None
+    elif strategy == "whatif":
+        schedule = _whatif_order(space, manifest)
+    else:
+        schedule = _random_order(space, seed)
 
     known_shapes = set(space.baseline_shapes)
     executed: _t.List[_t.Tuple[str, str]] = []

@@ -13,13 +13,29 @@ package provides in-process, on top of the agents' observation logs:
   renderings of metrics snapshots;
 * :mod:`~repro.observability.attribution` — joining reconstructed
   traces against the active rule set so every failure names the
-  injected fault that caused it and the path it propagated along.
+  injected fault that caused it and the path it propagated along;
+* :mod:`~repro.observability.cascade` — campaign-level analytics on
+  top of all of the above: dependency-graph discovery, blast-radius
+  scoring, root-cause ranking, graph what-if simulation, and the
+  operator resilience report.
 """
 
 from repro.observability.attribution import (
     FaultAttribution,
     attribute_run,
     attribute_trace,
+)
+from repro.observability.cascade import (
+    BlastRadius,
+    DependencyGraph,
+    ResilienceReport,
+    blast_radius,
+    build_explore_report,
+    build_report,
+    discover_graph,
+    graph_from_campaign,
+    rank_root_causes,
+    simulate_fault,
 )
 from repro.observability.exporters import to_json, to_prometheus
 from repro.observability.metrics import (
@@ -43,22 +59,32 @@ from repro.observability.trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "BlastRadius",
     "Counter",
+    "DependencyGraph",
     "FaultAttribution",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ResilienceReport",
     "Span",
     "Trace",
     "TraceNode",
     "assemble_spans",
     "attribute_run",
     "attribute_trace",
+    "blast_radius",
+    "build_explore_report",
+    "build_report",
+    "discover_graph",
     "format_series",
+    "graph_from_campaign",
     "merge_histogram_data",
     "merge_snapshots",
+    "rank_root_causes",
     "reconstruct",
     "reconstruct_from_records",
+    "simulate_fault",
     "to_json",
     "trace_shape_digest",
     "to_prometheus",

@@ -50,6 +50,10 @@ class FaultAttribution:
     rule: _t.Optional[str]
     propagation_path: _t.List[str]
     outcome: str
+    #: Whether the faulted span sat on the trace's latency-critical
+    #: path — the root-cause ranker's tie-break signal.  ``None`` on
+    #: attributions deserialized from dumps that predate the field.
+    on_critical_path: _t.Optional[bool] = None
 
     def to_dict(self) -> dict:
         """Plain-dict form for campaign dumps and scorecards."""
@@ -97,6 +101,7 @@ def attribute_trace(
     resilience pattern, the path shows the recovery point.
     """
     attributions: _t.List[FaultAttribution] = []
+    critical_ids = {s.span_id for s in trace.critical_path()}
     for span in trace.faulted_spans():
         path = trace.path_to_root(span.span_id)
         rendered_path = [f"{s.src} -> {s.dst} ({_outcome_of(s)})" for s in path]
@@ -113,6 +118,7 @@ def attribute_trace(
                     rule=str(rule) if rule is not None else None,
                     propagation_path=rendered_path,
                     outcome=root_outcome,
+                    on_critical_path=span.span_id in critical_ids,
                 )
             )
     return attributions

@@ -1,0 +1,65 @@
+"""Cascade analytics: graph discovery, blast radii, root causes, reports.
+
+The campaign and exploration layers *produce* evidence (outcomes,
+metrics snapshots, fault attributions); this package *interprets* it:
+
+* :mod:`~repro.observability.cascade.graph` — fold traces or a whole
+  campaign into a weighted service-dependency graph;
+* :mod:`~repro.observability.cascade.blast` — who degrades when each
+  service's dependencies are faulted;
+* :mod:`~repro.observability.cascade.rootcause` — ranked (service,
+  fault-pattern) culprits per failed assertion;
+* :mod:`~repro.observability.cascade.whatif` — propagate hypothetical
+  faults over the discovered graph to triage candidates before running
+  them;
+* :mod:`~repro.observability.cascade.report` — the single
+  ResilienceReport artifact (deterministic JSON + standalone HTML).
+"""
+
+from repro.observability.cascade.blast import (
+    BlastRadius,
+    blast_from_attributions,
+    blast_radius,
+)
+from repro.observability.cascade.graph import (
+    DependencyGraph,
+    EdgeStats,
+    discover_graph,
+    graph_from_campaign,
+)
+from repro.observability.cascade.report import (
+    ResilienceReport,
+    build_explore_report,
+    build_report,
+)
+from repro.observability.cascade.rootcause import (
+    RootCauseCandidate,
+    rank_root_causes,
+)
+from repro.observability.cascade.whatif import (
+    CascadePrediction,
+    order_candidates,
+    order_plan,
+    predict_service_blast,
+    simulate_fault,
+)
+
+__all__ = [
+    "BlastRadius",
+    "CascadePrediction",
+    "DependencyGraph",
+    "EdgeStats",
+    "ResilienceReport",
+    "RootCauseCandidate",
+    "blast_from_attributions",
+    "blast_radius",
+    "build_explore_report",
+    "build_report",
+    "discover_graph",
+    "graph_from_campaign",
+    "order_candidates",
+    "order_plan",
+    "predict_service_blast",
+    "rank_root_causes",
+    "simulate_fault",
+]

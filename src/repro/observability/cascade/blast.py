@@ -1,0 +1,123 @@
+"""Blast-radius scoring: who degrades when a service is faulted.
+
+A campaign already records, per failing recipe, the
+:class:`~repro.observability.attribution.FaultAttribution` joins —
+which rule fired on which edge and the outcome of every hop on the
+propagation path up to the trace root.  This module folds those joins
+across a whole campaign into per-service blast radii: for each faulted
+service, the set of other services that observably degraded while its
+rules were firing, weighted by how often.
+
+The computation reads *only* edge names and hop outcomes — never span
+IDs — so blast scores are invariant under span-ID renumbering (the
+same invariance :func:`~repro.observability.trace.trace_shape_digest`
+guarantees for shapes; a hypothesis property pins it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.observability.cascade.graph import hop_degraded, parse_propagation_hop
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.results import CampaignResult
+
+__all__ = ["BlastRadius", "blast_from_attributions", "blast_radius"]
+
+
+@dataclasses.dataclass
+class BlastRadius:
+    """Observed blast of faulting one service, across a campaign."""
+
+    #: The service whose dependency edges carried the fired rules.
+    service: str
+    #: Failing recipe executions in which its rules fired.
+    runs: int = 0
+    #: Total attributions folded in.
+    attributions: int = 0
+    #: Degraded service -> number of attributions showing it degraded.
+    #: A service counts as degraded when it *observed* a failing call
+    #: (it is the src of a failing propagation hop) — the synthetic
+    #: traffic source appearing here means the failure was user-visible.
+    impacted: _t.Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Attributions whose root outcome was itself a failure — the
+    #: fault escaped every resilience pattern on the way up.
+    reached_entry: int = 0
+
+    @property
+    def impacted_services(self) -> _t.List[str]:
+        """Degraded services, most-often-hit first (name-stable ties)."""
+        return [
+            service
+            for service, _ in sorted(
+                self.impacted.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+
+    @property
+    def score(self) -> float:
+        """Headline number: degraded-set breadth scaled by how often
+        the fault escaped to the entry edge.  A service whose faults
+        degrade many others *and* routinely reach the user scores
+        highest; one whose faults are always absorbed scores zero."""
+        if not self.attributions:
+            return 0.0
+        return len(self.impacted) * (self.reached_entry / self.attributions)
+
+    def to_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "runs": self.runs,
+            "attributions": self.attributions,
+            "impacted": dict(sorted(self.impacted.items())),
+            "impacted_services": self.impacted_services,
+            "reached_entry": self.reached_entry,
+            "score": round(self.score, 6),
+        }
+
+
+def _fold(blast: BlastRadius, attribution: _t.Mapping) -> None:
+    blast.attributions += 1
+    outcome = attribution.get("outcome", "")
+    if hop_degraded(outcome):
+        blast.reached_entry += 1
+    for hop in attribution.get("propagation_path", ()):
+        src, _dst, hop_outcome = parse_propagation_hop(hop)
+        if hop_degraded(hop_outcome):
+            blast.impacted[src] = blast.impacted.get(src, 0) + 1
+
+
+def blast_from_attributions(
+    service: str, attributions: _t.Iterable[_t.Mapping]
+) -> BlastRadius:
+    """Blast radius of one service from its serialized attributions."""
+    blast = BlastRadius(service=service)
+    count = 0
+    for attribution in attributions:
+        _fold(blast, attribution)
+        count += 1
+    blast.runs = 1 if count else 0
+    return blast
+
+
+def blast_radius(result: "CampaignResult") -> _t.Dict[str, BlastRadius]:
+    """Per-service blast radii across a whole campaign.
+
+    Outcomes are grouped by the service their recipe faulted (the
+    plan's ground truth of where the rules pointed); each failing
+    outcome's attributions then vote on who degraded.  Services whose
+    recipes all passed produce no entry — no observed blast.
+    """
+    radii: _t.Dict[str, BlastRadius] = {}
+    for outcome in result.outcomes:
+        if not outcome.attributions:
+            continue
+        blast = radii.get(outcome.service)
+        if blast is None:
+            blast = radii[outcome.service] = BlastRadius(service=outcome.service)
+        blast.runs += 1
+        for attribution in outcome.attributions:
+            _fold(blast, attribution)
+    return dict(sorted(radii.items()))

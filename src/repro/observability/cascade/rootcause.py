@@ -1,0 +1,148 @@
+"""Root-cause ranking: which (service, fault-pattern) explains a failure.
+
+A campaign's failed assertion names *what* broke ("HasTimeouts(catalog,
+1s) failed"); the attributions name *candidates* for why.  This module
+ranks them.  For every conclusively failed check across a campaign,
+each (culprit service, fault pattern) pair observed in the failing
+outcomes' attributions is scored on three signals:
+
+* **attribution frequency** — how many failing executions of that
+  check carried this culprit (a fault that explains every failure
+  outranks one seen once);
+* **critical-path membership** — the fraction of its attributions
+  whose faulted span sat on the failing trace's latency-critical path
+  (recorded by the attribution layer; absent on pre-upgrade dumps and
+  then scored neutrally);
+* **trace-shape coverage** — how many *distinct* propagation paths the
+  culprit produced; a fault provoking many failure shapes is doing
+  structural damage, not tripping one corner.
+
+Scores are deterministic (weighted sum, stable tie-break on the edge
+and fault strings), so the same campaign dump always ranks the same.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.results import CampaignResult
+
+__all__ = ["RootCauseCandidate", "rank_root_causes"]
+
+#: Score weights: frequency dominates, shape diversity refines,
+#: critical-path membership breaks near-ties.
+WEIGHT_FREQUENCY = 10.0
+WEIGHT_SHAPES = 2.0
+WEIGHT_CRITICAL = 1.0
+
+
+@dataclasses.dataclass
+class RootCauseCandidate:
+    """One (service, fault-pattern) candidate for one failed check."""
+
+    check: str
+    #: The dependency whose faulting explains the failure — the dst of
+    #: the edge the rule fired on.
+    service: str
+    #: Fault pattern as the rule described itself, e.g. ``"abort(503)"``.
+    fault: str
+    #: The injected edge, ``"src -> dst"``.
+    edge: str
+    #: Failing executions (recipes) of this check carrying the culprit.
+    frequency: int = 0
+    #: Total attributions folded in.
+    attributions: int = 0
+    #: Attributions whose faulted span was on the trace's critical path.
+    on_critical_path: int = 0
+    #: Attributions carrying critical-path evidence at all (older dumps
+    #: predate the field; they score this signal neutrally).
+    critical_path_known: int = 0
+    #: Distinct propagation paths observed — the shape-coverage signal.
+    distinct_paths: int = 0
+    #: Longest propagation path seen (hops from injection to root).
+    max_reach: int = 0
+    _paths: _t.Set[tuple] = dataclasses.field(
+        default_factory=set, repr=False, compare=False
+    )
+
+    @property
+    def critical_fraction(self) -> float:
+        """Critical-path membership rate; 0.5 (neutral) when unknown."""
+        if not self.critical_path_known:
+            return 0.5
+        return self.on_critical_path / self.critical_path_known
+
+    @property
+    def score(self) -> float:
+        return (
+            WEIGHT_FREQUENCY * self.frequency
+            + WEIGHT_SHAPES * self.distinct_paths
+            + WEIGHT_CRITICAL * self.critical_fraction
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "service": self.service,
+            "fault": self.fault,
+            "edge": self.edge,
+            "frequency": self.frequency,
+            "attributions": self.attributions,
+            "distinct_paths": self.distinct_paths,
+            "max_reach": self.max_reach,
+            "critical_fraction": round(self.critical_fraction, 6),
+            "score": round(self.score, 6),
+        }
+
+
+def rank_root_causes(
+    result: "CampaignResult",
+) -> _t.Dict[str, _t.List[RootCauseCandidate]]:
+    """Ranked culprit candidates for every conclusively failed check.
+
+    Returns ``{check name: [candidates, best first]}`` — checks sorted
+    by name, candidates by descending score with a stable (edge, fault)
+    tie-break.  Checks that never failed conclusively do not appear.
+    """
+    candidates: _t.Dict[_t.Tuple[str, str, str], RootCauseCandidate] = {}
+    for outcome in result.outcomes:
+        failed_checks = [
+            check.name
+            for check in outcome.checks
+            if not check.passed and not check.inconclusive
+        ]
+        if not failed_checks or not outcome.attributions:
+            continue
+        seen_this_outcome: _t.Set[_t.Tuple[str, str, str]] = set()
+        for doc in outcome.attributions:
+            edge = doc.get("edge", "?")
+            fault = doc.get("fault", "?")
+            culprit = edge.split(" -> ")[-1]
+            path = tuple(doc.get("propagation_path", ()))
+            on_critical = doc.get("on_critical_path")
+            for check_name in failed_checks:
+                key = (check_name, edge, fault)
+                candidate = candidates.get(key)
+                if candidate is None:
+                    candidate = candidates[key] = RootCauseCandidate(
+                        check=check_name, service=culprit, fault=fault, edge=edge
+                    )
+                if key not in seen_this_outcome:
+                    seen_this_outcome.add(key)
+                    candidate.frequency += 1
+                candidate.attributions += 1
+                candidate.max_reach = max(candidate.max_reach, len(path))
+                candidate._paths.add(path)
+                if on_critical is not None:
+                    candidate.critical_path_known += 1
+                    if on_critical:
+                        candidate.on_critical_path += 1
+    ranked: _t.Dict[str, _t.List[RootCauseCandidate]] = {}
+    for candidate in candidates.values():
+        candidate.distinct_paths = len(candidate._paths)
+        ranked.setdefault(candidate.check, []).append(candidate)
+    for check_name, check_candidates in ranked.items():
+        check_candidates.sort(key=lambda c: (-c.score, c.edge, c.fault))
+    return dict(sorted(ranked.items()))

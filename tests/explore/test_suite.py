@@ -1,0 +1,113 @@
+"""Recipe suites: exploration findings round-trip into campaigns."""
+
+import copy
+import json
+
+import pytest
+
+from repro.apps.outages import SEEDED_BUG_SUITE
+from repro.campaign import RecipeExecutor, plan_campaign
+from repro.errors import ExploreError
+from repro.explore import (
+    dump_recipe_suite,
+    export_recipe_suite,
+    load_recipe_suite,
+    read_recipe_suite,
+    run_explore,
+)
+
+APP = "stuckbreaker"
+
+
+@pytest.fixture(scope="module")
+def explore_result():
+    # whatif surfaces the stuckbreaker bug on its first execution, so
+    # this module's fixture is one discovery run plus one fault run.
+    return run_explore(APP, budget=24, seed=0, strategy="whatif",
+                       stop_when_found=True)
+
+
+@pytest.fixture(scope="module")
+def suite_doc(explore_result):
+    return export_recipe_suite(explore_result)
+
+
+class TestExport:
+    def test_one_entry_per_finding_coordinate(self, explore_result, suite_doc):
+        assert suite_doc["suite"] == "explore-recipes"
+        assert suite_doc["version"] == 1
+        assert suite_doc["app"] == APP
+        assert suite_doc["strategy"] == "whatif"
+        keys = [entry["key"] for entry in suite_doc["coordinates"]]
+        assert keys == sorted({f.coordinate for f in explore_result.findings},
+                              key=keys.index)
+        entry = suite_doc["coordinates"][0]
+        assert entry["bug_ids"] == ["stuckbreaker/never-closes"]
+        assert entry["coordinate"]["app"] == APP
+
+    def test_document_is_json_serializable(self, suite_doc):
+        assert json.loads(json.dumps(suite_doc)) == suite_doc
+
+
+class TestRoundTrip:
+    def test_dump_and_read(self, explore_result, suite_doc, tmp_path):
+        path = tmp_path / "recipes.json"
+        dump_recipe_suite(explore_result, str(path))
+        app, recipes = read_recipe_suite(str(path))
+        assert app == APP
+        assert len(recipes) == len(suite_doc["coordinates"])
+        assert all(r.name.startswith("explore/") for r in recipes)
+
+    def test_campaign_replays_the_finding(self, suite_doc):
+        """The exported coordinate, loaded as a campaign recipe and
+        executed through the campaign machinery, reproduces the
+        conclusive failure that recorded the bug."""
+        manifest = SEEDED_BUG_SUITE[APP]
+        app, recipes = load_recipe_suite(suite_doc)
+        plan = plan_campaign(
+            manifest.builder,
+            extra_recipes=recipes,
+            requests=manifest.requests,
+            think_time=manifest.think_time,
+        )
+        entry = next(e for e in plan.entries if e.name.startswith("explore/"))
+        outcome = RecipeExecutor(manifest.builder).execute(entry)
+        assert outcome.status == "fail"
+        failed = {
+            check.name
+            for check in outcome.checks
+            if not check.passed and not check.inconclusive
+        }
+        assert manifest.bugs_found((name, False, False) for name in failed)
+
+
+class TestLoadValidation:
+    def test_rejects_non_suite_documents(self):
+        with pytest.raises(ExploreError, match="not a recipe suite"):
+            load_recipe_suite({"suite": "something-else"})
+
+    def test_rejects_unknown_versions(self, suite_doc):
+        doc = dict(suite_doc, version=99)
+        with pytest.raises(ExploreError, match="version"):
+            load_recipe_suite(doc)
+
+    def test_rejects_unknown_apps(self, suite_doc):
+        doc = dict(suite_doc, app="no-such-app")
+        with pytest.raises(ExploreError, match="unknown app"):
+            load_recipe_suite(doc)
+
+    def test_rejects_cross_app_coordinates(self, suite_doc):
+        doc = copy.deepcopy(suite_doc)
+        doc["app"] = "deepfanout"
+        with pytest.raises(ExploreError, match="targets app"):
+            load_recipe_suite(doc)
+
+    def test_read_missing_file_is_loud(self, tmp_path):
+        with pytest.raises(ExploreError, match="cannot read"):
+            read_recipe_suite(str(tmp_path / "missing.json"))
+
+    def test_read_malformed_json_is_loud(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ExploreError, match="cannot read"):
+            read_recipe_suite(str(path))

@@ -3,8 +3,10 @@
 import json
 
 from repro.agent.rules import abort, delay
+from repro.logstore import EventStore
 from repro.observability import (
     FaultAttribution,
+    attribute_run,
     attribute_trace,
     to_json,
     to_prometheus,
@@ -25,6 +27,26 @@ def faulted_records():
             fault_applied="abort(503)", gremlin_generated=True,
         ),
         reply_record("u#1", None, "user", "a", 0.3, latency=0.3, status=500),
+    ]
+
+
+def multi_faulted_records(root_status=500):
+    """user -> a -> {b, c} with TWO faults firing in one request:
+    an abort on a->b and a delay on a->c (the slow branch)."""
+    return [
+        request_record("u#1", None, "user", "a", 0.0),
+        request_record("a#1", "u#1", "a", "b", 0.1),
+        reply_record(
+            "a#1", "u#1", "a", "b", 0.1, latency=0.0, status=503,
+            fault_applied="abort(503)", gremlin_generated=True,
+        ),
+        request_record("a#2", "u#1", "a", "c", 0.2),
+        reply_record(
+            "a#2", "u#1", "a", "c", 1.4, latency=1.2,
+            fault_applied="delay(1)", gremlin_generated=True,
+        ),
+        reply_record("u#1", None, "user", "a", 1.5, latency=1.5,
+                     status=root_status),
     ]
 
 
@@ -71,6 +93,94 @@ class TestAttributeTrace:
         trace = reconstruct_from_records("test-1", faulted_records())
         (attribution,) = attribute_trace(trace, [])
         assert FaultAttribution.from_dict(attribution.to_dict()) == attribution
+
+    def test_critical_path_membership_recorded(self):
+        trace = reconstruct_from_records("test-1", faulted_records())
+        (attribution,) = attribute_trace(trace, [])
+        # a -> b is the only child span: it IS the critical path.
+        assert attribution.on_critical_path is True
+
+    def test_pre_upgrade_dumps_deserialize_with_unknown_membership(self):
+        trace = reconstruct_from_records("test-1", faulted_records())
+        (attribution,) = attribute_trace(trace, [])
+        doc = attribution.to_dict()
+        del doc["on_critical_path"]  # field predates older dumps
+        assert FaultAttribution.from_dict(doc).on_critical_path is None
+
+
+class TestMultiFaultAttribution:
+    """Two rules firing within one request: ordering, per-fault rule
+    joins, propagation paths, and critical-path membership."""
+
+    def rules(self):
+        return [
+            abort(src="a", dst="b", error=503),
+            delay(src="a", dst="c", interval=1.0),
+        ]
+
+    def test_one_attribution_per_fired_rule_in_span_start_order(self):
+        trace = reconstruct_from_records("test-1", multi_faulted_records())
+        rules = self.rules()
+        first, second = attribute_trace(trace, rules)
+        assert (first.fault, first.edge) == ("abort(503)", "a -> b")
+        assert (second.fault, second.edge) == ("delay(1)", "a -> c")
+        assert first.rule_id == rules[0].rule_id
+        assert second.rule_id == rules[1].rule_id
+
+    def test_each_fault_propagates_along_its_own_path(self):
+        trace = reconstruct_from_records("test-1", multi_faulted_records())
+        aborted, delayed = attribute_trace(trace, self.rules())
+        assert aborted.propagation_path == [
+            "a -> b (status=503)",
+            "user -> a (status=500)",
+        ]
+        assert delayed.propagation_path == [
+            "a -> c (status=200)",
+            "user -> a (status=500)",
+        ]
+        assert aborted.outcome == delayed.outcome == "status=500"
+
+    def test_only_the_slow_branch_is_on_the_critical_path(self):
+        trace = reconstruct_from_records("test-1", multi_faulted_records())
+        aborted, delayed = attribute_trace(trace, self.rules())
+        # The delayed a -> c call (1.2s) dominates the trace latency;
+        # the instantly aborted a -> b call does not.
+        assert delayed.on_critical_path is True
+        assert aborted.on_critical_path is False
+
+
+class TestAttributeRun:
+    def store(self, records):
+        store = EventStore()
+        store.extend(records)
+        return store
+
+    def test_attributes_every_fired_fault_in_a_failed_request(self):
+        store = self.store(multi_faulted_records())
+        attributions = attribute_run(store, self.rules())
+        assert [(a.fault, a.edge) for a in attributions] == [
+            ("abort(503)", "a -> b"),
+            ("delay(1)", "a -> c"),
+        ]
+        assert all(a.rule_id is not None for a in attributions)
+
+    def rules(self):
+        return [
+            abort(src="a", dst="b", error=503),
+            delay(src="a", dst="c", interval=1.0),
+        ]
+
+    def test_only_failed_skips_absorbed_faults(self):
+        store = self.store(multi_faulted_records(root_status=200))
+        assert attribute_run(store, self.rules()) == []
+        absorbed = attribute_run(store, self.rules(), only_failed=False)
+        assert len(absorbed) == 2
+
+    def test_limit_caps_attributions(self):
+        store = self.store(multi_faulted_records())
+        limited = attribute_run(store, self.rules(), limit=1)
+        assert len(limited) == 1
+        assert limited[0].fault == "abort(503)"
 
 
 class TestExporters:

@@ -391,3 +391,116 @@ class TestFuzzExplore:
 
         with pytest.raises(ExploreError):
             main(["fuzz", "explore", "no-such-app"])
+
+
+class TestCleanCliErrors:
+    def test_trace_unknown_entry_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown entry"):
+            main(["trace", "tree3", "test-1", "--entry", "ghost", "--requests", "2"])
+
+    def test_report_missing_dump_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["report", str(tmp_path / "missing.jsonl")])
+        # A one-line operator message, not a traceback.
+        assert "missing.jsonl" in str(err.value)
+
+    def test_campaign_recipes_missing_suite_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read recipe suite"):
+            main(
+                [
+                    "campaign", "run", "twotier",
+                    "--recipes", str(tmp_path / "missing.json"),
+                ]
+            )
+
+
+class TestReportCommand:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("report-cli")
+        dump = tmp / "dump.jsonl"
+        report = tmp / "report.json"
+        code = main(
+            [
+                "campaign", "run", "twotier",
+                "--requests", "5", "--workers", "2",
+                "--out", str(dump), "--report-out", str(report),
+            ]
+        )
+        return dump, report, code
+
+    def test_campaign_run_writes_the_report(self, artifacts, capsys):
+        dump, report, _code = artifacts
+        capsys.readouterr()
+        doc = json.loads(report.read_text())
+        assert doc["report"] == "resilience"
+        assert doc["app"] == "twotier"
+        assert doc["verdicts"]
+
+    def test_report_regenerates_identically_from_the_dump(self, artifacts, capsys):
+        dump, report, _code = artifacts
+        capsys.readouterr()
+        assert main(["report", str(dump)]) == 0
+        assert capsys.readouterr().out == report.read_text()
+
+    def test_report_out_html(self, artifacts, capsys, tmp_path):
+        dump, _report, _code = artifacts
+        html = tmp_path / "report.html"
+        assert main(["report", str(dump), "--out", str(html)]) == 0
+        out = capsys.readouterr().out
+        assert f"resilience report written to {html}" in out
+        text = html.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text
+
+
+class TestExploreArtifacts:
+    def test_whatif_recipes_round_trip_through_campaign_run(self, capsys, tmp_path):
+        recipes = tmp_path / "recipes.json"
+        report = tmp_path / "explore.html"
+        code = main(
+            [
+                "fuzz", "explore", "stuckbreaker",
+                "--budget", "6", "--strategy", "whatif",
+                "--recipes-out", str(recipes),
+                "--report-out", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # whatif surfaces the planted bug within budget
+        assert f"written: {recipes}" in out
+        assert f"written: {report}" in out
+        assert report.read_text().startswith("<!DOCTYPE html>")
+        suite = json.loads(recipes.read_text())
+        assert suite["app"] == "stuckbreaker"
+        assert suite["strategy"] == "whatif"
+        assert suite["coordinates"]
+
+        # The exported suite replays as extra campaign recipes and
+        # reproduces the conclusive failure it recorded.
+        code = main(
+            [
+                "campaign", "run", "stuckbreaker",
+                "--recipes", str(recipes),
+                "--requests", "40", "--workers", "2", "--json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        replayed = [
+            o for o in doc["outcomes"] if o["name"].startswith("explore/")
+        ]
+        assert replayed and all(o["status"] == "fail" for o in replayed)
+
+    def test_recipe_suite_app_mismatch_exits_cleanly(self, capsys, tmp_path):
+        recipes = tmp_path / "recipes.json"
+        main(
+            [
+                "fuzz", "explore", "stuckbreaker",
+                "--budget", "2", "--strategy", "whatif",
+                "--recipes-out", str(recipes),
+            ]
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="targets app"):
+            main(["campaign", "run", "twotier", "--recipes", str(recipes)])
