@@ -25,6 +25,7 @@ BENCH_FUZZ_PATH = pathlib.Path(__file__).parent / "BENCH_fuzz.json"
 BENCH_KERNEL_PATH = pathlib.Path(__file__).parent / "BENCH_kernel.json"
 BENCH_EXPLORE_PATH = pathlib.Path(__file__).parent / "BENCH_explore.json"
 BENCH_REPORT_PATH = pathlib.Path(__file__).parent / "BENCH_report.json"
+BENCH_APPS_PATH = pathlib.Path(__file__).parent / "BENCH_apps.json"
 
 
 class ExperimentReport:
@@ -75,6 +76,12 @@ _BENCH_EXPLORE: dict = {}
 # Populated by the report benchmark; flushed to BENCH_report.json at
 # session end.
 _BENCH_REPORT: dict = {}
+
+# Machine-readable production-app numbers (kernel events/s driving the
+# 28-service socialnetwork topology, campaign wall clock on the same
+# app).  Populated by the apps benchmark; flushed to BENCH_apps.json at
+# session end.
+_BENCH_APPS: dict = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -134,6 +141,12 @@ def bench_report() -> dict:
     return _BENCH_REPORT
 
 
+@pytest.fixture(scope="session")
+def bench_apps() -> dict:
+    """Mutable dict the production-apps benchmark records its numbers into."""
+    return _BENCH_APPS
+
+
 def _provenance() -> dict:
     """Where the numbers came from: every BENCH_*.json carries the same
     machine/interpreter/revision block, so two dumps are comparable (or
@@ -165,6 +178,7 @@ def pytest_sessionfinish(session, exitstatus):
         (_BENCH_KERNEL, BENCH_KERNEL_PATH, "benchmarks/test_bench_kernel.py"),
         (_BENCH_EXPLORE, BENCH_EXPLORE_PATH, "benchmarks/test_bench_explore.py"),
         (_BENCH_REPORT, BENCH_REPORT_PATH, "benchmarks/test_bench_report.py"),
+        (_BENCH_APPS, BENCH_APPS_PATH, "benchmarks/test_bench_apps.py"),
     )
     provenance = None
     for data, path, source in flushes:
@@ -193,6 +207,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"explore numbers written to {BENCH_EXPLORE_PATH}")
     if _BENCH_REPORT:
         terminalreporter.write_line(f"report numbers written to {BENCH_REPORT_PATH}")
+    if _BENCH_APPS:
+        terminalreporter.write_line(f"apps numbers written to {BENCH_APPS_PATH}")
     if not _REPORT.sections:
         return
     terminalreporter.section("reproduced paper tables & figures")

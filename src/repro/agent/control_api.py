@@ -31,6 +31,7 @@ _WIRE_FIELDS = (
     "interval",
     "id_pattern",
     "max_matches",
+    "skip_matches",
 )
 
 

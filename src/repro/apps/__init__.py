@@ -6,9 +6,14 @@
 * :mod:`repro.apps.trees` — binary trees of services (Fig 7)
 * :mod:`repro.apps.outages` — the Table 1 outage recreations, plus the
   seeded-resilience-bug fixtures the exploration layer is scored on
+* :mod:`repro.apps.socialnetwork` — a 28-service DeathStarBench-class
+  social network (production-scale benchmark app)
+* :mod:`repro.apps.hotelreservation` — a 20-service DeathStarBench-class
+  hotel reservation app (production-scale benchmark app)
 """
 
 from repro.apps.enterprise import build_enterprise_app
+from repro.apps.hotelreservation import HOTELRESERVATION_SERVICES, build_hotelreservation_app
 from repro.apps.outages import (
     OUTAGE_SUITE,
     SEEDED_BUG_SUITE,
@@ -26,15 +31,18 @@ from repro.apps.outages import (
     database_overload_recipe,
     messagebus_recipe,
 )
+from repro.apps.socialnetwork import SOCIALNETWORK_SERVICES, build_socialnetwork_app
 from repro.apps.trees import TREE_ROOT, build_tree_app, tree_service_names
 from repro.apps.twotier import build_twotier
 from repro.apps.wordpress import ELASTICSEARCH, MYSQL, WORDPRESS, build_wordpress_app
 
 __all__ = [
     "ELASTICSEARCH",
+    "HOTELRESERVATION_SERVICES",
     "MYSQL",
     "OUTAGE_SUITE",
     "SEEDED_BUG_SUITE",
+    "SOCIALNETWORK_SERVICES",
     "SeededBug",
     "SeededBugManifest",
     "TREE_ROOT",
@@ -45,8 +53,10 @@ __all__ = [
     "build_database_app",
     "build_deepfanout_app",
     "build_enterprise_app",
+    "build_hotelreservation_app",
     "build_messagebus_app",
     "build_retrystorm_app",
+    "build_socialnetwork_app",
     "build_stuckbreaker_app",
     "build_tree_app",
     "build_twotier",

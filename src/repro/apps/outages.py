@@ -28,6 +28,8 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.apps.hotelreservation import build_hotelreservation_app
+from repro.apps.socialnetwork import build_socialnetwork_app
 from repro.core.patterns import (
     HasBoundedRetries,
     HasCircuitBreaker,
@@ -59,6 +61,8 @@ __all__ = [
     "build_deepfanout_app",
     "build_retrystorm_app",
     "build_stuckbreaker_app",
+    "build_socialnetwork_app",
+    "build_hotelreservation_app",
 ]
 
 
@@ -384,6 +388,12 @@ class SeededBugManifest:
     think_time: float = 0.04
     #: Canonical Delay interval (seconds) for delay-fault coordinates.
     delay_interval: float = 2.0
+    #: Fault primitives the exploration layer sweeps for this app — a
+    #: subset of :data:`repro.explore.coords.FAULT_PRIMITIVES`.  The
+    #: default keeps the original four-primitive vocabulary (stable
+    #: schedules for the seed apps); production-scale apps opt into the
+    #: gray-failure and load-shed primitives as well.
+    fault_kinds: _t.Tuple[str, ...] = ("abort", "reset", "delay", "delay_short")
 
     def bug_ids(self) -> _t.List[str]:
         return [bug.bug_id for bug in self.bugs]
@@ -592,6 +602,31 @@ def _stuckbreaker_checks() -> _t.List[PatternCheck]:
     ]
 
 
+def _socialnetwork_checks() -> _t.List[PatternCheck]:
+    return [
+        HasBoundedRetries(
+            "post-storage", "post-store", max_tries=5, failure_status=None
+        ),
+        HasTimeouts("social-graph", "1s"),
+        HasTimeouts("media-service", "1s"),
+    ]
+
+
+def _hotelreservation_checks() -> _t.List[PatternCheck]:
+    return [
+        HasBoundedRetries("rate", "rate-store", max_tries=5, failure_status=None),
+        HasTimeouts("reservation", "1s"),
+        HasTimeouts("profile", "1s"),
+    ]
+
+
+#: Fault vocabulary the production-scale apps opt into: the original
+#: four plus the gray-failure response stall and the load-shed 429.
+_FULL_FAULT_KINDS: _t.Tuple[str, ...] = (
+    "abort", "reset", "delay", "delay_short", "gray", "exhaust",
+)
+
+
 #: Registry of the seeded-bug fixtures, keyed by app name.  Module
 #: level so fleet process workers can rebuild apps and checks from a
 #: plain app-name string instead of pickling closures.
@@ -656,6 +691,74 @@ SEEDED_BUG_SUITE: _t.Dict[str, SeededBugManifest] = {
                     ),
                 ),
             ),
+        ),
+        SeededBugManifest(
+            name="socialnetwork",
+            builder=build_socialnetwork_app,
+            entry="nginx",
+            checks=_socialnetwork_checks,
+            bugs=(
+                SeededBug(
+                    bug_id="socialnetwork/storm-retries",
+                    check_names=(
+                        "HasBoundedRetries(post-storage, post-store, 5)",
+                    ),
+                    trigger_edge=("post-storage", "post-store"),
+                    trigger_fault="abort",
+                    summary=(
+                        "post-storage retries a failing post store 8x with"
+                        " flat backoff and no breaker — every composed post"
+                        " amplifies into a retry storm"
+                    ),
+                ),
+                SeededBug(
+                    bug_id="socialnetwork/missing-timeout",
+                    check_names=("HasTimeouts(social-graph, 1s)",),
+                    trigger_edge=("social-graph", "social-graph-store"),
+                    trigger_fault="delay",
+                    summary=(
+                        "social-graph -> social-graph-store has no timeout;"
+                        " a stalled graph store drags the whole compose/"
+                        "fan-out write path unboundedly"
+                    ),
+                ),
+            ),
+            requests=8,
+            think_time=0.01,
+            fault_kinds=_FULL_FAULT_KINDS,
+        ),
+        SeededBugManifest(
+            name="hotelreservation",
+            builder=build_hotelreservation_app,
+            entry="frontend",
+            checks=_hotelreservation_checks,
+            bugs=(
+                SeededBug(
+                    bug_id="hotelreservation/storm-retries",
+                    check_names=("HasBoundedRetries(rate, rate-store, 5)",),
+                    trigger_edge=("rate", "rate-store"),
+                    trigger_fault="abort",
+                    summary=(
+                        "rate retries a failing rate store 8x with flat"
+                        " backoff and no breaker — every search amplifies"
+                        " into a retry storm"
+                    ),
+                ),
+                SeededBug(
+                    bug_id="hotelreservation/missing-timeout",
+                    check_names=("HasTimeouts(reservation, 1s)",),
+                    trigger_edge=("reservation", "reservation-store"),
+                    trigger_fault="delay",
+                    summary=(
+                        "reservation -> reservation-store has no timeout; a"
+                        " stalled reservation store hangs the booking path"
+                        " unboundedly"
+                    ),
+                ),
+            ),
+            requests=8,
+            think_time=0.01,
+            fault_kinds=_FULL_FAULT_KINDS,
         ),
     )
 }

@@ -43,7 +43,19 @@ DeploymentFactory = _t.Callable[[], Application]
 
 #: Execution order among patterns: hard-failure probes first (a missing
 #: circuit breaker is the worst finding), slow-failure probes after.
-PATTERN_RANK = {"crash": 0, "partition": 1, "overload": 2, "hang": 3, "degrade": 4}
+PATTERN_RANK = {
+    "crash": 0,
+    "partition": 1,
+    "overload": 2,
+    "retry_storm": 3,
+    "resource_exhaustion": 4,
+    "hang": 5,
+    "gray_failure": 6,
+    "degrade": 7,
+    "misconfiguration": 8,
+    # Controls run last: they calibrate the checks, not the service.
+    "noop_control": 98,
+}
 
 
 def derive_seed(campaign_seed: int, recipe_name: str, attempt: int = 0) -> int:

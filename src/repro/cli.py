@@ -46,8 +46,10 @@ from repro.apps import (
     build_database_app,
     build_deepfanout_app,
     build_enterprise_app,
+    build_hotelreservation_app,
     build_messagebus_app,
     build_retrystorm_app,
+    build_socialnetwork_app,
     build_stuckbreaker_app,
     build_tree_app,
     build_twotier,
@@ -101,6 +103,10 @@ APPS: dict[str, _t.Callable[[], Application]] = {
     "deepfanout": build_deepfanout_app,
     "retrystorm": build_retrystorm_app,
     "stuckbreaker": build_stuckbreaker_app,
+    # Production-scale benchmark apps (DeathStarBench-class; naive
+    # builds — pass resilient=True in code for the hardened variants).
+    "socialnetwork": build_socialnetwork_app,
+    "hotelreservation": build_hotelreservation_app,
 }
 
 _SCENARIOS = {
@@ -118,11 +124,27 @@ def _build(name: str) -> Application:
         raise SystemExit(f"unknown app {name!r}; available: {', '.join(APPS)}") from None
 
 
-def cmd_apps(_args: argparse.Namespace) -> int:
+def cmd_apps(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        catalog = []
+        for name, builder in APPS.items():
+            app = builder()
+            graph = app.logical_graph()
+            catalog.append(
+                {
+                    "name": name,
+                    "services": list(app.definitions),
+                    "num_services": len(app.definitions),
+                    "num_edges": len(graph.edges()),
+                    "entry_services": graph.entry_services(),
+                }
+            )
+        print(json.dumps({"apps": catalog}, indent=2))
+        return 0
     print("prebuilt applications:")
     for name, builder in APPS.items():
         app = builder()
-        print(f"  {name:<12} services: {', '.join(app.definitions)}")
+        print(f"  {name:<16} {len(app.definitions):>2} services: {', '.join(app.definitions)}")
     return 0
 
 
@@ -512,6 +534,11 @@ def cmd_fuzz_explore(args: argparse.Namespace) -> int:
     from repro.explore import dump_recipe_suite, run_explore
     from repro.observability.cascade import build_explore_report
 
+    if args.app != "all" and args.app not in SEEDED_BUG_SUITE:
+        raise SystemExit(
+            f"unknown seeded-bug app {args.app!r}; available:"
+            f" {', '.join(sorted(SEEDED_BUG_SUITE))} (or 'all')"
+        )
     apps = sorted(SEEDED_BUG_SUITE) if args.app == "all" else [args.app]
     multi = len(apps) > 1
     reports = []
@@ -583,7 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("apps", help="list prebuilt applications").set_defaults(func=cmd_apps)
+    apps_parser = sub.add_parser("apps", help="list prebuilt applications")
+    apps_parser.add_argument(
+        "--json", action="store_true", help="machine-readable catalog"
+    )
+    apps_parser.set_defaults(func=cmd_apps)
 
     graph_parser = sub.add_parser("graph", help="print an app's logical graph")
     graph_parser.add_argument("app")

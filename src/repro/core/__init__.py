@@ -51,10 +51,15 @@ from repro.core.scenarios import (
     Disconnect,
     FailureScenario,
     FakeSuccess,
+    GrayFailure,
     Hang,
+    Misconfiguration,
     ModifyReplies,
     NetworkPartition,
+    NoOpControl,
     Overload,
+    ResourceExhaustion,
+    RetryStorm,
 )
 from repro.core.translator import RecipeTranslator
 
@@ -78,6 +83,7 @@ __all__ = [
     "FailureOrchestrator",
     "FailureScenario",
     "FakeSuccess",
+    "GrayFailure",
     "Gremlin",
     "Hang",
     "HasBoundedRetries",
@@ -85,8 +91,10 @@ __all__ = [
     "HasCircuitBreaker",
     "HasTimeouts",
     "InstallationReport",
+    "Misconfiguration",
     "ModifyReplies",
     "NetworkPartition",
+    "NoOpControl",
     "NoRequestsFor",
     "Overload",
     "PatternCheck",
@@ -94,6 +102,8 @@ __all__ = [
     "Recipe",
     "RecipeResult",
     "RecipeTranslator",
+    "ResourceExhaustion",
+    "RetryStorm",
     "StepOutcome",
     "StoreLike",
     "combine",

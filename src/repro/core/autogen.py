@@ -19,8 +19,13 @@ Annotations let operators tune the generator per service::
         "github": EdgeAnnotation(skip=True),       # third party, don't test
     }
 
-Skipped services generate nothing; high-criticality callees get both
-the Overload and the Crash recipe, others only the Overload.
+Skipped services generate nothing; high-criticality callees get the
+Crash, RetryStorm, and GrayFailure recipes on top of the Overload,
+others only the Overload.  Opt-in flags add a ResourceExhaustion probe
+(``shed_capacity``), a Misconfiguration probe (``config_risk``), and a
+NoOpControl calibration recipe (``control``) whose checks must pass on
+a healthy build — a failing control flags a broken check, not a broken
+service.
 """
 
 from __future__ import annotations
@@ -35,7 +40,17 @@ from repro.core.patterns import (
     HasTimeouts,
 )
 from repro.core.recipe import Recipe
-from repro.core.scenarios import Crash, Degrade, Hang, Overload
+from repro.core.scenarios import (
+    Crash,
+    Degrade,
+    GrayFailure,
+    Hang,
+    Misconfiguration,
+    NoOpControl,
+    Overload,
+    ResourceExhaustion,
+    RetryStorm,
+)
 from repro.microservice.graph import ApplicationGraph
 
 __all__ = ["EdgeAnnotation", "generate_recipes"]
@@ -45,11 +60,22 @@ __all__ = ["EdgeAnnotation", "generate_recipes"]
 class EdgeAnnotation:
     """Operator guidance for auto-generation around one service."""
 
-    #: "high" adds crash/breaker recipes on top of overload/retry ones.
+    #: "high" adds crash/breaker, retry-storm, and gray-failure recipes
+    #: on top of the overload/retry ones.
     criticality: str = "normal"
     #: Don't generate recipes that fault this service (e.g. third party
     #: endpoints billed per call).
     skip: bool = False
+    #: Requests this service absorbs before load-shedding 429s; when
+    #: set, generates a ResourceExhaustion recipe probing caller retry
+    #: discipline against shed responses.
+    shed_capacity: _t.Optional[int] = None
+    #: This service's config churns often (endpoints renamed, replies
+    #: reshaped); generates a Misconfiguration recipe.
+    config_risk: bool = False
+    #: Generate a NoOpControl calibration recipe: rules install but
+    #: never fire, so every check must pass on a healthy build.
+    control: bool = False
     #: Expected retry bound for generated HasBoundedRetries checks.
     max_tries: int = 5
     #: Expected caller answer deadline for generated HasTimeouts checks.
@@ -126,6 +152,21 @@ def generate_recipes(
                     checks=breaker_checks,
                 )
             )
+            recipes.append(
+                Recipe(
+                    name=f"auto/retrystorm-{callee}",
+                    scenarios=[RetryStorm(callee)],
+                    checks=retry_checks,
+                )
+            )
+            if hang_checks:
+                recipes.append(
+                    Recipe(
+                        name=f"auto/grayfailure-{callee}",
+                        scenarios=[GrayFailure(callee, interval="2s")],
+                        checks=hang_checks,
+                    )
+                )
 
         multi_dependency_callers = [
             caller for caller in callers if len(graph.dependencies(caller)) > 1
@@ -139,6 +180,31 @@ def generate_recipes(
                         HasBulkhead(caller, callee, rate=1.0)
                         for caller in multi_dependency_callers
                     ],
+                )
+            )
+
+        if note.shed_capacity is not None:
+            recipes.append(
+                Recipe(
+                    name=f"auto/exhaust-{callee}",
+                    scenarios=[ResourceExhaustion(callee, shed_after=note.shed_capacity)],
+                    checks=retry_checks,
+                )
+            )
+        if note.config_risk:
+            recipes.append(
+                Recipe(
+                    name=f"auto/misconfig-{callee}",
+                    scenarios=[Misconfiguration(callee)],
+                    checks=retry_checks,
+                )
+            )
+        if note.control:
+            recipes.append(
+                Recipe(
+                    name=f"auto/control-{callee}",
+                    scenarios=[NoOpControl(callee)],
+                    checks=retry_checks + hang_checks,
                 )
             )
     return recipes

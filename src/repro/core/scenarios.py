@@ -32,6 +32,11 @@ __all__ = [
     "Degrade",
     "NetworkPartition",
     "FakeSuccess",
+    "RetryStorm",
+    "GrayFailure",
+    "Misconfiguration",
+    "ResourceExhaustion",
+    "NoOpControl",
 ]
 
 
@@ -460,3 +465,270 @@ class FakeSuccess(FailureScenario):
 
     def describe(self) -> str:
         return f"fake_success({self.service})"
+
+
+class RetryStorm(FailureScenario):
+    """A service answers every caller with a retryable error.
+
+    Inspired by SREGym's ``rpc_retry_storm`` problem class: unlike
+    :class:`Crash` (a TCP-level reset), the service stays up but
+    returns an application-level 5xx that naive clients treat as
+    transient — provoking every caller's retry loop simultaneously.
+    One user request amplifies into a hammering storm wherever retries
+    are unbounded; callers with breakers go quiet after the threshold.
+    """
+
+    kind = "retry_storm"
+
+    def __init__(
+        self,
+        service: str,
+        error: int = 503,
+        pattern: str = "test-*",
+        probability: float = 1.0,
+    ) -> None:
+        self.service = service
+        self.error = error
+        self.pattern = pattern
+        self.probability = probability
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(
+                f"RetryStorm({self.service!r}): service has no dependents to provoke"
+            )
+        return [
+            abort(
+                dependent,
+                self.service,
+                error=self.error,
+                pattern=self.pattern,
+                probability=self.probability,
+            )
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return f"retry_storm({self.service}, error={self.error})"
+
+
+class GrayFailure(FailureScenario):
+    """Slow-but-not-dead: a fraction of replies arrive late.
+
+    The gray-failure class (SREGym's partial degradations): the
+    service keeps answering correctly, but ``slow_fraction`` of its
+    *responses* are delayed by ``interval``.  Health checks pass,
+    errors never fire — only latency-sensitive callers (timeouts,
+    hedging) notice.  ``slow_fraction=1.0`` is a deterministic
+    response-path stall; fractional values exercise the probabilistic
+    rule machinery.
+    """
+
+    kind = "gray_failure"
+
+    def __init__(
+        self,
+        service: str,
+        interval: _t.Union[str, float] = "250ms",
+        slow_fraction: float = 1.0,
+        pattern: str = "test-*",
+    ) -> None:
+        if not 0.0 <= slow_fraction <= 1.0:
+            raise RecipeError(f"slow_fraction must be in [0, 1], got {slow_fraction}")
+        self.service = service
+        self.interval = parse_duration(interval)
+        self.slow_fraction = slow_fraction
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(f"GrayFailure({self.service!r}): service has no dependents")
+        return [
+            delay(
+                dependent,
+                self.service,
+                interval=self.interval,
+                pattern=self.pattern,
+                on="response",
+                probability=self.slow_fraction,
+            )
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"gray_failure({self.service}, {self.interval:g}s"
+            f" on {self.slow_fraction:.0%} of replies)"
+        )
+
+
+class Misconfiguration(FailureScenario):
+    """A deploy-time config error: wrong endpoint or garbage replies.
+
+    SREGym's misconfiguration problems (wrong port, bad image) as seen
+    from the network.  ``mode="endpoint"`` makes every call to the
+    service answer 404 — the callee is up but the caller dials a route
+    that does not exist.  ``mode="reply"`` leaves routing intact but
+    corrupts every reply body (``reply_pattern`` -> ``replace_bytes``)
+    — the always-invalid-reply shape of a service running the wrong
+    build.  Both are fully deterministic.
+    """
+
+    kind = "misconfiguration"
+
+    _MODES = ("endpoint", "reply")
+
+    def __init__(
+        self,
+        service: str,
+        mode: str = "endpoint",
+        error: int = 404,
+        reply_pattern: _t.Union[str, bytes] = "ok",
+        replace_bytes: _t.Union[str, bytes] = "<garbage>",
+        pattern: str = "test-*",
+    ) -> None:
+        if mode not in self._MODES:
+            raise RecipeError(
+                f"Misconfiguration mode must be one of {self._MODES}, got {mode!r}"
+            )
+        self.service = service
+        self.mode = mode
+        self.error = error
+        self.reply_pattern = reply_pattern
+        self.replace_bytes = replace_bytes
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(
+                f"Misconfiguration({self.service!r}): service has no dependents"
+            )
+        if self.mode == "endpoint":
+            return [
+                abort(dependent, self.service, error=self.error, pattern=self.pattern)
+                for dependent in dependents
+            ]
+        return [
+            modify(
+                dependent,
+                self.service,
+                pattern=self.reply_pattern,
+                replace_bytes=self.replace_bytes,
+                id_pattern=self.pattern,
+            )
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        detail = f"error={self.error}" if self.mode == "endpoint" else "garbage replies"
+        return f"misconfiguration({self.service}, {self.mode}: {detail})"
+
+
+class ResourceExhaustion(FailureScenario):
+    """Load-dependent degradation ending in load shedding.
+
+    Models a service hitting a resource ceiling under arrival
+    pressure: the first ``shed_after`` requests on each caller edge
+    queue (a Delay of ``interval``), and every request after that is
+    shed with 429 Too Many Requests.  Decomposes to an Abort armed
+    with ``skip_matches=shed_after`` ahead of a Delay budgeted with
+    ``max_matches=shed_after`` — first-match-wins makes the two rules
+    partition the stream deterministically, exercising the skip/budget
+    machinery end to end.
+    """
+
+    kind = "resource_exhaustion"
+
+    def __init__(
+        self,
+        service: str,
+        interval: _t.Union[str, float] = "100ms",
+        shed_after: int = 4,
+        error: int = 429,
+        pattern: str = "test-*",
+    ) -> None:
+        if shed_after < 1:
+            raise RecipeError(f"shed_after must be >= 1, got {shed_after}")
+        self.service = service
+        self.interval = parse_duration(interval)
+        self.shed_after = shed_after
+        self.error = error
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(
+                f"ResourceExhaustion({self.service!r}): service has no dependents"
+            )
+        rules: list[FaultRule] = []
+        for dependent in dependents:
+            rules.append(
+                abort(
+                    dependent,
+                    self.service,
+                    error=self.error,
+                    pattern=self.pattern,
+                    skip_matches=self.shed_after,
+                )
+            )
+            rules.append(
+                delay(
+                    dependent,
+                    self.service,
+                    interval=self.interval,
+                    pattern=self.pattern,
+                    max_matches=self.shed_after,
+                )
+            )
+        return rules
+
+    def describe(self) -> str:
+        return (
+            f"resource_exhaustion({self.service}, {self.interval:g}s queueing,"
+            f" shed {self.error} after {self.shed_after})"
+        )
+
+
+class NoOpControl(FailureScenario):
+    """A control scenario that installs rules but never fires them.
+
+    False-positive calibration (SREGym's no-op problems): the full
+    injection machinery runs — rules decompose, install, and
+    structurally match — but ``probability=0`` means no message is
+    ever touched.  Any check that fails under a NoOpControl fails
+    fault-free too, so a campaign lane running it measures the
+    assertion suite's false-positive rate.
+    """
+
+    kind = "noop_control"
+
+    def __init__(self, service: str, pattern: str = "test-*") -> None:
+        self.service = service
+        self.pattern = pattern
+
+    def decompose(self, graph: ApplicationGraph) -> list[FaultRule]:
+        graph.validate_services([self.service])
+        dependents = graph.dependents(self.service)
+        if not dependents:
+            raise RecipeError(f"NoOpControl({self.service!r}): service has no dependents")
+        return [
+            abort(
+                dependent,
+                self.service,
+                error=503,
+                pattern=self.pattern,
+                probability=0.0,
+            )
+            for dependent in dependents
+        ]
+
+    def describe(self) -> str:
+        return f"noop_control({self.service})"

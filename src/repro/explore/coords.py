@@ -53,6 +53,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observability.cascade.graph import DependencyGraph
 
 __all__ = [
+    "DEFAULT_FAULT_KINDS",
     "FAULT_PRIMITIVES",
     "SHORT_DELAY",
     "Coordinate",
@@ -68,18 +69,42 @@ SHORT_DELAY = 0.05
 #: The fault primitives swept per injection point, in canonical order.
 #: ``abort`` is an application-level 503, ``reset`` the paper's
 #: ``Error=-1`` TCP-level termination, ``delay`` the manifest's
-#: canonical long stall, ``delay_short`` a sub-timeout blip.
-FAULT_PRIMITIVES: _t.Tuple[str, ...] = ("abort", "reset", "delay", "delay_short")
+#: canonical long stall, ``delay_short`` a sub-timeout blip, ``gray``
+#: a response-path stall (the reply limps home after the full
+#: interval — gray failure), and ``exhaust`` a load-shed 429.
+FAULT_PRIMITIVES: _t.Tuple[str, ...] = (
+    "abort", "reset", "delay", "delay_short", "gray", "exhaust",
+)
+
+#: Primitives swept when a manifest doesn't pick its own vocabulary —
+#: the original four, so existing apps' exploration schedules (and
+#: their digest/benchmark baselines) are unchanged.
+DEFAULT_FAULT_KINDS: _t.Tuple[str, ...] = ("abort", "reset", "delay", "delay_short")
 
 
 def fault_primitives(manifest: SeededBugManifest) -> _t.List[_t.Tuple[str, dict]]:
-    """(name, parameters) for each primitive, resolved for one app."""
-    return [
-        ("abort", {"error": 503}),
-        ("reset", {"error": -1}),
-        ("delay", {"interval": manifest.delay_interval}),
-        ("delay_short", {"interval": SHORT_DELAY}),
-    ]
+    """(name, parameters) for each primitive, resolved for one app.
+
+    The manifest's ``fault_kinds`` picks which primitives get swept
+    (canonical :data:`FAULT_PRIMITIVES` order, regardless of how the
+    manifest lists them).
+    """
+    catalog: _t.Dict[str, dict] = {
+        "abort": {"error": 503},
+        "reset": {"error": -1},
+        "delay": {"interval": manifest.delay_interval},
+        "delay_short": {"interval": SHORT_DELAY},
+        "gray": {"interval": manifest.delay_interval, "on": "response"},
+        "exhaust": {"error": 429},
+    }
+    kinds = set(manifest.fault_kinds)
+    unknown = kinds - set(FAULT_PRIMITIVES)
+    if unknown:
+        raise ExploreError(
+            f"manifest {manifest.name!r} lists unknown fault kinds"
+            f" {sorted(unknown)}; expected a subset of {FAULT_PRIMITIVES}"
+        )
+    return [(name, catalog[name]) for name in FAULT_PRIMITIVES if name in kinds]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -58,8 +58,17 @@ DEFER = 200.0
 #: Band order is a *search* choice, deliberately different from the
 #: enumeration order of :data:`FAULT_PRIMITIVES`: aborts first (cheap,
 #: high-signal), long delays second (they are what trips missing
-#: timeouts), TCP resets third, sub-timeout blips last.
-_PRIMITIVE_BAND = {"abort": 0, "delay": 1, "reset": 2, "delay_short": 3}
+#: timeouts), load-shed 429s and gray response stalls next (the
+#: abort/delay variants manifests opt into), TCP resets after,
+#: sub-timeout blips last.
+_PRIMITIVE_BAND = {
+    "abort": 0,
+    "delay": 1,
+    "exhaust": 2,
+    "gray": 3,
+    "reset": 4,
+    "delay_short": 5,
+}
 assert set(_PRIMITIVE_BAND) == set(FAULT_PRIMITIVES)
 
 

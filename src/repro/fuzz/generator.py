@@ -172,7 +172,8 @@ class FuzzGenerator:
             (
                 "abort", "abort", "delay", "delay", "modify", "disconnect",
                 "crash", "hang", "overload", "degrade", "partition",
-                "fake_success",
+                "fake_success", "retry_storm", "gray_failure",
+                "misconfiguration", "resource_exhaustion", "noop_control",
             )
         )
         src, dst = rng.choice(list(edges))
@@ -247,12 +248,48 @@ class FuzzGenerator:
                 "group_b": sorted(shuffled[cut:]),
                 "pattern": rng.choice(_ID_PATTERNS),
             }
-        else:  # fake_success
+        elif kind == "fake_success":
             params = {
                 "service": service,
                 "pattern": rng.choice(_BODY_TOKENS),
                 "replace_bytes": rng.choice(("oops", "fine")),
                 "id_pattern": rng.choice(_ID_PATTERNS),
+            }
+        elif kind == "retry_storm":
+            params = {
+                "service": service,
+                "error": rng.choice(_ABORT_STATUSES),
+                "pattern": rng.choice(_ID_PATTERNS),
+                "probability": rng.choice((1.0, 1.0, 0.0)),
+            }
+        elif kind == "gray_failure":
+            params = {
+                "service": service,
+                "interval": rng.choice(_DELAY_INTERVALS),
+                "slow_fraction": rng.choice((1.0, 1.0, 0.0, 0.5)),
+                "pattern": rng.choice(_ID_PATTERNS),
+            }
+        elif kind == "misconfiguration":
+            params = {
+                "service": service,
+                "mode": rng.choice(("endpoint", "reply")),
+                "error": rng.choice((404, 400)),
+                "reply_pattern": rng.choice(_BODY_TOKENS),
+                "replace_bytes": rng.choice(("<garbage>", "???")),
+                "pattern": rng.choice(_ID_PATTERNS),
+            }
+        elif kind == "resource_exhaustion":
+            params = {
+                "service": service,
+                "interval": rng.choice(_DELAY_INTERVALS),
+                "shed_after": rng.randint(1, 4),
+                "error": 429,
+                "pattern": rng.choice(_ID_PATTERNS),
+            }
+        else:  # noop_control
+            params = {
+                "service": service,
+                "pattern": rng.choice(_ID_PATTERNS),
             }
         return {"kind": kind, "params": params}
 

@@ -95,6 +95,10 @@ class _InstalledRule:
     def __init__(self, rule: FaultRule) -> None:
         self.rule = rule
         self.remaining = rule.max_matches
+        #: Structural matches to let through before the fault arms
+        #: (mirrors ``InstalledRule.to_skip``): a skipped match takes
+        #: no probability draw and burns no budget.
+        self.to_skip = rule.skip_matches
         pattern = rule.flow_pattern
         self.regex = None if pattern == "*" else re.compile(fnmatch.translate(pattern))
 
@@ -144,6 +148,11 @@ class _Walker:
             if not installed.matches_id(request_id):
                 continue
             if rule.fault_type == FaultType.MODIFY and rule.search_bytes not in body:
+                continue
+            if installed.to_skip > 0:
+                # Skip happens before the probability draw and burns no
+                # budget — the matcher's deterministic skip discipline.
+                installed.to_skip -= 1
                 continue
             probability = rule.probability
             if probability < 1.0:

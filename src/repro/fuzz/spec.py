@@ -28,10 +28,15 @@ from repro.core.scenarios import (
     Disconnect,
     FailureScenario,
     FakeSuccess,
+    GrayFailure,
     Hang,
+    Misconfiguration,
     ModifyReplies,
     NetworkPartition,
+    NoOpControl,
     Overload,
+    ResourceExhaustion,
+    RetryStorm,
 )
 from repro.errors import RecipeError
 from repro.microservice.app import Application
@@ -190,6 +195,17 @@ _SCENARIO_KINDS: dict[str, tuple[type, tuple[str, ...]]] = {
     "degrade": (Degrade, ("service", "interval", "pattern")),
     "partition": (NetworkPartition, ("group_a", "group_b", "pattern")),
     "fake_success": (FakeSuccess, ("service", "pattern", "replace_bytes", "id_pattern")),
+    "retry_storm": (RetryStorm, ("service", "error", "pattern", "probability")),
+    "gray_failure": (GrayFailure, ("service", "interval", "slow_fraction", "pattern")),
+    "misconfiguration": (
+        Misconfiguration,
+        ("service", "mode", "error", "reply_pattern", "replace_bytes", "pattern"),
+    ),
+    "resource_exhaustion": (
+        ResourceExhaustion,
+        ("service", "interval", "shed_after", "error", "pattern"),
+    ),
+    "noop_control": (NoOpControl, ("service", "pattern")),
 }
 
 _CHECK_KINDS: dict[str, tuple[type, tuple[str, ...]]] = {
@@ -401,6 +417,10 @@ class FuzzCase:
             params = spec["params"]
             if spec["kind"] == "overload":
                 fraction = params.get("abort_fraction", 0.25)
+                if 0.0 < fraction < 1.0:
+                    return False
+            elif spec["kind"] == "gray_failure":
+                fraction = params.get("slow_fraction", 1.0)
                 if 0.0 < fraction < 1.0:
                     return False
             else:

@@ -14,6 +14,8 @@ from repro.apps import (
     build_retrystorm_app,
     build_stuckbreaker_app,
 )
+from repro.apps.hotelreservation import build_hotelreservation_app
+from repro.apps.socialnetwork import build_socialnetwork_app
 from repro.core.scenarios import AbortCalls, DelayCalls
 from repro.core import Gremlin
 from repro.loadgen import ClosedLoopLoad
@@ -22,6 +24,8 @@ BUILDERS = {
     "deepfanout": build_deepfanout_app,
     "retrystorm": build_retrystorm_app,
     "stuckbreaker": build_stuckbreaker_app,
+    "socialnetwork": build_socialnetwork_app,
+    "hotelreservation": build_hotelreservation_app,
 }
 
 

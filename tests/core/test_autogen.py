@@ -35,6 +35,39 @@ class TestGeneration:
         assert not any("degrade" in r.name for r in generate_recipes(single))
         assert any(r.name == "auto/degrade-b" for r in generate_recipes(multi))
 
+    def test_high_criticality_adds_storm_and_gray_recipes(self):
+        graph = ApplicationGraph.from_edges([("a", "b"), ("b", "c")])
+        critical = generate_recipes(
+            graph, annotations={"c": EdgeAnnotation(criticality="high")}
+        )
+        names = [recipe.name for recipe in critical]
+        assert "auto/retrystorm-c" in names
+        # c's only caller b is an intermediate node, so the gray-failure
+        # recipe has a timeout check to carry.
+        assert "auto/grayfailure-c" in names
+
+    def test_shed_capacity_adds_exhaustion_recipe(self):
+        graph = ApplicationGraph.from_edges([("a", "b")])
+        assert not any(
+            "exhaust" in recipe.name for recipe in generate_recipes(graph)
+        )
+        recipes = generate_recipes(
+            graph, annotations={"b": EdgeAnnotation(shed_capacity=3)}
+        )
+        exhaust = next(r for r in recipes if r.name == "auto/exhaust-b")
+        assert exhaust.scenarios[0].shed_after == 3
+
+    def test_config_risk_and_control_annotations(self):
+        graph = ApplicationGraph.from_edges([("a", "b")])
+        recipes = generate_recipes(
+            graph,
+            annotations={"b": EdgeAnnotation(config_risk=True, control=True)},
+        )
+        names = [recipe.name for recipe in recipes]
+        assert "auto/misconfig-b" in names
+        control = next(r for r in recipes if r.name == "auto/control-b")
+        assert control.checks, "a control recipe without checks calibrates nothing"
+
     def test_enterprise_graph_coverage(self):
         deployment = build_enterprise_app().deploy()
         recipes = generate_recipes(deployment.graph)

@@ -40,10 +40,22 @@ class TestSpaceStructure:
 
     def test_one_sweep_per_edge_per_primitive(self):
         space = discover_space("deepfanout", seed=0)
-        assert len(space.sweeps) == len(space.edges) * len(FAULT_PRIMITIVES)
+        manifest = SEEDED_BUG_SUITE["deepfanout"]
+        primitives = fault_primitives(manifest)
+        assert len(space.sweeps) == len(space.edges) * len(primitives)
         keys = {c.key() for c in space.sweeps}
         assert len(keys) == len(space.sweeps)
         assert all(c.mode == "sweep" and c.request_id == "test-*" for c in space.sweeps)
+
+    def test_manifest_fault_kinds_pick_the_swept_primitives(self):
+        # The seed apps keep the original four-primitive vocabulary;
+        # production-scale apps opt into gray + exhaust as well.
+        four = {name for name, _p in fault_primitives(SEEDED_BUG_SUITE["deepfanout"])}
+        assert four == {"abort", "reset", "delay", "delay_short"}
+        six = {name for name, _p in fault_primitives(SEEDED_BUG_SUITE["socialnetwork"])}
+        assert six == set(FAULT_PRIMITIVES)
+        space = discover_space("socialnetwork", seed=0)
+        assert {c.fault for c in space.sweeps} == set(FAULT_PRIMITIVES)
 
     def test_singles_carry_full_call_paths(self):
         space = discover_space("deepfanout", seed=0)

@@ -51,8 +51,10 @@ class TestCorpusValidity:
     def test_corpus_mixes_domains(self):
         cases = FuzzGenerator(0, app_registry=APPS).generate(120)
         kinds = {spec["kind"] for case in cases for spec in case.scenarios}
-        # All ten scenario kinds appear in a decent-sized corpus.
-        assert len(kinds) == 10, kinds
+        # All fifteen scenario kinds appear in a decent-sized corpus.
+        assert len(kinds) == 15, kinds
+        assert {"retry_storm", "gray_failure", "misconfiguration",
+                "resource_exhaustion", "noop_control"} <= kinds
         assert any(case.topology.kind == "app" for case in cases)
         assert any(case.oracle_eligible for case in cases)
         assert any(not case.deterministic for case in cases)

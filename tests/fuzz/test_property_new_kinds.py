@@ -1,0 +1,145 @@
+"""Property tests for the five new scenario primitives.
+
+Two contracts, each under randomized parameters (hypothesis):
+
+* **Codec losslessness** — every new-kind scenario survives
+  ``scenario_to_spec -> json -> build_scenario`` comparing equal.
+* **Oracle exactness** — within the deterministic domain (probability
+  and slow_fraction pinned to 0 or 1), the reference oracle's
+  prediction agrees with the real stack field-for-field: record keys,
+  end-to-end samples, and check verdicts.  This is the differential
+  loop's core guarantee, extended to the new vocabulary — including
+  ResourceExhaustion, whose skip/budget rule pair is the sharpest test
+  of matcher-order mirroring.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scenarios import (
+    GrayFailure,
+    Misconfiguration,
+    NoOpControl,
+    ResourceExhaustion,
+    RetryStorm,
+)
+from repro.fuzz import (
+    FuzzCase,
+    TopologySpec,
+    WorkloadSpec,
+    build_scenario,
+    check_to_spec,
+    predict,
+    scenario_to_spec,
+)
+from repro.fuzz.differential import execute_case
+from repro.fuzz.spec import EdgeCountCheck, EdgeStatusCheck
+
+# Fault targets on the user -> a -> b -> c chain.  The entry "a" is
+# excluded: its only dependent is the traffic source, which is not a
+# graph service, so dependent-decomposing scenarios reject it.
+_targets = st.sampled_from(["b", "c"])
+_durations = st.sampled_from(["50ms", "100ms", "250ms"])
+_binary = st.sampled_from([0.0, 1.0])
+
+_retry_storms = st.builds(
+    RetryStorm,
+    service=_targets,
+    error=st.sampled_from([500, 502, 503]),
+    probability=_binary,
+)
+_gray_failures = st.builds(
+    GrayFailure,
+    service=_targets,
+    interval=_durations,
+    slow_fraction=_binary,
+)
+_misconfigurations = st.builds(
+    Misconfiguration,
+    service=_targets,
+    mode=st.sampled_from(["endpoint", "reply"]),
+    error=st.sampled_from([400, 404, 410]),
+    replace_bytes=st.sampled_from(["<garbage>", "XX"]),
+)
+_exhaustions = st.builds(
+    ResourceExhaustion,
+    service=_targets,
+    interval=_durations,
+    shed_after=st.integers(min_value=1, max_value=5),
+    error=st.sampled_from([429, 503]),
+)
+_noops = st.builds(NoOpControl, service=_targets)
+
+_new_kind_scenarios = st.one_of(
+    _retry_storms, _gray_failures, _misconfigurations, _exhaustions, _noops
+)
+
+
+def chain_case(scenarios, requests=2, case_id="prop-case"):
+    """user -> a -> b -> c with the standard agreement checks."""
+    topology = TopologySpec(
+        kind="dag",
+        services=["a", "b", "c"],
+        edges=[("a", "b"), ("b", "c")],
+        entry="a",
+    )
+    return FuzzCase(
+        case_id=case_id,
+        seed=13,
+        topology=topology,
+        scenarios=[scenario_to_spec(s) for s in scenarios],
+        checks=[
+            check_to_spec(EdgeStatusCheck("user", "a", 200, with_rule=False)),
+            check_to_spec(EdgeCountCheck("b", "c", ">=", 0)),
+        ],
+        workload=WorkloadSpec(requests=requests),
+    )
+
+
+class TestCodecLosslessness:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario=_new_kind_scenarios)
+    def test_new_kinds_round_trip_through_json(self, scenario):
+        spec = scenario_to_spec(scenario)
+        rebuilt = build_scenario(json.loads(json.dumps(spec)))
+        assert rebuilt == scenario, spec
+        assert scenario_to_spec(rebuilt) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=_new_kind_scenarios, requests=st.integers(1, 3))
+    def test_case_and_recipe_round_trip(self, scenario, requests):
+        case = chain_case([scenario], requests=requests)
+        rebuilt = FuzzCase.from_dict(json.loads(json.dumps(case.to_dict())))
+        assert rebuilt == case
+        assert rebuilt.recipe() == case.recipe()
+
+
+class TestOracleExactness:
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=_new_kind_scenarios, requests=st.integers(1, 3))
+    def test_prediction_matches_execution(self, scenario, requests):
+        case = chain_case([scenario], requests=requests)
+        assert case.deterministic and case.oracle_eligible
+        prediction = predict(case)
+        execution = execute_case(case)
+        assert [r.key() for r in prediction.records] == execution.records
+        assert prediction.samples == execution.samples
+        assert prediction.verdicts == execution.verdicts
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        first=_new_kind_scenarios,
+        second=_new_kind_scenarios,
+        requests=st.integers(1, 2),
+    )
+    def test_stacked_new_kinds_stay_exact(self, first, second, requests):
+        case = chain_case([first, second], requests=requests)
+        if not case.oracle_eligible:
+            return  # e.g. two Misconfiguration(reply) rules stack fine
+        prediction = predict(case)
+        execution = execute_case(case)
+        assert [r.key() for r in prediction.records] == execution.records
+        assert prediction.samples == execution.samples
+        assert prediction.verdicts == execution.verdicts

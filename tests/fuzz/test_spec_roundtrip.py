@@ -62,9 +62,14 @@ class TestScenarioCodec:
             Degrade,
             Disconnect,
             FakeSuccess,
+            GrayFailure,
             Hang,
+            Misconfiguration,
             NetworkPartition,
+            NoOpControl,
             Overload,
+            ResourceExhaustion,
+            RetryStorm,
         )
 
         scenarios = [
@@ -78,6 +83,12 @@ class TestScenarioCodec:
             Degrade("b", interval="1s"),
             NetworkPartition(["a"], ["b", "c"]),
             FakeSuccess("b", pattern="ok", replace_bytes="bad"),
+            RetryStorm("b", error=502, probability=0.5),
+            GrayFailure("b", interval="300ms", slow_fraction=0.25),
+            Misconfiguration("b", mode="reply", replace_bytes="XX"),
+            Misconfiguration("b", mode="endpoint", error=410),
+            ResourceExhaustion("b", interval="75ms", shed_after=3, error=429),
+            NoOpControl("b", pattern="test-2"),
         ]
         for scenario in scenarios:
             spec = scenario_to_spec(scenario)

@@ -15,6 +15,19 @@ class TestApps:
         for name in APPS:
             assert name in out
 
+    def test_json_catalog(self, capsys):
+        assert main(["apps", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in doc["apps"]}
+        assert set(by_name) == set(APPS)
+        assert by_name["socialnetwork"]["num_services"] == 28
+        assert by_name["hotelreservation"]["num_services"] == 20
+        assert by_name["socialnetwork"]["entry_services"] == ["nginx"]
+        for entry in doc["apps"]:
+            assert entry["num_services"] == len(entry["services"])
+            assert entry["num_edges"] >= 1
+            assert entry["entry_services"]
+
 
 class TestGraph:
     def test_prints_edges(self, capsys):
@@ -386,11 +399,20 @@ class TestFuzzExplore:
         assert doc["strategy"] == "prioritized"
         assert doc["apps"][0]["executed"] <= 40
 
-    def test_explore_unknown_app_raises(self):
-        from repro.errors import ExploreError
-
-        with pytest.raises(ExploreError):
+    def test_explore_unknown_app_exits_cleanly_listing_names(self):
+        with pytest.raises(SystemExit) as err:
             main(["fuzz", "explore", "no-such-app"])
+        message = str(err.value)
+        assert "no-such-app" in message
+        assert "socialnetwork" in message and "hotelreservation" in message
+        assert "stuckbreaker" in message
+
+    def test_campaign_run_unknown_app_exits_cleanly_listing_names(self):
+        with pytest.raises(SystemExit) as err:
+            main(["campaign", "run", "no-such-app"])
+        message = str(err.value)
+        assert "no-such-app" in message
+        assert "socialnetwork" in message and "hotelreservation" in message
 
 
 class TestCleanCliErrors:
