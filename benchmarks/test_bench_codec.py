@@ -1,0 +1,93 @@
+"""Outcome codec microbench: bytes and latency vs pickle.
+
+The shm transport's compact codec claims two things about real
+payload-heavy outcome documents (a socialnetwork recipe outcome with
+per-request latency lists, metrics snapshots, and attributions):
+
+* **smaller**: after the first message interns the shape and the
+  repeated strings, steady-state messages are a fraction of the
+  pickled size (latencies travel as one packed float64 blob, strings
+  as 4-byte refs);
+* **comparable latency**: encode/decode stay in pickle's range even
+  though the codec is pure Python, because the compiled per-shape
+  pack/build functions run only C-level operations per message.
+
+Non-gating by design: the numbers are recorded to ``BENCH_codec.json``
+for transparency (the fleet-level claim lives in BENCH_campaign.json's
+``result_transport`` curves), and the only hard assertions are
+round-trip fidelity and steady-state size — both machine-independent.
+"""
+
+import os
+import pickle
+import time
+
+from repro.apps import build_socialnetwork_app
+from repro.campaign import CampaignRunner, plan_campaign
+from repro.campaign.codec import ResultDecoder, ResultEncoder
+
+ROUNDS = 200
+
+
+def _time_per_call(fn, rounds=ROUNDS):
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_codec_vs_pickle_on_socialnetwork_outcome(report, bench_codec):
+    plan = plan_campaign(build_socialnetwork_app, seed=0, requests=12).limit(1)
+    doc = (
+        CampaignRunner(build_socialnetwork_app, workers=1, timeout=120.0)
+        .run(plan)
+        .outcomes[0]
+        .to_dict()
+    )
+
+    encoder, decoder = ResultEncoder(), ResultDecoder()
+    first = encoder.encode(doc)
+    decoder.decode(first)
+    steady = encoder.encode(doc)  # shape + strings now interned
+
+    # Fidelity gate: the decoded steady-state message IS the document.
+    assert decoder.decode(steady) == doc
+
+    pickled = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+    assert len(steady) < len(pickled), "steady-state codec must be smaller"
+
+    encode_s = _time_per_call(lambda: encoder.encode(doc))
+    # Decoding replays the same steady-state body; the decoder's string
+    # table is already synchronized, so no state advances per replay.
+    decode_s = _time_per_call(lambda: decoder.decode(steady))
+    pickle_enc_s = _time_per_call(lambda: pickle.dumps(doc, protocol=-1))
+    pickle_dec_s = _time_per_call(lambda: pickle.loads(pickled))
+
+    bench_codec.update(
+        {
+            "app": "socialnetwork",
+            "rounds": ROUNDS,
+            "cpus": os.cpu_count(),
+            "bytes": {
+                "pickle": len(pickled),
+                "codec_first_message": len(first),
+                "codec_steady_state": len(steady),
+                "ratio_vs_pickle": round(len(steady) / len(pickled), 3),
+            },
+            "latency_us": {
+                "codec_encode": round(encode_s * 1e6, 1),
+                "codec_decode": round(decode_s * 1e6, 1),
+                "pickle_encode": round(pickle_enc_s * 1e6, 1),
+                "pickle_decode": round(pickle_dec_s * 1e6, 1),
+            },
+        }
+    )
+    report.add(
+        "Outcome codec — socialnetwork outcome doc vs pickle",
+        f"  bytes: pickle {len(pickled)}, codec first {len(first)},"
+        f" steady {len(steady)}"
+        f" ({len(steady) / len(pickled):.2f}x of pickle)\n"
+        f"  encode: codec {encode_s * 1e6:6.1f}us, pickle"
+        f" {pickle_enc_s * 1e6:6.1f}us; decode: codec"
+        f" {decode_s * 1e6:6.1f}us, pickle {pickle_dec_s * 1e6:6.1f}us",
+    )

@@ -1,0 +1,570 @@
+"""Compact binary outcome codec for the shared-memory result lane.
+
+The process fleet's results are JSON-ish documents
+(:meth:`RecipeOutcome.to_dict` payloads): nested dicts and lists whose
+leaves are ``int`` / ``float`` / ``bool`` / ``str`` / ``None``.
+Successive outcomes from one campaign share almost their entire
+*shape* — the same metric-label keys, the same check names, the same
+nesting — and differ only in leaf values.  The codec exploits that:
+
+* The **shape** of a document (its nesting structure, every dict's key
+  tuple, every list's length, and the exact type of every leaf) is
+  serialized once per worker connection and interned on both sides;
+  subsequent messages reference it by id.  Nested dicts and lists are
+  length-prefixed inside the shape definition.
+* Each registered shape is compiled — the same move as the kernel's
+  compiled rule tables — into a *packer* and a *builder* function plus
+  one :class:`struct.Struct` format covering every numeric leaf, so a
+  message's numbers travel as one packed ``<qd?…`` blob (latency
+  samples become a contiguous float64 array) and decode with a single
+  C-level ``unpack`` into a generated constructor of dict/list
+  displays.  No per-token interpreter runs on the hot path.
+* Leaf **strings** (statuses, service names, check names, fault kinds)
+  are interned in a table synchronized by message order: the first
+  occurrence ships inline, every later occurrence is a 4-byte ref, and
+  the decoder returns the *same* ``str`` objects it already holds.
+
+Anything outside the codec's domain — non-string dict keys, exotic
+types, ints beyond 64 bits, strings with NULs or lone surrogates,
+pathological nesting — falls back to :mod:`pickle` for that one
+message (``KIND_PICKLE``); the stream stays self-describing and the
+stateful tables never desynchronize because state commits only when a
+codec message is actually emitted.
+
+Encoder and decoder form a connected pair over a FIFO channel: the
+decoder must observe every codec message the encoder produced, in
+order.  The fleet keeps one pair per worker pipe.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import typing as _t
+
+__all__ = [
+    "CodecError",
+    "KIND_CODEC",
+    "KIND_PICKLE",
+    "MAX_DEPTH",
+    "MAX_INTERNED_STRINGS",
+    "MAX_SHAPES",
+    "ResultDecoder",
+    "ResultEncoder",
+    "derive_shape",
+    "parse_shape_def",
+    "shape_def_bytes",
+]
+
+#: First byte of every message: how the rest of the body is encoded.
+KIND_CODEC = 0
+KIND_PICKLE = 1
+
+#: Structural bounds; documents exceeding them use the pickle fallback.
+MAX_DEPTH = 32
+MAX_NODES = 200_000
+MAX_SHAPES = 64
+MAX_INTERNED_STRINGS = 4096
+
+#: String-table ref meaning "take the next inline string".
+_INLINE_REF = 0xFFFFFFFF
+
+_SCALAR_TAGS = {"q", "d", "?", "s", "n"}
+
+
+class CodecError(Exception):
+    """A message body could not be decoded (corrupt or out of sync)."""
+
+
+class _Fallback(Exception):
+    """Internal: the value is outside the codec's domain."""
+
+
+class _Mismatch(Exception):
+    """Internal: a document does not fit a compiled shape."""
+
+
+# -- shape derivation and wire form -------------------------------------------
+
+
+def derive_shape(value: _t.Any, _depth: int = 0) -> _t.Any:
+    """The hashable shape of ``value``: structure + keys + leaf types.
+
+    Leaves map to struct-format tags (``q`` int64, ``d`` float64,
+    ``?`` bool, plus ``s`` string and ``n`` None); containers map to
+    ``('L', children)`` / ``('D', keys, children)`` tuples.  Raises
+    :class:`_Fallback` for anything the codec does not model.
+    """
+    if _depth > MAX_DEPTH:
+        raise _Fallback("nesting too deep")
+    kind = type(value)
+    if kind is bool:  # before int: bool is an int subclass
+        return "?"
+    if kind is int:
+        return "q"
+    if kind is float:
+        return "d"
+    if kind is str:
+        return "s"
+    if value is None:
+        return "n"
+    if kind is list:
+        return ("L", tuple(derive_shape(item, _depth + 1) for item in value))
+    if kind is dict:
+        keys = tuple(value.keys())
+        for key in keys:
+            if type(key) is not str:
+                raise _Fallback(f"non-string dict key: {key!r}")
+        return (
+            "D",
+            keys,
+            tuple(derive_shape(item, _depth + 1) for item in value.values()),
+        )
+    raise _Fallback(f"unsupported type {kind.__name__}")
+
+
+def _shape_nodes(shape: _t.Any) -> int:
+    if isinstance(shape, str):
+        return 1
+    if shape[0] == "L":
+        return 1 + sum(_shape_nodes(child) for child in shape[1])
+    return 1 + len(shape[1]) + sum(_shape_nodes(child) for child in shape[2])
+
+
+def _uvarint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        bits = value & 0x7F
+        value >>= 7
+        out.append(bits | (0x80 if value else 0))
+        if not value:
+            return bytes(out)
+
+
+def _read_uvarint(buf, index: int) -> tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        try:
+            byte = buf[index]
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        index += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, index
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint too long")
+
+
+def shape_def_bytes(shape: _t.Any) -> bytes:
+    """Serialize a shape for the once-per-shape wire definition.
+
+    Containers are length-prefixed — the count of a list's elements or
+    a dict's keys is part of the definition, so messages themselves
+    never carry container sizes.
+    """
+    parts: list[bytes] = []
+
+    def emit(node: _t.Any) -> None:
+        if isinstance(node, str):
+            parts.append(node.encode("ascii"))
+            return
+        if node[0] == "L":
+            parts.append(b"L" + _uvarint(len(node[1])))
+            for child in node[1]:
+                emit(child)
+            return
+        keys, children = node[1], node[2]
+        parts.append(b"D" + _uvarint(len(keys)))
+        for key in keys:
+            raw = key.encode("utf-8")
+            parts.append(_uvarint(len(raw)) + raw)
+        for child in children:
+            emit(child)
+
+    emit(shape)
+    return b"".join(parts)
+
+
+def parse_shape_def(buf: bytes) -> _t.Any:
+    """Inverse of :func:`shape_def_bytes`; raises :class:`CodecError`."""
+
+    def parse(index: int, depth: int) -> tuple[_t.Any, int]:
+        if depth > MAX_DEPTH:
+            raise CodecError("shape definition nests too deeply")
+        try:
+            tag = chr(buf[index])
+        except IndexError:
+            raise CodecError("truncated shape definition") from None
+        index += 1
+        if tag in _SCALAR_TAGS:
+            return tag, index
+        if tag == "L":
+            count, index = _read_uvarint(buf, index)
+            children = []
+            for _ in range(count):
+                child, index = parse(index, depth + 1)
+                children.append(child)
+            return ("L", tuple(children)), index
+        if tag == "D":
+            count, index = _read_uvarint(buf, index)
+            keys = []
+            for _ in range(count):
+                length, index = _read_uvarint(buf, index)
+                raw = bytes(buf[index : index + length])
+                if len(raw) != length:
+                    raise CodecError("truncated shape key")
+                index += length
+                try:
+                    keys.append(raw.decode("utf-8"))
+                except UnicodeDecodeError as exc:
+                    raise CodecError(f"bad shape key: {exc}") from None
+            children = []
+            for _ in range(count):
+                child, index = parse(index, depth + 1)
+                children.append(child)
+            return ("D", tuple(keys), tuple(children)), index
+        raise CodecError(f"unknown shape tag {tag!r}")
+
+    shape, index = parse(0, 0)
+    if index != len(buf):
+        raise CodecError("trailing bytes after shape definition")
+    return shape
+
+
+# -- shape compilation --------------------------------------------------------
+
+
+class _CompiledShape:
+    """A shape compiled to straight-line pack/build functions.
+
+    ``pack(doc, nums, strs)`` walks a document that is *claimed* to fit
+    the shape, appending numeric leaves to ``nums`` and string leaves
+    to ``strs``; any structural deviation raises :class:`_Mismatch`.
+    ``build(nums, strs)`` is the inverse constructor over a decoded
+    numeric tuple and resolved string list.  Both are generated source
+    (dict/list displays, ``dict(zip(...))``, slices — all C-level
+    operations), compiled once and reused for every message.
+    """
+
+    __slots__ = ("shape", "definition", "pack", "build", "struct", "types", "n_strings")
+
+    def __init__(self, shape: _t.Any) -> None:
+        self.shape = shape
+        self.definition = shape_def_bytes(shape)
+        fmt: list[str] = []
+        n_strings = 0
+        consts: dict[str, _t.Any] = {}
+        pack_lines: list[str] = []
+        counter = [0]
+
+        def const(obj: _t.Any) -> str:
+            name = f"K{len(consts)}"
+            consts[name] = obj
+            return name
+
+        def gen(node: _t.Any, path: str) -> str:
+            nonlocal n_strings
+            if node == "n":
+                pack_lines.append(f"if {path} is not None: raise Mismatch")
+                return "None"
+            if node in ("q", "d", "?"):
+                slot = len(fmt)
+                fmt.append(node)
+                pack_lines.append(f"nums.append({path})")
+                return f"nums[{slot}]"
+            if node == "s":
+                slot = n_strings
+                n_strings += 1
+                pack_lines.append(f"strs.append({path})")
+                return f"strs[{slot}]"
+            if node[0] == "L":
+                children = node[1]
+                pack_lines.append(
+                    f"if type({path}) is not list or len({path}) != {len(children)}:"
+                    " raise Mismatch"
+                )
+                if children and all(c in ("q", "d", "?") for c in children):
+                    start = len(fmt)
+                    fmt.extend(children)
+                    pack_lines.append(f"nums.extend({path})")
+                    return f"list(nums[{start}:{start + len(children)}])"
+                if children and all(c == "s" for c in children):
+                    start = n_strings
+                    n_strings += len(children)
+                    pack_lines.append(f"strs.extend({path})")
+                    return f"strs[{start}:{start + len(children)}]"
+                name = f"v{counter[0]}"
+                counter[0] += 1
+                items = []
+                for pos, child in enumerate(children):
+                    pack_lines.append(f"{name}_{pos} = {path}[{pos}]")
+                    items.append(gen(child, f"{name}_{pos}"))
+                return "[" + ", ".join(items) + "]"
+            keys, children = node[1], node[2]
+            key_list = const(list(keys))
+            pack_lines.append(
+                f"if type({path}) is not dict or list({path}) != {key_list}:"
+                " raise Mismatch"
+            )
+            if children and all(c in ("q", "d", "?") for c in children):
+                start = len(fmt)
+                fmt.extend(children)
+                key_tuple = const(keys)
+                pack_lines.append(f"nums.extend({path}.values())")
+                return (
+                    f"dict(zip({key_tuple},"
+                    f" nums[{start}:{start + len(children)}]))"
+                )
+            if children and all(c == "s" for c in children):
+                start = n_strings
+                n_strings += len(children)
+                key_tuple = const(keys)
+                pack_lines.append(f"strs.extend({path}.values())")
+                return (
+                    f"dict(zip({key_tuple},"
+                    f" strs[{start}:{start + len(children)}]))"
+                )
+            name = f"v{counter[0]}"
+            counter[0] += 1
+            pack_lines.append(f"{name} = list({path}.values())")
+            entries = []
+            for pos, (key, child) in enumerate(zip(keys, children)):
+                pack_lines.append(f"{name}_{pos} = {name}[{pos}]")
+                entries.append(f"{key!r}: " + gen(child, f"{name}_{pos}"))
+            return "{" + ", ".join(entries) + "}"
+
+        build_expr = gen(node=self.shape, path="doc")
+        namespace: dict[str, _t.Any] = dict(consts)
+        namespace["Mismatch"] = _Mismatch
+        pack_src = "def pack(doc, nums, strs):\n" + "".join(
+            f"    {line}\n" for line in (pack_lines or ["pass"])
+        )
+        exec(compile(pack_src, "<codec-pack>", "exec"), namespace)
+        build_src = f"def build(nums, strs):\n    return {build_expr}\n"
+        exec(compile(build_src, "<codec-build>", "exec"), namespace)
+        self.pack = namespace["pack"]
+        self.build = namespace["build"]
+        self.struct = struct.Struct("<" + "".join(fmt))
+        leaf_types = {"q": int, "d": float, "?": bool}
+        self.types = [leaf_types[tag] for tag in fmt]
+        self.n_strings = n_strings
+
+
+# -- the stateful encoder/decoder pair ----------------------------------------
+
+
+class ResultEncoder:
+    """Worker-side half of the codec: values in, message bodies out.
+
+    :meth:`encode` always succeeds — values outside the codec's domain
+    become pickle-fallback messages — and only mutates the shared
+    shape/string state when a codec message is actually returned, so a
+    fallback can never desynchronize the decoder.
+    """
+
+    #: Compiled shapes tried before a full re-derivation; campaigns
+    #: alternate between a handful of shapes (pass vs fail vs error).
+    MRU_TRIES = 3
+
+    def __init__(self) -> None:
+        self._shapes: dict[_t.Any, tuple[int, _CompiledShape]] = {}
+        self._mru: list[tuple[int, _CompiledShape]] = []
+        self._strings: dict[str, int] = {}
+
+    def _try_pack(
+        self, compiled: _CompiledShape, value: _t.Any
+    ) -> _t.Optional[tuple[list, list]]:
+        nums: list = []
+        strs: list = []
+        try:
+            compiled.pack(value, nums, strs)
+        except Exception:  # _Mismatch or a type error from a probe line
+            return None
+        if list(map(type, nums)) != compiled.types:
+            return None
+        for item in strs:
+            if type(item) is not str:
+                return None
+        return nums, strs
+
+    def encode(self, value: _t.Any) -> bytes:
+        """One message body (``KIND_CODEC`` or ``KIND_PICKLE``)."""
+        body = self._encode_codec(value)
+        if body is not None:
+            return body
+        return bytes([KIND_PICKLE]) + pickle.dumps(
+            value, protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    def _encode_codec(self, value: _t.Any) -> _t.Optional[bytes]:
+        packed = None
+        shape_id = None
+        compiled = None
+        for known_id, known in self._mru[: self.MRU_TRIES]:
+            packed = self._try_pack(known, value)
+            if packed is not None:
+                shape_id, compiled = known_id, known
+                break
+        is_new_shape = False
+        if packed is None:
+            try:
+                shape = derive_shape(value)
+            except (_Fallback, RecursionError):
+                return None
+            known_entry = self._shapes.get(shape)
+            if known_entry is not None:
+                shape_id, compiled = known_entry
+            else:
+                if len(self._shapes) >= MAX_SHAPES or _shape_nodes(shape) > MAX_NODES:
+                    return None
+                try:
+                    compiled = _CompiledShape(shape)
+                except Exception:  # noqa: BLE001 - e.g. un-encodable key
+                    return None
+                shape_id = len(self._shapes)
+                is_new_shape = True
+            packed = self._try_pack(compiled, value)
+            if packed is None:  # pragma: no cover - derive/pack disagree
+                return None
+        nums, strs = packed
+        try:
+            numeric_blob = compiled.struct.pack(*nums)
+        except (struct.error, OverflowError, SystemError):
+            return None  # e.g. an int beyond 64 bits
+        refs: list[int] = []
+        inline: list[str] = []
+        pending: dict[str, int] = {}
+        table = self._strings
+        for item in strs:
+            ref = table.get(item)
+            if ref is None:
+                ref = pending.get(item)
+            if ref is None:
+                if "\x00" in item:
+                    return None
+                inline.append(item)
+                if len(table) + len(pending) < MAX_INTERNED_STRINGS:
+                    pending[item] = len(table) + len(pending)
+                refs.append(_INLINE_REF)
+            else:
+                refs.append(ref)
+        try:
+            inline_blob = "\x00".join(inline).encode("utf-8")
+        except UnicodeEncodeError:
+            return None  # lone surrogates: pickle round-trips them
+        parts = [bytes([KIND_CODEC])]
+        if is_new_shape:
+            parts.append(_uvarint(0))
+            parts.append(_uvarint(len(compiled.definition)))
+            parts.append(compiled.definition)
+        else:
+            parts.append(_uvarint(shape_id + 1))
+        parts.append(_uvarint(len(refs)))
+        parts.append(struct.pack(f"<{len(refs)}I", *refs))
+        parts.append(_uvarint(len(inline_blob)))
+        parts.append(inline_blob)
+        parts.append(numeric_blob)
+        body = b"".join(parts)
+        # Commit shared state only now that the message exists.
+        table.update(pending)
+        if is_new_shape:
+            self._shapes[compiled.shape] = (shape_id, compiled)
+        entry = (shape_id, compiled)
+        if not self._mru or self._mru[0] != entry:
+            try:
+                self._mru.remove(entry)
+            except ValueError:
+                pass
+            self._mru.insert(0, entry)
+        return body
+
+
+class ResultDecoder:
+    """Parent-side half of the codec; pairs with one :class:`ResultEncoder`.
+
+    Decoding is strict: a generation-skewed, truncated, or corrupt body
+    raises :class:`CodecError` (the fleet converts that into the crash
+    path for the worker, whose codec state can no longer be trusted).
+    """
+
+    def __init__(self) -> None:
+        self._shapes: list[_CompiledShape] = []
+        self._strings: list[str] = []
+
+    def decode(self, buf) -> _t.Any:
+        """Rebuild the value from one message body (bytes-like)."""
+        if len(buf) < 1:
+            raise CodecError("empty message body")
+        kind = buf[0]
+        if kind == KIND_PICKLE:
+            try:
+                return pickle.loads(buf[1:])
+            except Exception as exc:
+                raise CodecError(f"pickle fallback failed: {exc}") from exc
+        if kind != KIND_CODEC:
+            raise CodecError(f"unknown message kind {kind}")
+        token, index = _read_uvarint(buf, 1)
+        if token == 0:
+            def_len, index = _read_uvarint(buf, index)
+            definition = bytes(buf[index : index + def_len])
+            if len(definition) != def_len:
+                raise CodecError("truncated shape definition")
+            index += def_len
+            if len(self._shapes) >= MAX_SHAPES:
+                raise CodecError("shape table overflow")
+            compiled = _CompiledShape(parse_shape_def(definition))
+            self._shapes.append(compiled)
+        else:
+            try:
+                compiled = self._shapes[token - 1]
+            except IndexError:
+                raise CodecError(f"unknown shape id {token - 1}") from None
+        n_refs, index = _read_uvarint(buf, index)
+        if n_refs != compiled.n_strings:
+            raise CodecError("string count does not match shape")
+        end = index + 4 * n_refs
+        if end > len(buf):
+            raise CodecError("truncated string refs")
+        refs = struct.unpack_from(f"<{n_refs}I", buf, index)
+        index = end
+        inline_len, index = _read_uvarint(buf, index)
+        inline_blob = bytes(buf[index : index + inline_len])
+        if len(inline_blob) != inline_len:
+            raise CodecError("truncated inline strings")
+        index += inline_len
+        if index + compiled.struct.size != len(buf):
+            raise CodecError("numeric blob length does not match shape")
+        nums = compiled.struct.unpack_from(buf, index)
+        n_inline = refs.count(_INLINE_REF)
+        if n_inline:
+            try:
+                inline = inline_blob.decode("utf-8").split("\x00")
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"bad inline strings: {exc}") from None
+            if len(inline) != n_inline:
+                raise CodecError("inline string count mismatch")
+        else:
+            if inline_len:
+                raise CodecError("unexpected inline strings")
+            inline = []
+        table = self._strings
+        strs: list[str] = []
+        inline_iter = iter(inline)
+        for ref in refs:
+            if ref == _INLINE_REF:
+                item = next(inline_iter)
+                strs.append(item)
+                if len(table) < MAX_INTERNED_STRINGS:
+                    table.append(item)
+            else:
+                try:
+                    strs.append(table[ref])
+                except IndexError:
+                    raise CodecError(f"unknown string ref {ref}") from None
+        try:
+            return compiled.build(nums, strs)
+        except Exception as exc:  # pragma: no cover - build is total
+            raise CodecError(f"shape rebuild failed: {exc}") from exc

@@ -53,6 +53,7 @@ import threading
 import time
 import typing as _t
 
+from repro.campaign.shm import resolve_result_transport
 from repro.errors import CampaignError
 
 __all__ = [
@@ -122,6 +123,7 @@ def run_fleet(
     process_spec: _t.Optional[ProcessWorkerSpec] = None,
     stop_signal: _t.Optional[threading.Event] = None,
     batch_size: int = 1,
+    result_transport: _t.Optional[str] = None,
 ) -> dict[int, R]:
     """Drain ``jobs`` through a fleet of ``workers`` threads or processes.
 
@@ -129,19 +131,30 @@ def run_fleet(
     each job in-process.  With ``backend="processes"``, ``execute`` is
     unused, ``process_spec`` describes the spawn-side entry point, and
     up to ``batch_size`` jobs ship per dispatch (results still stream
-    back one per job).  Either way results come back keyed by the job's
-    position in ``jobs``; positions missing from the map were never
-    dispatched (fail-fast stopped the fleet first).
+    back one per job).  ``result_transport`` picks how process results
+    come home — ``"pickle"`` over the pipe (the reference lane) or
+    ``"shm"`` through per-worker shared-memory slabs; ``None`` defers
+    to ``REPRO_RESULT_TRANSPORT``.  Thread workers share the parent's
+    heap, so the knob is validated but has no effect there.  Either way
+    results come back keyed by the job's position in ``jobs``;
+    positions missing from the map were never dispatched (fail-fast
+    stopped the fleet first).
     """
     if backend not in BACKENDS:
         raise CampaignError(
             f"unknown fleet backend {backend!r}; expected one of {BACKENDS}"
         )
+    transport = resolve_result_transport(result_transport)
     fleet_size = resolve_workers(workers)
     if backend == "processes":
         if process_spec is None:
             raise CampaignError("backend='processes' requires a process_spec")
-        pool = ProcessPool(process_spec, size=fleet_size, batch_size=batch_size)
+        pool = ProcessPool(
+            process_spec,
+            size=fleet_size,
+            batch_size=batch_size,
+            result_transport=transport,
+        )
         try:
             return pool.run(jobs, stop_when=stop_when)
         finally:
@@ -208,7 +221,9 @@ def _run_thread_fleet(
 # -- process backend ----------------------------------------------------------
 
 
-def _process_worker_main(conn, target, context, worker_id: int) -> None:
+def _process_worker_main(
+    conn, target, context, worker_id: int, result_transport: str = "pickle"
+) -> None:
     """Loop of one worker process: recv a batch of jobs, run, stream results.
 
     Runs in the child.  Each message from the parent is a list of
@@ -219,17 +234,44 @@ def _process_worker_main(conn, target, context, worker_id: int) -> None:
     dispatch is batched.  A result that cannot be pickled is reported
     as an error message rather than killing the worker, so one odd
     payload cannot eat the rest of the queue.
+
+    With ``result_transport="shm"`` the worker encodes each successful
+    result (:mod:`repro.campaign.codec`) into its shared-memory slab
+    and sends only the tiny ``(key, "shm", SlabRef)`` header; the slab
+    rewinds at each batch boundary, by which point the parent has
+    consumed every earlier record.  Any slab or codec trouble degrades
+    that one result to the ordinary pickle send — the shm lane is an
+    optimization, never a new failure mode.
     """
+    writer = encoder = None
+    if result_transport == "shm":
+        try:
+            from repro.campaign.codec import ResultEncoder
+            from repro.campaign.shm import SlabWriter
+
+            writer = SlabWriter()
+            encoder = ResultEncoder()
+        except Exception:  # noqa: BLE001 - no shm here: use the pipe
+            writer = None
     try:
         while True:
             batch = conn.recv()
             if batch is None:
                 return
+            if writer is not None:
+                writer.new_batch()
             for key, job in batch:
                 try:
                     payload = (key, "ok", target(worker_id, job, context))
                 except BaseException as exc:  # noqa: BLE001 - ship, don't die
                     payload = (key, "error", f"{type(exc).__name__}: {exc}")
+                if writer is not None and payload[1] == "ok":
+                    try:
+                        ref = writer.write(encoder.encode(payload[2]))
+                        conn.send((key, "shm", ref))
+                        continue
+                    except Exception:  # noqa: BLE001 - degrade to the pipe
+                        pass
                 try:
                     conn.send(payload)
                 except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
@@ -237,20 +279,41 @@ def _process_worker_main(conn, target, context, worker_id: int) -> None:
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
     finally:
+        if writer is not None:
+            writer.close()
         conn.close()
 
 
 class _ProcessWorker:
     """Parent-side handle of one spawned worker process."""
 
-    __slots__ = ("worker_id", "process", "conn", "outstanding")
+    __slots__ = (
+        "worker_id",
+        "process",
+        "conn",
+        "outstanding",
+        "decoder",
+        "slab_names",
+    )
 
-    def __init__(self, ctx, spec: ProcessWorkerSpec, worker_id: int) -> None:
+    def __init__(
+        self,
+        ctx,
+        spec: ProcessWorkerSpec,
+        worker_id: int,
+        result_transport: str = "pickle",
+    ) -> None:
         self.worker_id = worker_id
         parent_conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_process_worker_main,
-            args=(child_conn, spec.target, spec.context, worker_id),
+            args=(
+                child_conn,
+                spec.target,
+                spec.context,
+                worker_id,
+                result_transport,
+            ),
             name=f"fleet-worker-{worker_id}",
             daemon=True,
         )
@@ -262,6 +325,15 @@ class _ProcessWorker:
         #: slice of the last batch — with ``batch_size=1`` that is the
         #: classic exactly-one-job guarantee.
         self.outstanding: dict[int, _t.Any] = {}
+        #: The codec's stateful parent half and every slab name this
+        #: worker has announced — both die with the worker: a
+        #: replacement starts a fresh codec stream on a fresh slab.
+        self.decoder = None
+        self.slab_names: set[str] = set()
+        if result_transport == "shm":
+            from repro.campaign.codec import ResultDecoder
+
+            self.decoder = ResultDecoder()
 
     @property
     def busy(self) -> bool:
@@ -316,7 +388,12 @@ class ProcessPool:
     """
 
     def __init__(
-        self, spec: ProcessWorkerSpec, size: int, *, batch_size: int = 1
+        self,
+        spec: ProcessWorkerSpec,
+        size: int,
+        *,
+        batch_size: int = 1,
+        result_transport: _t.Optional[str] = None,
     ) -> None:
         import multiprocessing
 
@@ -327,10 +404,12 @@ class ProcessPool:
         self.spec = spec
         self.size = size
         self.batch_size = batch_size
+        self.result_transport = resolve_result_transport(result_transport)
         self._ctx = multiprocessing.get_context(spec.start_method)
         self._workers: list[_ProcessWorker] = []
         self._next_id = 0
         self._closed = False
+        self._reader = None
 
     def __enter__(self) -> "ProcessPool":
         return self
@@ -344,7 +423,9 @@ class ProcessPool:
         return sum(1 for worker in self._workers if worker.process.is_alive())
 
     def _spawn(self) -> _ProcessWorker:
-        worker = _ProcessWorker(self._ctx, self.spec, self._next_id)
+        worker = _ProcessWorker(
+            self._ctx, self.spec, self._next_id, self.result_transport
+        )
         self._next_id += 1
         self._workers.append(worker)
         return worker
@@ -356,6 +437,33 @@ class ProcessPool:
                 " handler was provided"
             )
         return self.spec.on_crash(job, detail)
+
+    def _resolve_shm(self, worker: _ProcessWorker, ref) -> _t.Any:
+        """Decode one shm-lane result straight out of the worker's slab."""
+        if self._reader is None:
+            from repro.campaign.shm import SlabReader
+
+            self._reader = SlabReader()
+        view = self._reader.read(ref)
+        worker.slab_names.add(ref.name)
+        try:
+            return worker.decoder.decode(view)
+        finally:
+            view.release()
+
+    def _release_slabs(self, worker: _ProcessWorker) -> None:
+        """Drop (and best-effort unlink) a reaped worker's segments.
+
+        A cleanly shut-down worker unlinks its own slabs; this covers
+        crashed workers, whose segments would otherwise survive until
+        the resource tracker's exit sweep.
+        """
+        if self._reader is None or not worker.slab_names:
+            worker.slab_names.clear()
+            return
+        for name in worker.slab_names:
+            self._reader.unlink(name)
+        worker.slab_names.clear()
 
     def run(
         self,
@@ -413,7 +521,10 @@ class ProcessPool:
                 except (EOFError, OSError):
                     # The child died holding the unanswered slice of its
                     # batch: fail those jobs, replace the worker while
-                    # there is still work left to do.
+                    # there is still work left to do.  EOF can precede
+                    # the child becoming reapable, so give it a moment
+                    # or the exit code reads as None.
+                    worker.process.join(timeout=1.0)
                     exitcode = worker.process.exitcode
                     detail = f"worker process exited with code {exitcode}"
                     for lost_key, lost_job in worker.outstanding.items():
@@ -421,12 +532,36 @@ class ProcessPool:
                     worker.outstanding.clear()
                     worker.reap(timeout=1.0)
                     self._workers.remove(worker)
+                    self._release_slabs(worker)
                     if queue and not stopping:
                         dispatch(self._spawn())
                     continue
                 job = worker.outstanding.pop(key)
                 if kind == "ok":
                     results[key] = payload
+                elif kind == "shm":
+                    try:
+                        results[key] = self._resolve_shm(worker, payload)
+                    except Exception as exc:  # noqa: BLE001 - stale/torn slab
+                        # A record that fails generation/CRC/codec checks
+                        # means the worker's slab or codec stream can no
+                        # longer be trusted; retire it exactly like a
+                        # crash, replacement and all.
+                        detail = (
+                            f"shm result unreadable: {type(exc).__name__}: {exc}"
+                        )
+                        results[key] = self._crash_result(job, detail)
+                        for lost_key, lost_job in worker.outstanding.items():
+                            results[lost_key] = self._crash_result(
+                                lost_job, detail
+                            )
+                        worker.outstanding.clear()
+                        worker.reap(timeout=1.0)
+                        self._workers.remove(worker)
+                        self._release_slabs(worker)
+                        if queue and not stopping:
+                            dispatch(self._spawn())
+                        continue
                 else:
                     results[key] = self._crash_result(job, payload)
                 if (
@@ -456,3 +591,10 @@ class ProcessPool:
         deadline = time.monotonic() + timeout
         for worker in workers:
             worker.reap(timeout=max(0.1, deadline - time.monotonic()))
+        # Workers unlink their slabs on clean shutdown; sweep whatever a
+        # crashed or killed one left behind, then drop our mappings.
+        for worker in workers:
+            self._release_slabs(worker)
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None

@@ -1,0 +1,259 @@
+"""Per-worker shared-memory slabs for the fleet's result transport.
+
+With ``--result-transport shm`` each worker process owns one
+grow-on-demand :class:`multiprocessing.shared_memory.SharedMemory`
+slab.  Results are encoded (:mod:`repro.campaign.codec`) into the slab
+and only a tiny ``(name, generation, offset, length, crc)`` header
+crosses the pipe; the parent resolves the header against its own
+mapping of the same segment and decodes straight from a
+``memoryview`` — the 20 KB-class outcome payload itself is written
+once and never copied through the pipe.
+
+Reuse is made safe by *generations*: the worker bumps a monotonically
+increasing generation every time it rewinds the slab (once per
+dispatched batch — the parent has, by the pool's dispatch contract,
+consumed every prior result by then) and every time it rotates to a
+bigger segment.  Each record carries the generation both in the pipe
+header and in a ``<QII`` record header inside the slab, plus a CRC-32
+of the payload; the parent cross-checks all three, so a stale or torn
+read can never decode silently.
+
+The transport knob mirrors the calendar-vs-heap scheduler pattern:
+``pickle`` (the bit-for-bit reference lane, and the default) vs
+``shm``, selectable per call, via ``REPRO_RESULT_TRANSPORT``, with an
+automatic fall back to ``pickle`` wherever POSIX shared memory is
+unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import typing as _t
+import zlib
+
+from repro.errors import CampaignError
+
+__all__ = [
+    "DEFAULT_SLAB_BYTES",
+    "RESULT_TRANSPORTS",
+    "SLAB_RECORD_HEADER",
+    "SlabError",
+    "SlabReader",
+    "SlabRef",
+    "SlabWriter",
+    "resolve_result_transport",
+    "shared_memory_available",
+]
+
+#: The result transports every fleet-driven harness accepts.
+RESULT_TRANSPORTS = ("pickle", "shm")
+
+#: Environment knob consulted when no explicit transport is passed
+#: (same contract as ``REPRO_SCHEDULER`` for the kernel's queues).
+TRANSPORT_ENV = "REPRO_RESULT_TRANSPORT"
+
+#: Initial slab size; slabs double (at least) whenever a batch outgrows
+#: them, so steady state is one segment per worker, write-only.
+DEFAULT_SLAB_BYTES = 1 << 20
+
+#: Per-record header inside the slab: generation u64, payload length
+#: u32, payload crc32 u32.  Cross-checked against the pipe header.
+SLAB_RECORD_HEADER = struct.Struct("<QII")
+
+
+class SlabError(Exception):
+    """A slab record could not be resolved (stale, torn, or gone)."""
+
+
+class SlabRef(_t.NamedTuple):
+    """What crosses the pipe instead of the result payload."""
+
+    name: str
+    generation: int
+    offset: int
+    length: int
+    crc: int
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create POSIX shared-memory segments."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform without _posixshmem
+        return False
+    return True
+
+
+def resolve_result_transport(transport: _t.Optional[str] = None) -> str:
+    """Resolve the transport knob: explicit arg, then env, then pickle.
+
+    ``shm`` silently degrades to ``pickle`` where shared memory is
+    unavailable, so campaign scripts stay portable; an unknown name is
+    a :class:`CampaignError` either way.
+    """
+    if transport is None:
+        transport = os.environ.get(TRANSPORT_ENV) or "pickle"
+    if transport not in RESULT_TRANSPORTS:
+        raise CampaignError(
+            f"unknown result transport {transport!r};"
+            f" expected one of {RESULT_TRANSPORTS}"
+        )
+    if transport == "shm" and not shared_memory_available():
+        return "pickle"
+    return transport
+
+
+class SlabWriter:
+    """Worker-side slab: append result records, rewind once per batch."""
+
+    def __init__(self, initial_bytes: int = DEFAULT_SLAB_BYTES) -> None:
+        from multiprocessing import shared_memory
+
+        self._shared_memory = shared_memory
+        self._segment = shared_memory.SharedMemory(create=True, size=initial_bytes)
+        self._offset = 0
+        self._generation = 0
+        #: Segments outgrown mid-batch.  They may still hold records the
+        #: parent has not read, so unlinking waits for the next batch
+        #: boundary (by which point the pool has consumed everything).
+        self._retired: list = []
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def new_batch(self) -> None:
+        """Start a batch: rewind the slab and retire outgrown segments."""
+        self._offset = 0
+        self._generation += 1
+        while self._retired:
+            segment = self._retired.pop()
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def _rotate(self, needed: int) -> None:
+        size = max(self._segment.size * 2, needed, DEFAULT_SLAB_BYTES)
+        replacement = self._shared_memory.SharedMemory(create=True, size=size)
+        self._retired.append(self._segment)
+        self._segment = replacement
+        self._offset = 0
+        self._generation += 1
+
+    def write(self, payload: bytes) -> SlabRef:
+        """Append one record; returns the header to send over the pipe."""
+        record_len = SLAB_RECORD_HEADER.size + len(payload)
+        if self._offset + record_len > self._segment.size:
+            self._rotate(record_len)
+        offset = self._offset
+        crc = zlib.crc32(payload)
+        SLAB_RECORD_HEADER.pack_into(
+            self._segment.buf, offset, self._generation, len(payload), crc
+        )
+        self._segment.buf[
+            offset + SLAB_RECORD_HEADER.size : offset + record_len
+        ] = payload
+        self._offset = offset + record_len
+        return SlabRef(
+            self._segment.name, self._generation, offset, len(payload), crc
+        )
+
+    def close(self) -> None:
+        """Unlink every segment this writer ever created.  Idempotent."""
+        segments = [*self._retired, self._segment]
+        self._retired = []
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+
+class SlabReader:
+    """Parent-side view: resolve :class:`SlabRef` headers to payloads.
+
+    Attachments are cached per segment name; resolution cross-checks
+    the pipe header against the record header *in* the slab (same
+    generation, length, CRC) before handing out a zero-copy
+    ``memoryview`` of the payload.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, _t.Any] = {}
+
+    def _attach(self, name: str):
+        segment = self._segments.get(name)
+        if segment is None:
+            from multiprocessing import shared_memory
+
+            try:
+                # Attaching re-registers the name with the resource
+                # tracker; spawn workers share the parent's tracker, so
+                # the set-add is idempotent and the worker's eventual
+                # unlink clears it — no extra bookkeeping needed here.
+                segment = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError) as exc:
+                raise SlabError(f"slab {name} is gone: {exc}") from exc
+            self._segments[name] = segment
+        return segment
+
+    def read(self, ref: SlabRef) -> memoryview:
+        """Zero-copy payload for ``ref``; raises :class:`SlabError`."""
+        segment = self._attach(ref.name)
+        header_end = ref.offset + SLAB_RECORD_HEADER.size
+        end = header_end + ref.length
+        if ref.offset < 0 or end > segment.size:
+            raise SlabError(
+                f"record [{ref.offset}:{end}] outside slab {ref.name}"
+                f" of {segment.size} bytes"
+            )
+        generation, length, crc = SLAB_RECORD_HEADER.unpack_from(
+            segment.buf, ref.offset
+        )
+        if generation != ref.generation or length != ref.length:
+            raise SlabError(
+                f"stale slab record: header says gen {ref.generation}"
+                f" len {ref.length}, slab holds gen {generation} len {length}"
+            )
+        payload = segment.buf[header_end:end]
+        actual_crc = zlib.crc32(payload)
+        if crc != ref.crc or actual_crc != ref.crc:
+            raise SlabError(
+                f"slab record crc mismatch (want {ref.crc:#x},"
+                f" header {crc:#x}, payload {actual_crc:#x})"
+            )
+        return payload
+
+    def forget(self, name: str) -> None:
+        """Drop (and close) the cached attachment for ``name``."""
+        segment = self._segments.pop(name, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def unlink(self, name: str) -> None:
+        """Best-effort unlink for a dead worker's segment."""
+        try:
+            segment = self._attach(name)
+        except SlabError:
+            return
+        self._segments.pop(name, None)
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        for name in list(self._segments):
+            self.forget(name)

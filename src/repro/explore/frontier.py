@@ -12,10 +12,13 @@ Static priors (computed once from the exploration space):
   any edge sees its second: a breadth-first rotation (abort, then
   delay, then reset, then short delay), because two primitives on the
   same edge are far more correlated than one primitive on two edges.
-* **Blast radius, then shallow-before-deep** — within a band, edges
-  whose fault-free subtree is larger come first (a fault there
-  exercises more downstream handling), ties broken by shallower depth
-  and then enumeration order, so the order is total and deterministic.
+* **Blast radius, then fan-in, then deep-before-shallow** — within a
+  band, edges whose fault-free subtree is larger come first (a fault
+  there exercises more downstream handling); ties go to edges whose
+  caller has more upstream callers (a shared service's failure
+  handling repeats per caller) and then to deeper edges (the leaf
+  datastore hops, where seeded store bugs live), then enumeration
+  order, so the order is total and deterministic.
 
 Live feedback (applied between waves):
 
@@ -91,15 +94,31 @@ class Frontier:
 
     @staticmethod
     def _rank_edges(space: ExplorationSpace) -> _t.Dict[_t.Tuple[str, str], int]:
-        """Edge -> rank: big blast radius first, then shallow, then
-        discovery order (the DFS order of the fault-free tree)."""
-        discovery = list(space.edges)
+        """Edge -> rank: big blast radius first, then shared-caller
+        fan-in, then deep-before-shallow, then discovery order (the DFS
+        order of the fault-free tree).
+
+        The fan-in/depth tie-break orders the long tail of span-1 leaf
+        edges — which, in the production apps, is mostly datastore
+        edges.  Plain shallow-first visited them *last* within every
+        band, so seeded store-edge bugs cost almost a full band to
+        reach.  Among equal blast radii, an edge whose caller is itself
+        invoked by many upstreams sits on more request paths (its
+        failure-handling bug repeats per caller), and deeper edges are
+        the storage hops themselves — so leaves rank by how shared and
+        how terminal they are, not by enumeration luck.
+        """
+        discovery = {edge: index for index, edge in enumerate(space.edges)}
+        fan_in: _t.Dict[str, int] = {}
+        for _src, dst in space.edges:
+            fan_in[dst] = fan_in.get(dst, 0) + 1
         ordered = sorted(
             discovery,
             key=lambda edge: (
-                -space.edges[edge][1],          # subtree span count
-                len(space.edges[edge][0]) - 1,  # depth of first occurrence
-                discovery.index(edge),
+                -space.edges[edge][1],             # subtree span count
+                -fan_in.get(edge[0], 0),           # callers of the edge's src
+                -(len(space.edges[edge][0]) - 1),  # depth of first occurrence
+                discovery[edge],
             ),
         )
         return {edge: rank for rank, edge in enumerate(ordered)}

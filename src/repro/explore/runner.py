@@ -189,6 +189,7 @@ def run_explore(
     workers: _t.Union[int, str] = 1,
     backend: str = "threads",
     batch_size: int = 1,
+    result_transport: _t.Optional[str] = None,
     matcher_strategy: str = "table",
     scheduler: _t.Optional[str] = None,
     stop_when_found: bool = False,
@@ -253,7 +254,11 @@ def run_explore(
             for coordinate in wave
         ]
         outcomes = run_wave(
-            tasks, workers=workers, backend=backend, batch_size=batch_size
+            tasks,
+            workers=workers,
+            backend=backend,
+            batch_size=batch_size,
+            result_transport=result_transport,
         )
         for coordinate, outcome in zip(wave, outcomes):
             executed.append((outcome.key, outcome.digest))

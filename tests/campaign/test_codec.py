@@ -1,0 +1,266 @@
+"""The compact outcome codec: round-trip fidelity, interning, fallback.
+
+The codec's contract is narrow but strict: ``decode(encode(x))``
+reconstructs ``x`` exactly (types included — bool vs int, int vs
+float, NaN and the infinities) for *any* value, because anything
+outside the codec's native domain must transparently become a pickle
+fallback message.  Encoder and decoder are a stateful FIFO pair: shape
+definitions and interned strings ship once and are referenced
+thereafter, and that shared state must survive interleaved fallbacks.
+"""
+
+import math
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.codec import (
+    KIND_CODEC,
+    KIND_PICKLE,
+    MAX_DEPTH,
+    MAX_SHAPES,
+    CodecError,
+    ResultDecoder,
+    ResultEncoder,
+    derive_shape,
+    parse_shape_def,
+    shape_def_bytes,
+)
+
+
+def same(a, b):
+    """Equality that distinguishes types and treats NaN as equal."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, dict):
+        return list(a) == list(b) and all(same(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(same(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.integers(),  # occasionally beyond 64 bits: exercises fallback
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=16),  # may contain NULs/surrogates: fallback
+)
+documents = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=6), inner, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+def outcome_doc(index, status="pass", latencies=(), attributions=()):
+    """A RecipeOutcome.to_dict-shaped document."""
+    return {
+        "index": index,
+        "name": f"abort@frontend#{index}",
+        "pattern": "abort",
+        "service": "frontend",
+        "seed": 7_000 + index,
+        "status": status,
+        "latencies": list(latencies),
+        "checks": [
+            {"name": "status_ok", "passed": status == "pass", "inconclusive": False},
+            {"name": "latency_p99", "passed": True, "inconclusive": False},
+        ],
+        "metrics": {"frontend": {"requests": 120 + index, "errors": 0}},
+        "attributions": list(attributions),
+        "wall_time": 0.25 + index * 1e-3,
+        "worker": None,
+    }
+
+
+class TestRoundTrip:
+    def test_outcome_doc_with_nan_inf_latencies_and_empty_attributions(self):
+        doc = outcome_doc(
+            0,
+            status="fail",
+            latencies=[0.1, float("nan"), float("inf"), -float("inf"), 0.0],
+            attributions=[],
+        )
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        body = encoder.encode(doc)
+        assert body[0] == KIND_CODEC
+        assert same(decoder.decode(body), doc)
+
+    @given(value=documents)
+    @settings(max_examples=150, deadline=None)
+    def test_any_value_round_trips(self, value):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        assert same(decoder.decode(encoder.encode(value)), value)
+
+    @given(values=st.lists(documents, min_size=2, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_streams_round_trip_with_shared_state(self, values):
+        # The FIFO-pair contract: interning and shape tables stay in
+        # sync across an arbitrary mix of codec and fallback messages.
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        for value in values:
+            assert same(decoder.decode(encoder.encode(value)), value)
+
+    def test_empty_containers(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        for value in ({}, [], {"a": []}, [{}, {}]):
+            assert same(decoder.decode(encoder.encode(value)), value)
+
+    def test_int_float_bool_leaves_keep_their_types(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        for doc in ({"x": 1}, {"x": 1.0}, {"x": True}, {"x": 1}):
+            out = decoder.decode(encoder.encode(doc))
+            assert type(out["x"]) is type(doc["x"])
+            assert out == doc
+
+
+class TestInterning:
+    def test_repeat_messages_reference_shape_and_strings(self):
+        encoder = ResultEncoder()
+        decoder = ResultDecoder()
+        first = encoder.encode(outcome_doc(0))
+        second = encoder.encode(outcome_doc(1))
+        assert first[0] == second[0] == KIND_CODEC
+        # The second message carries neither a shape definition nor the
+        # repeated strings: it must be much smaller.
+        assert len(second) < len(first) / 2
+        a = decoder.decode(first)
+        b = decoder.decode(second)
+        # Interned strings decode to the *same* objects the decoder
+        # already holds.
+        assert a["status"] is b["status"]
+        assert a["pattern"] is b["pattern"]
+
+    def test_shape_flip_is_handled_not_corrupted(self):
+        # Alternating shapes (pass vs fail docs) exercises the MRU and
+        # the shape table; every message still decodes exactly.
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        docs = [
+            outcome_doc(i, status=("pass", "fail")[i % 2], latencies=[1.0] * (i % 3))
+            for i in range(12)
+        ]
+        for doc in docs:
+            assert same(decoder.decode(encoder.encode(doc)), doc)
+
+    def test_shape_table_overflow_degrades_to_pickle(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        for index in range(MAX_SHAPES):
+            body = encoder.encode({f"key{index}": index})
+            assert body[0] == KIND_CODEC
+            decoder.decode(body)
+        overflow = encoder.encode({"one-shape-too-many": 1})
+        assert overflow[0] == KIND_PICKLE
+        assert decoder.decode(overflow) == {"one-shape-too-many": 1}
+
+
+class TestFallback:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            ("a", "tuple"),
+            {1: "non-string key"},
+            {"big": 2**100},
+            {"nul": "a\x00b"},
+            {"surrogate": "\ud800"},
+            object,
+        ],
+        ids=["tuple", "int-key", "big-int", "nul", "lone-surrogate", "class"],
+    )
+    def test_out_of_domain_values_fall_back_and_round_trip(self, value):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        body = encoder.encode(value)
+        assert body[0] == KIND_PICKLE
+        assert same(decoder.decode(body), value)
+
+    def test_deep_nesting_falls_back(self):
+        value = leaf = {}
+        for _ in range(MAX_DEPTH + 2):
+            leaf["deeper"] = {}
+            leaf = leaf["deeper"]
+        body = ResultEncoder().encode(value)
+        assert body[0] == KIND_PICKLE
+
+    def test_fallback_never_desynchronizes_the_pair(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        stream = [
+            outcome_doc(0),
+            {"bad": 2**80},  # fallback between two codec messages
+            outcome_doc(1),
+            ("tuple", "fallback"),
+            outcome_doc(2),
+        ]
+        for value in stream:
+            assert same(decoder.decode(encoder.encode(value)), value)
+
+
+class TestShapeWireForm:
+    @given(value=documents)
+    @settings(max_examples=80, deadline=None)
+    def test_shape_definition_round_trips(self, value):
+        try:
+            shape = derive_shape(value)
+        except Exception:
+            return  # out of domain: no shape to serialize
+        assert parse_shape_def(shape_def_bytes(shape)) == shape
+
+    def test_bool_shapes_differ_from_int_shapes(self):
+        assert derive_shape({"a": True}) != derive_shape({"a": 1})
+        assert derive_shape({"a": 1}) != derive_shape({"a": 1.0})
+
+
+class TestStrictDecoding:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodecError, match="kind"):
+            ResultDecoder().decode(bytes([7]) + b"junk")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(CodecError, match="empty"):
+            ResultDecoder().decode(b"")
+
+    def test_unknown_shape_ref_rejected(self):
+        encoder = ResultEncoder()
+        encoder.encode({"a": 1})  # register shape 0 on the encoder only
+        second = encoder.encode({"a": 2})  # references shape 0
+        fresh = ResultDecoder()  # never saw the definition
+        with pytest.raises(CodecError, match="shape"):
+            fresh.decode(second)
+
+    def test_truncation_rejected(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        body = encoder.encode(outcome_doc(0))
+        with pytest.raises(CodecError):
+            decoder.decode(body[: len(body) - 3])
+
+    def test_corrupt_pickle_fallback_rejected(self):
+        with pytest.raises(CodecError, match="pickle"):
+            ResultDecoder().decode(bytes([KIND_PICKLE]) + b"\x80junk")
+
+    def test_numeric_blob_length_mismatch_rejected(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        body = encoder.encode({"a": 1, "b": 2.0})
+        with pytest.raises(CodecError):
+            decoder.decode(body + struct.pack("<d", 3.0))
+
+
+class TestCompactness:
+    def test_steady_state_beats_pickle_on_outcome_docs(self):
+        # The whole point: after the first message, a payload-heavy
+        # outcome doc must ship smaller than its pickle.
+        encoder = ResultEncoder()
+        doc = outcome_doc(0, latencies=[0.001 * i for i in range(200)])
+        encoder.encode(doc)
+        steady = encoder.encode(outcome_doc(1, latencies=[0.002 * i for i in range(200)]))
+        reference = pickle.dumps(
+            outcome_doc(1, latencies=[0.002 * i for i in range(200)]),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        assert len(steady) < len(reference)

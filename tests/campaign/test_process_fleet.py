@@ -79,6 +79,32 @@ def on_crash(job, detail):
     return ("crashed", job, detail)
 
 
+def heavy_doc_target(worker_id, job, context):
+    """Outcome-dict-shaped payload: exercises the shm codec lane."""
+    return {
+        "index": job,
+        "name": f"job-{job}",
+        "status": "pass",
+        "latencies": [float(job) + i * 0.5 for i in range(32)],
+        "checks": {"latency_p99": {"ok": True, "detail": f"p99 for {job}"}},
+    }
+
+
+class _ExitOnPickle:
+    """Pickling this object kills the interpreter: the worker dies
+    *inside* result encoding (codec pickle-fallback and plain pickle
+    lane alike), after the target already returned successfully."""
+
+    def __reduce__(self):
+        os._exit(17)
+
+
+def exit_on_encode_target(worker_id, job, context):
+    if job == "die":
+        return _ExitOnPickle()
+    return job
+
+
 class TestResolveWorkers:
     def test_auto_sizes_to_the_machine(self):
         assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
@@ -280,6 +306,128 @@ class TestBatchedDispatch:
         # tripped, so it completes; batches two and three never leave
         # the parent.
         assert sorted(results) == [0, 1, 2]
+
+
+class TestResultTransport:
+    """The shm result lane is an optimization, never a new behavior:
+    identical results, identical crash attribution (including a worker
+    dying *mid-encode*), identical degradation for unpicklable results,
+    and no leaked ``/dev/shm`` segments."""
+
+    @staticmethod
+    def _shm_segments():
+        try:
+            return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+        except FileNotFoundError:  # pragma: no cover - non-Linux
+            return set()
+
+    def test_results_identical_across_transports(self):
+        jobs = list(range(12))
+        by_transport = {
+            transport: run_fleet(
+                jobs,
+                None,
+                workers=2,
+                backend="processes",
+                process_spec=ProcessWorkerSpec(
+                    target=heavy_doc_target, on_crash=on_crash
+                ),
+                batch_size=3,
+                result_transport=transport,
+            )
+            for transport in ("pickle", "shm")
+        }
+        assert by_transport["shm"] == by_transport["pickle"]
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_worker_death_mid_encode_degrades_to_on_crash(self, transport):
+        # The target *returns* fine; the worker dies while serializing
+        # the result.  Both lanes must surface the same on_crash result
+        # and spawn a replacement that finishes the remaining jobs.
+        results = run_fleet(
+            ["a", "die", "b", "c"],
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=exit_on_encode_target, on_crash=on_crash
+            ),
+            result_transport=transport,
+        )
+        assert sorted(results) == [0, 1, 2, 3]
+        assert results[1][0] == "crashed"
+        assert "exited with code 17" in results[1][2]
+        assert results[0] == "a"
+        assert results[2] == "b"
+        assert results[3] == "c"
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_worker_crash_parity(self, transport):
+        results = run_fleet(
+            list(range(6)),
+            None,
+            workers=2,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=poison_target, context={"poison": 2}, on_crash=on_crash
+            ),
+            result_transport=transport,
+        )
+        assert sorted(results) == list(range(6))
+        assert results[2][0] == "crashed"
+        assert "exited with code" in results[2][2]
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_unpicklable_result_parity(self, transport):
+        # shm lane: the codec's pickle fallback raises mid-encode, the
+        # worker degrades to the pipe, and the pipe raises the same
+        # "not serializable" it always did.
+        results = run_fleet(
+            ["fine", "weird"],
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=unpicklable_target, on_crash=on_crash
+            ),
+            result_transport=transport,
+        )
+        assert results[0] == "fine"
+        assert results[1][0] == "crashed"
+        assert "not serializable" in results[1][2]
+
+    def test_no_slab_leak_after_clean_run_and_after_crash(self):
+        before = self._shm_segments()
+        run_fleet(
+            list(range(8)),
+            None,
+            workers=2,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(target=heavy_doc_target, on_crash=on_crash),
+            batch_size=2,
+            result_transport="shm",
+        )
+        run_fleet(
+            list(range(4)),
+            None,
+            workers=1,
+            backend="processes",
+            process_spec=ProcessWorkerSpec(
+                target=poison_target, context={"poison": 1}, on_crash=on_crash
+            ),
+            result_transport="shm",
+        )
+        assert self._shm_segments() <= before
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(CampaignError, match="result transport"):
+            run_fleet(
+                [1],
+                None,
+                backend="processes",
+                process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+                result_transport="carrier-pigeon",
+            )
 
 
 class TestProcessPool:

@@ -1,0 +1,189 @@
+"""Shared-memory slabs: growth, generations, integrity, resolution.
+
+Pins the transport-safety properties the fleet relies on: a record a
+worker wrote is readable exactly as written; a region *reused* after a
+batch rewind can never decode silently (generation tagging); torn or
+corrupted payloads fail the CRC; segments are unlinked when retired or
+closed; and the transport knob resolves arg → env → default with an
+automatic pickle fallback where shared memory does not exist.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign.shm import (
+    DEFAULT_SLAB_BYTES,
+    RESULT_TRANSPORTS,
+    TRANSPORT_ENV,
+    SlabError,
+    SlabReader,
+    SlabRef,
+    SlabWriter,
+    resolve_result_transport,
+)
+from repro.errors import CampaignError
+
+
+def shm_exists(name):
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture
+def writer():
+    w = SlabWriter(initial_bytes=4096)
+    yield w
+    w.close()
+
+
+@pytest.fixture
+def reader():
+    r = SlabReader()
+    yield r
+    r.close()
+
+
+class TestWriteRead:
+    def test_payload_round_trips_with_exact_ref(self, writer, reader):
+        payload = b"result-bytes" * 10
+        ref = writer.write(payload)
+        assert ref.name == writer.name
+        assert ref.length == len(payload)
+        view = reader.read(ref)
+        assert bytes(view) == payload
+        view.release()
+
+    def test_many_records_per_batch_stay_distinct(self, writer, reader):
+        payloads = [bytes([i]) * (i + 1) for i in range(40)]
+        refs = [writer.write(p) for p in payloads]
+        for ref, payload in zip(refs, payloads):
+            view = reader.read(ref)
+            assert bytes(view) == payload
+            view.release()
+
+    def test_rotation_grows_the_slab_and_keeps_prior_records_readable(
+        self, writer, reader
+    ):
+        small = writer.write(b"small")
+        big_payload = b"x" * (8 * 4096)  # outgrows the 4 KiB slab
+        big = writer.write(big_payload)
+        assert big.name != small.name  # rotated to a fresh segment
+        assert big.generation > small.generation
+        # Mid-batch, the retired segment still holds unread records.
+        view = reader.read(small)
+        assert bytes(view) == b"small"
+        view.release()
+        view = reader.read(big)
+        assert bytes(view) == big_payload
+        view.release()
+
+    def test_rotation_size_is_at_least_default(self, writer):
+        writer.write(b"y" * (2 * 4096))
+        ref = writer.write(b"z")
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=ref.name)
+        try:
+            assert segment.size >= DEFAULT_SLAB_BYTES
+        finally:
+            segment.close()
+
+
+class TestGenerations:
+    def test_reused_region_is_rejected_not_misread(self, writer, reader):
+        stale = writer.write(b"batch-one-record")
+        writer.new_batch()
+        fresh = writer.write(b"batch-two!")  # overwrites offset 0
+        view = reader.read(fresh)
+        assert bytes(view) == b"batch-two!"
+        view.release()
+        with pytest.raises(SlabError, match="stale"):
+            reader.read(stale)
+
+    def test_crc_rejects_corrupted_payload(self, writer, reader):
+        from repro.campaign.shm import SLAB_RECORD_HEADER
+
+        ref = writer.write(b"precious-bytes")
+        # Flip one payload byte behind the reader's back.
+        offset = ref.offset + SLAB_RECORD_HEADER.size + 2
+        writer._segment.buf[offset] ^= 0xFF
+        with pytest.raises(SlabError, match="crc"):
+            reader.read(ref)
+
+    def test_out_of_bounds_ref_rejected(self, writer, reader):
+        ref = writer.write(b"ok")
+        bogus = SlabRef(ref.name, ref.generation, 4096 - 2, 4096, ref.crc)
+        with pytest.raises(SlabError, match="outside"):
+            reader.read(bogus)
+
+
+class TestLifecycle:
+    def test_new_batch_unlinks_retired_segments(self, writer):
+        first_name = writer.name
+        writer.write(b"x" * (8 * 4096))  # rotate: first segment retired
+        assert shm_exists(first_name)  # still readable mid-batch
+        writer.new_batch()
+        assert not shm_exists(first_name)
+        assert shm_exists(writer.name)
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        w = SlabWriter(initial_bytes=4096)
+        first_name = w.name
+        w.write(b"x" * (8 * 4096))
+        second_name = w.name
+        w.close()
+        w.close()
+        assert not shm_exists(first_name)
+        assert not shm_exists(second_name)
+
+    def test_reader_read_after_unlink_is_an_error_for_new_readers(self, writer):
+        ref = writer.write(b"gone soon")
+        writer.close()
+        with pytest.raises(SlabError, match="gone"):
+            SlabReader().read(ref)
+
+    def test_reader_unlink_sweeps_a_dead_workers_segment(self, reader):
+        w = SlabWriter(initial_bytes=4096)
+        name = w.name
+        w.write(b"orphaned")
+        # Simulate the worker dying without cleanup: the parent sweeps.
+        reader.unlink(name)
+        assert not shm_exists(name)
+        reader.unlink(name)  # idempotent on a gone segment
+
+
+class TestResolveTransport:
+    def test_registry(self):
+        assert RESULT_TRANSPORTS == ("pickle", "shm")
+
+    def test_default_is_pickle(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        assert resolve_result_transport(None) == "pickle"
+
+    def test_explicit_arg_wins(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "pickle")
+        assert resolve_result_transport("shm") == "shm"
+
+    def test_env_consulted_when_unset(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "shm")
+        assert resolve_result_transport(None) == "shm"
+
+    @pytest.mark.parametrize("bad", ["mmap", "SHM", ""])
+    def test_unknown_names_rejected(self, monkeypatch, bad):
+        with pytest.raises(CampaignError, match="result transport"):
+            resolve_result_transport(bad)
+        if bad:  # empty env means "unset", not an error
+            monkeypatch.setenv(TRANSPORT_ENV, bad)
+            with pytest.raises(CampaignError, match="result transport"):
+                resolve_result_transport(None)
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "")
+        assert resolve_result_transport(None) == "pickle"
+
+    def test_shm_degrades_where_shared_memory_is_unavailable(self, monkeypatch):
+        import repro.campaign.shm as shm_module
+
+        monkeypatch.setattr(shm_module, "shared_memory_available", lambda: False)
+        assert shm_module.resolve_result_transport("shm") == "pickle"
+        assert shm_module.resolve_result_transport("pickle") == "pickle"

@@ -1,0 +1,100 @@
+"""Byte-equality across result transports: shm is invisible in output.
+
+The shm lane re-encodes every outcome through the compact codec and a
+shared-memory slab, so this suite pins the strongest possible claim:
+campaign scorecards, campaign dumps, and explore digests are
+*byte-identical* across ``pickle`` vs ``shm`` transports, at 1 and 4
+workers, on both fleet backends.  Dump JSON is compared after
+stripping only the fields that legitimately vary between any two runs
+(wall-clock timings, worker attribution) — everything else, float
+bits included, must match exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import build_twotier
+from repro.campaign import CampaignRunner, dumps, plan_campaign
+
+LANES = [
+    (backend, workers, transport)
+    for backend in ("threads", "processes")
+    for workers in (1, 4)
+    for transport in ("pickle", "shm")
+]
+
+#: Fields that legitimately differ between lanes: wall-clock timings,
+#: worker attribution, and the configured fleet size itself.
+VOLATILE = ("wall_time", "orchestration_time", "assertion_time", "worker", "workers")
+
+
+def normalized_dump_bytes(result):
+    """The campaign dump with per-run timing variance removed, re-frozen
+    to canonical bytes so comparison is exact, not approximate."""
+    lines = []
+    for line in dumps(result).splitlines():
+        doc = json.loads(line)
+        for key in VOLATILE:
+            doc.pop(key, None)
+        lines.append(json.dumps(doc, sort_keys=True))
+    return "\n".join(lines).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_campaign(build_twotier, seed=9, requests=5, max_recipes=6)
+
+
+@pytest.fixture(scope="module")
+def reference(plan):
+    result = CampaignRunner(build_twotier, workers=1, timeout=None).run(plan)
+    return result.scorecard().text().encode("utf-8"), normalized_dump_bytes(result)
+
+
+class TestCampaignByteEquality:
+    @pytest.mark.parametrize(
+        "backend, workers, transport",
+        LANES,
+        ids=[f"{b}-w{w}-{t}" for b, w, t in LANES],
+    )
+    def test_scorecard_and_dump_identical(
+        self, plan, reference, backend, workers, transport
+    ):
+        result = CampaignRunner(
+            build_twotier,
+            workers=workers,
+            timeout=None,
+            backend=backend,
+            batch_size=2,
+            result_transport=transport,
+        ).run(plan)
+        scorecard_bytes, dump_bytes = reference
+        assert result.scorecard().text().encode("utf-8") == scorecard_bytes
+        assert normalized_dump_bytes(result) == dump_bytes
+
+
+class TestExploreByteEquality:
+    @pytest.mark.slow
+    def test_digests_identical_across_lanes(self):
+        from repro.explore import run_explore
+
+        executed = {}
+        for backend, workers, transport in (
+            ("threads", 1, "pickle"),
+            ("threads", 4, "shm"),
+            ("processes", 1, "shm"),
+            ("processes", 4, "pickle"),
+            ("processes", 4, "shm"),
+        ):
+            result = run_explore(
+                "stuckbreaker",
+                budget=12,
+                seed=0,
+                workers=workers,
+                backend=backend,
+                batch_size=2,
+                result_transport=transport,
+            )
+            executed[(backend, workers, transport)] = result.executed
+        assert len({tuple(v) for v in executed.values()}) == 1, executed.keys()

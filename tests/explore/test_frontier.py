@@ -37,11 +37,13 @@ class TestStaticOrder:
     def test_first_band_is_aborts_by_blast_radius(self):
         frontier = Frontier(make_space())
         wave = frontier.pop_wave(4)
+        # Among the span-1 leaves, the deeper c->e (the "storage hop")
+        # now precedes the shallower b->d.
         assert [(c.fault, c.edge) for c in wave] == [
             ("abort", ("a", "b")),
             ("abort", ("b", "c")),
-            ("abort", ("b", "d")),
             ("abort", ("c", "e")),
+            ("abort", ("b", "d")),
         ]
 
     def test_delay_band_precedes_reset_and_short_delay(self):
@@ -55,6 +57,31 @@ class TestStaticOrder:
         frontier = Frontier(make_space())
         modes = [c.mode for c in frontier.pop_wave(32)]
         assert modes == ["sweep"] * 16 + ["single"] * 16
+
+    def test_fanin_breaks_span_ties_before_discovery_order(self):
+        # Two span-1 leaves at the same depth: the one whose caller has
+        # more upstream callers wins, even though it was discovered
+        # later.
+        def coord(path):
+            return Coordinate(
+                app="synthetic", entry="r", mode="sweep", path=path,
+                ordinal=0, fault="abort", request_id="test-*",
+            )
+
+        edges = {
+            ("r", "a"): (("r", "a"), 3),
+            ("r", "b"): (("r", "b"), 2),
+            ("b", "a"): (("r", "b", "a"), 2),
+            ("b", "t"): (("r", "b", "t"), 1),  # discovered first...
+            ("a", "s"): (("r", "a", "s"), 1),  # ...but a has two callers
+        }
+        space = ExplorationSpace(
+            app="synthetic", entry="r", seed=0,
+            sweeps=[coord(path) for path, _size in edges.values()],
+            singles=[], edges=edges, baseline_shapes=["base"],
+        )
+        order = [c.edge for c in Frontier(space).pop_wave(5)]
+        assert order.index(("a", "s")) < order.index(("b", "t"))
 
     def test_pop_wave_drains_exactly_once(self):
         frontier = Frontier(make_space())
@@ -98,7 +125,7 @@ class TestFeedback:
         assert frontier.defer_edge(deferred) > 0
         wave = frontier.pop_wave(4)
         assert [c.edge for c in wave] == [
-            ("b", "c"), ("b", "d"), ("c", "e"), ("a", "b"),
+            ("b", "c"), ("c", "e"), ("b", "d"), ("a", "b"),
         ]
 
     def test_stale_heap_entries_are_skipped(self):

@@ -137,9 +137,9 @@ class TestRunExplore:
     def test_prioritized_beats_random_on_seed_apps(self):
         # The 2x claim holds on the small seeded-bug apps the frontier
         # heuristics were calibrated on.  The production-scale apps
-        # plant their bugs on leaf datastore edges, which blast-radius
-        # ranking visits *last* within a band — there the guarantee is
-        # the band bound asserted below, not a win over random luck.
+        # plant their bugs on leaf datastore edges, ordered within a
+        # band by the fan-in/depth tie-break (regression-pinned below);
+        # the hard guarantee there is the band bound.
         total = {"prioritized": 0, "random": 0}
         for app in ("deepfanout", "retrystorm", "stuckbreaker"):
             for strategy in total:
@@ -160,6 +160,25 @@ class TestRunExplore:
         assert result.all_bugs_found
         space = discover_space(app, seed=0)
         assert result.executions_to_all_bugs <= 2 * len(space.edges)
+
+    def test_socialnetwork_store_edge_bug_beats_plain_blast_radius(self):
+        # Regression pin for the fan-in/depth tie-break: under plain
+        # blast-radius-then-shallow ranking the seeded store-edge bug
+        # (storm-retries on post-storage->post-store) surfaced at
+        # execution 29 and all bugs took 59 executions; the tie-break
+        # pulls the shared, terminal storage hops forward within their
+        # band.
+        result = run_explore(
+            "socialnetwork", budget=150, seed=0, stop_when_found=True
+        )
+        assert result.all_bugs_found
+        executed_keys = [key for key, _digest in result.executed]
+        store_bug = next(
+            finding for finding in result.findings
+            if finding.bug_id == "socialnetwork/storm-retries"
+        )
+        assert executed_keys.index(store_bug.coordinate) + 1 < 29
+        assert result.executions_to_all_bugs < 59
 
     def test_masking_prunes_deepfanout_descendants(self):
         result = run_explore("deepfanout", budget=150, seed=0, stop_when_found=True)
