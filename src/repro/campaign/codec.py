@@ -33,7 +33,13 @@ codec message is actually emitted.
 
 Encoder and decoder form a connected pair over a FIFO channel: the
 decoder must observe every codec message the encoder produced, in
-order.  The fleet keeps one pair per worker pipe.
+order.  The fleet keeps one pair per worker pipe.  A sender whose
+transport can itself fail *after* encoding (the shm lane: slab write,
+then pipe send) must use :meth:`ResultEncoder.encode_pending` and run
+the returned commit callback only once the message is actually on its
+way — a message that was encoded but never delivered then leaves the
+shared tables untouched, so degrading that one result to another lane
+cannot desynchronize the pair.
 """
 
 from __future__ import annotations
@@ -356,13 +362,19 @@ class _CompiledShape:
 # -- the stateful encoder/decoder pair ----------------------------------------
 
 
+def _commit_nothing() -> None:
+    """Commit callback for stateless (pickle-fallback) messages."""
+
+
 class ResultEncoder:
     """Worker-side half of the codec: values in, message bodies out.
 
     :meth:`encode` always succeeds — values outside the codec's domain
     become pickle-fallback messages — and only mutates the shared
     shape/string state when a codec message is actually returned, so a
-    fallback can never desynchronize the decoder.
+    fallback can never desynchronize the decoder.  When delivery itself
+    can fail after encoding, use :meth:`encode_pending` instead and
+    invoke the commit callback only once the message is safely sent.
     """
 
     #: Compiled shapes tried before a full re-derivation; campaigns
@@ -392,14 +404,34 @@ class ResultEncoder:
 
     def encode(self, value: _t.Any) -> bytes:
         """One message body (``KIND_CODEC`` or ``KIND_PICKLE``)."""
-        body = self._encode_codec(value)
-        if body is not None:
-            return body
-        return bytes([KIND_PICKLE]) + pickle.dumps(
+        body, commit = self.encode_pending(value)
+        commit()
+        return body
+
+    def encode_pending(
+        self, value: _t.Any
+    ) -> tuple[bytes, _t.Callable[[], None]]:
+        """Encode without committing shared state: ``(body, commit)``.
+
+        The encoder's shape/string tables advance only when ``commit``
+        runs; call it exactly once, *after* the body has actually been
+        delivered.  A body that is dropped instead (slab write or pipe
+        send failed, caller degraded to another transport) must never
+        be committed — the decoder did not see it, and committing would
+        permanently desynchronize the FIFO pair.  Pickle-fallback
+        bodies are stateless; their commit is a no-op.
+        """
+        pending = self._encode_codec(value)
+        if pending is not None:
+            return pending
+        body = bytes([KIND_PICKLE]) + pickle.dumps(
             value, protocol=pickle.HIGHEST_PROTOCOL
         )
+        return body, _commit_nothing
 
-    def _encode_codec(self, value: _t.Any) -> _t.Optional[bytes]:
+    def _encode_codec(
+        self, value: _t.Any
+    ) -> _t.Optional[tuple[bytes, _t.Callable[[], None]]]:
         packed = None
         shape_id = None
         compiled = None
@@ -468,18 +500,23 @@ class ResultEncoder:
         parts.append(inline_blob)
         parts.append(numeric_blob)
         body = b"".join(parts)
-        # Commit shared state only now that the message exists.
-        table.update(pending)
-        if is_new_shape:
-            self._shapes[compiled.shape] = (shape_id, compiled)
-        entry = (shape_id, compiled)
-        if not self._mru or self._mru[0] != entry:
-            try:
-                self._mru.remove(entry)
-            except ValueError:
-                pass
-            self._mru.insert(0, entry)
-        return body
+
+        def commit() -> None:
+            # Runs only once the message is actually delivered: the
+            # decoder advances its tables on receipt, so the encoder
+            # must advance in lockstep — no sooner.
+            table.update(pending)
+            if is_new_shape:
+                self._shapes[compiled.shape] = (shape_id, compiled)
+            entry = (shape_id, compiled)
+            if not self._mru or self._mru[0] != entry:
+                try:
+                    self._mru.remove(entry)
+                except ValueError:
+                    pass
+                self._mru.insert(0, entry)
+
+        return body, commit
 
 
 class ResultDecoder:

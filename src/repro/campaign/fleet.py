@@ -241,7 +241,11 @@ def _process_worker_main(
     rewinds at each batch boundary, by which point the parent has
     consumed every earlier record.  Any slab or codec trouble degrades
     that one result to the ordinary pickle send — the shm lane is an
-    optimization, never a new failure mode.
+    optimization, never a new failure mode.  The codec's shape/string
+    state commits only after the slab write *and* the header send both
+    succeed (``encode_pending``), so a degraded result leaves the
+    parent's paired decoder exactly in sync: it never misses a codec
+    message it was supposed to see.
     """
     writer = encoder = None
     if result_transport == "shm":
@@ -267,8 +271,15 @@ def _process_worker_main(
                     payload = (key, "error", f"{type(exc).__name__}: {exc}")
                 if writer is not None and payload[1] == "ok":
                     try:
-                        ref = writer.write(encoder.encode(payload[2]))
+                        body, commit = encoder.encode_pending(payload[2])
+                        ref = writer.write(body)
                         conn.send((key, "shm", ref))
+                        # Only now may the codec state advance: had the
+                        # write or send above raised, the parent's
+                        # decoder would never see this message, and a
+                        # committed-but-undelivered message desyncs the
+                        # FIFO pair for every later result.
+                        commit()
                         continue
                     except Exception:  # noqa: BLE001 - degrade to the pipe
                         pass
@@ -294,6 +305,7 @@ class _ProcessWorker:
         "outstanding",
         "decoder",
         "slab_names",
+        "current_slab",
     )
 
     def __init__(
@@ -330,6 +342,11 @@ class _ProcessWorker:
         #: replacement starts a fresh codec stream on a fresh slab.
         self.decoder = None
         self.slab_names: set[str] = set()
+        #: The segment the worker's most recent ref named.  Refs arrive
+        #: in FIFO order, so a ref naming a *different* segment proves
+        #: every record on the previous one has been consumed — the
+        #: parent can drop its mapping of the rotated-away slab.
+        self.current_slab: _t.Optional[str] = None
         if result_transport == "shm":
             from repro.campaign.codec import ResultDecoder
 
@@ -444,8 +461,20 @@ class ProcessPool:
             from repro.campaign.shm import SlabReader
 
             self._reader = SlabReader()
-        view = self._reader.read(ref)
+        # Track the name *before* reading: if the very first read from
+        # a fresh segment fails, the retire path must still know to
+        # unlink the segment the reader just attached.
         worker.slab_names.add(ref.name)
+        if worker.current_slab is not None and worker.current_slab != ref.name:
+            # The worker rotated to a bigger slab.  Refs are FIFO, so
+            # every record on the old segment has been consumed; drop
+            # our mapping now instead of holding the (soon unlinked)
+            # segment's memory until pool close.  The name stays in
+            # ``slab_names`` — the segment itself may outlive this if
+            # the worker dies before its next batch-boundary cleanup.
+            self._reader.forget(worker.current_slab)
+        worker.current_slab = ref.name
+        view = self._reader.read(ref)
         try:
             return worker.decoder.decode(view)
         finally:
@@ -458,6 +487,7 @@ class ProcessPool:
         crashed workers, whose segments would otherwise survive until
         the resource tracker's exit sweep.
         """
+        worker.current_slab = None
         if self._reader is None or not worker.slab_names:
             worker.slab_names.clear()
             return

@@ -202,6 +202,52 @@ class TestFallback:
             assert same(decoder.decode(encoder.encode(value)), value)
 
 
+class TestPendingCommit:
+    """``encode_pending`` defers state: an encoded-but-undelivered
+    message (slab write or pipe send failed, sender degraded to another
+    lane) must leave the pair in sync for every later message."""
+
+    def test_uncommitted_body_leaves_pair_in_sync(self):
+        encoder, decoder = ResultEncoder(), ResultDecoder()
+        # A delivered message first, so the tables are non-empty.
+        assert same(decoder.decode(encoder.encode(outcome_doc(0))), outcome_doc(0))
+        # This message is encoded but never delivered: the transport
+        # failed, the commit callback is (correctly) never run.
+        body, _commit = encoder.encode_pending(
+            outcome_doc(1, status="beta", latencies=[1.0])
+        )
+        assert body[0] == KIND_CODEC
+        # Every subsequent message still decodes exactly — including
+        # ones whose interned strings would have clashed with the
+        # dropped message's table entries.
+        for doc in (
+            outcome_doc(2, status="gamma", latencies=[2.0]),
+            outcome_doc(3, status="beta", latencies=[1.0]),
+            outcome_doc(4),
+        ):
+            assert same(decoder.decode(encoder.encode(doc)), doc)
+
+    def test_committed_pending_body_matches_encode(self):
+        # encode() is exactly encode_pending() + commit().
+        plain, pending = ResultEncoder(), ResultEncoder()
+        decoder = ResultDecoder()
+        for doc in (outcome_doc(0), outcome_doc(1), {"bad": 2**80}):
+            body, commit = pending.encode_pending(doc)
+            commit()
+            assert body == plain.encode(doc)
+            assert same(decoder.decode(body), doc)
+
+    def test_uncommitted_new_shape_is_not_registered(self):
+        encoder = ResultEncoder()
+        body, _commit = encoder.encode_pending({"only": 1})
+        assert body[0] == KIND_CODEC
+        # Undelivered, so the shape never registered: re-encoding the
+        # same shape must re-emit the full definition (identical body),
+        # which a fresh decoder can consume standalone.
+        again = encoder.encode({"only": 2})
+        assert ResultDecoder().decode(again) == {"only": 2}
+
+
 class TestShapeWireForm:
     @given(value=documents)
     @settings(max_examples=80, deadline=None)

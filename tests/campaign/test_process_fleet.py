@@ -26,6 +26,7 @@ puts on callers (lambdas and closures are rejected by pickle).
 import os
 import signal
 import time
+import types
 
 import pytest
 
@@ -33,9 +34,11 @@ from repro.campaign.fleet import (
     BACKENDS,
     ProcessPool,
     ProcessWorkerSpec,
+    _process_worker_main,
     resolve_workers,
     run_fleet,
 )
+from repro.campaign.shm import SlabError, SlabRef
 from repro.errors import CampaignError
 
 
@@ -88,6 +91,13 @@ def heavy_doc_target(worker_id, job, context):
         "latencies": [float(job) + i * 0.5 for i in range(32)],
         "checks": {"latency_p99": {"ok": True, "detail": f"p99 for {job}"}},
     }
+
+
+def rotating_doc_target(worker_id, job, context):
+    """One payload big enough to outgrow the initial 1 MiB slab."""
+    if job == "big":
+        return {"latencies": [0.5] * 170_000}
+    return {"latencies": [float(job)]}
 
 
 class _ExitOnPickle:
@@ -428,6 +438,157 @@ class TestResultTransport:
                 process_spec=ProcessWorkerSpec(target=double_target, on_crash=on_crash),
                 result_transport="carrier-pigeon",
             )
+
+
+class _ScriptedConn:
+    """In-process stand-in for a worker's pipe end: scripted batches in,
+    sent messages captured out.  shm refs are copied out of the slab at
+    send time (the worker unlinks its segments on the way out), decode
+    happens later in the test body — outside the worker's exception
+    handling, so a codec desync fails the test instead of being
+    swallowed by the worker's own degrade path."""
+
+    def __init__(self, batches, reader):
+        self._incoming = [list(batch) for batch in batches] + [None]
+        self._reader = reader
+        self.sent = []
+
+    def recv(self):
+        return self._incoming.pop(0)
+
+    def send(self, message):
+        key, kind, payload = message
+        if kind == "shm":
+            view = self._reader.read(payload)
+            try:
+                payload = bytes(view)
+            finally:
+                view.release()
+        self.sent.append((key, kind, payload))
+
+    def close(self):
+        pass
+
+
+class TestShmDegradeStaysInSync:
+    """A slab-write failure degrades exactly one result to the pipe and
+    must not desync the codec FIFO pair: the encoder commits its
+    shape/string state only after the slab write and header send both
+    succeed, so the parent's decoder never misses a message."""
+
+    def test_failed_slab_write_degrades_one_result_only(self, monkeypatch):
+        from repro.campaign import shm as shm_module
+        from repro.campaign.codec import ResultDecoder
+
+        real_writer = shm_module.SlabWriter
+
+        class FlakyWriter(real_writer):
+            failures = [1]  # fail the very first write, then recover
+
+            def write(self, payload):
+                if FlakyWriter.failures and FlakyWriter.failures[0]:
+                    FlakyWriter.failures[0] -= 1
+                    raise OSError("no space left on /dev/shm")
+                return super().write(payload)
+
+        monkeypatch.setattr(shm_module, "SlabWriter", FlakyWriter)
+        reader = shm_module.SlabReader()
+        jobs = [(key, key) for key in range(4)]
+        conn = _ScriptedConn([jobs], reader)
+        _process_worker_main(conn, heavy_doc_target, None, 0, "shm")
+
+        kinds = {key: kind for key, kind, _ in conn.sent}
+        # Job 0's slab write failed: that one result rode the pipe.
+        assert kinds == {0: "ok", 1: "shm", 2: "shm", 3: "shm"}
+        # Every later shm message decodes exactly — the dropped codec
+        # message was never committed, so the stream never skewed.
+        decoder = ResultDecoder()
+        for key, kind, payload in conn.sent:
+            value = decoder.decode(payload) if kind == "shm" else payload
+            assert value == heavy_doc_target(0, key, None)
+        reader.close()
+
+    def test_failed_header_send_degrades_without_desync(self, monkeypatch):
+        from repro.campaign import shm as shm_module
+        from repro.campaign.codec import ResultDecoder
+
+        reader = shm_module.SlabReader()
+        jobs = [(key, key) for key in range(3)]
+        conn = _ScriptedConn([jobs], reader)
+        real_send = conn.send
+        state = {"failed": False}
+
+        def flaky_send(message):
+            # Refuse the first shm header: the worker must fall back to
+            # the pipe for that result and keep its codec uncommitted.
+            if message[1] == "shm" and not state["failed"]:
+                state["failed"] = True
+                raise OSError("pipe hiccup")
+            real_send(message)
+
+        monkeypatch.setattr(conn, "send", flaky_send)
+        _process_worker_main(conn, heavy_doc_target, None, 0, "shm")
+
+        kinds = {key: kind for key, kind, _ in conn.sent}
+        assert kinds == {0: "ok", 1: "shm", 2: "shm"}
+        decoder = ResultDecoder()
+        for key, kind, payload in conn.sent:
+            value = decoder.decode(payload) if kind == "shm" else payload
+            assert value == heavy_doc_target(0, key, None)
+        reader.close()
+
+
+class TestSlabHousekeeping:
+    """Parent-side slab bookkeeping: rotated-away segments are dropped
+    from the reader cache mid-run, and a segment is tracked for the
+    retire-path unlink even when its very first read fails."""
+
+    def test_rotated_away_segment_dropped_from_parent_cache(self):
+        spec = ProcessWorkerSpec(target=rotating_doc_target, on_crash=on_crash)
+        with ProcessPool(
+            spec, size=1, batch_size=4, result_transport="shm"
+        ) as pool:
+            results = pool.run([1, "big", 2])
+            assert results[0] == {"latencies": [1.0]}
+            assert results[1] == {"latencies": [0.5] * 170_000}
+            assert results[2] == {"latencies": [2.0]}
+            worker = pool._workers[0]
+            # The oversized payload rotated the worker onto a bigger
+            # slab; once a ref named the successor, the parent forgot
+            # its mapping of the original instead of holding the
+            # unlinked segment's memory until close().
+            assert len(worker.slab_names) == 2
+            assert set(pool._reader._segments) == {worker.current_slab}
+
+    def test_first_read_failure_still_tracks_segment_for_cleanup(self):
+        pool = ProcessPool(
+            ProcessWorkerSpec(target=double_target, on_crash=on_crash),
+            size=1,
+            result_transport="shm",
+        )
+
+        class _TornReader:
+            def read(self, ref):
+                raise SlabError("torn record")
+
+            def forget(self, name):
+                pass
+
+            def close(self):
+                pass
+
+        pool._reader = _TornReader()
+        worker = types.SimpleNamespace(
+            slab_names=set(), current_slab=None, decoder=None
+        )
+        ref = SlabRef("psm_fleet_test_gone", 1, 0, 8, 0)
+        with pytest.raises(SlabError):
+            pool._resolve_shm(worker, ref)
+        # The attach happened before the read raised: the retire path
+        # must know to unlink this segment even though no record from
+        # it ever decoded.
+        assert ref.name in worker.slab_names
+        pool.close()
 
 
 class TestProcessPool:
